@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's evaluation (Section 6).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Corpus scale: the paper's training inputs are megabytes of compiler
+output; ours are tens of kilobytes (see DESIGN.md).  ``SCALE`` is the
+generated-function count of the gcc-like input — raise it for closer
+statistics, lower it for faster runs.
+"""
+
+import pytest
+
+SCALE = 220
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE

@@ -1,0 +1,72 @@
+"""A2 — expander design-choice ablation (Section 4.1).
+
+The paper fixes two knobs without sweeping them: the 256-rule cap per
+nonterminal ("so one derivation step is one byte") and greedy
+most-frequent-pair inlining.  This bench sweeps the cap and disables the
+cross-statement channel, quantifying both choices:
+
+* more rule space monotonically improves compression (until the corpus is
+  exhausted) but grows the grammar the interpreter must carry;
+* the <start>-spine channel (rules spanning statements) is a measurable
+  part of the win — the same quantity Section 7 credits over
+  superoperators.
+"""
+
+from repro.compress.compressor import Compressor
+from repro.experiments import (
+    ablation_cap_rows,
+    corpus,
+    pct,
+    render_table,
+    trained,
+)
+
+
+def test_ablation_cap(benchmark, scale):
+    rows = ablation_cap_rows("lcc", scale, caps=(16, 32, 64, 128, 256))
+
+    benchmark.pedantic(
+        lambda: trained(("lcc",), scale=scale, cap=64),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(render_table(
+        "A2a: rule-cap sweep (lcc input, trained on itself)",
+        ["cap", "compressed", "ratio", "rules", "grammar bytes"],
+        [(r.label, r.compressed, pct(r.ratio), r.rules, r.grammar_bytes)
+         for r in rows],
+    ))
+
+    # Compression improves (weakly) with more rule space...
+    sizes = [r.compressed for r in rows]
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+    # ...while the grammar the interpreter carries grows.
+    gsizes = [r.grammar_bytes for r in rows]
+    assert gsizes[-1] > gsizes[0]
+
+
+def test_ablation_spanning(benchmark, scale):
+    module = corpus(scale)["lcc"]
+    full, _ = trained(("lcc",), scale=scale)
+    within, _ = trained(("lcc",), scale=scale, superop=True)
+
+    full_bytes = Compressor(full).compress_module(module).code_bytes
+    within_bytes = benchmark.pedantic(
+        lambda: Compressor(within).compress_module(module).code_bytes,
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(render_table(
+        "A2b: cross-statement rules (lcc input)",
+        ["pattern language", "compressed", "ratio"],
+        [
+            ("within-statement only", within_bytes,
+             pct(within_bytes / module.code_bytes)),
+            ("spanning statements (full)", full_bytes,
+             pct(full_bytes / module.code_bytes)),
+        ],
+    ))
+    # Spanning rules must help (Section 7's central comparison).
+    assert full_bytes < within_bytes

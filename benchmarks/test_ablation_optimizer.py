@@ -1,0 +1,73 @@
+"""A4 — the optimizer experiment the paper could not run (Section 6).
+
+Paper: "MSVC compiles lcc to 236,181 bytes without optimization but to
+161,716 bytes when full space optimization is requested.  It would be
+interesting to run our compressor on bytecodes that have been through such
+an optimizer, but this experiment requires obtaining a suitable bytecode
+representation from MSVC, which is currently impossible.  Highly optimized
+code is usually less regular and thus less compressible, but it appears
+likely that the combination of an ambitious optimizer with bytecode
+compression would yield a smaller result than either tool in isolation."
+
+We *can* run it: `repro.opt` is a real optimizer over the bytecode.
+Shapes to confirm the prediction: optimizer alone shrinks the input;
+optimizer + compression yields the smallest absolute result; and the
+optimized input's compression *ratio* is no better (less regularity).
+"""
+
+from repro.compress.compressor import Compressor
+from repro.corpus import compiled_corpus
+from repro.experiments import pct, render_table
+from repro.grammar.initial import initial_grammar
+from repro.opt import optimize_module
+from repro.parsing.stackparser import build_forest
+from repro.training.expander import expand_grammar
+
+
+def test_optimizer_plus_compression(benchmark, scale):
+    module = compiled_corpus(scale)["gcc"]
+    optimized, stats = benchmark.pedantic(
+        lambda: optimize_module(module), rounds=1, iterations=1
+    )
+
+    # Train separately on each form (each deployment trains on what it
+    # ships).
+    g_plain = initial_grammar()
+    expand_grammar(g_plain, build_forest(g_plain, [module]))
+    g_opt = initial_grammar()
+    expand_grammar(g_opt, build_forest(g_opt, [optimized]))
+
+    plain_c = Compressor(g_plain).compress_module(module).code_bytes
+    opt_c = Compressor(g_opt).compress_module(optimized).code_bytes
+
+    print()
+    print(render_table(
+        "A4: optimization x compression (gcc-like input)",
+        ["pipeline", "bytes", "ratio of raw"],
+        [
+            ("raw bytecode", module.code_bytes, "100%"),
+            ("optimized", optimized.code_bytes,
+             pct(optimized.code_bytes / module.code_bytes)),
+            ("compressed", plain_c, pct(plain_c / module.code_bytes)),
+            ("optimized + compressed", opt_c,
+             pct(opt_c / module.code_bytes)),
+        ],
+    ))
+    print(f"  (optimizer: {stats.folded} folds, {stats.identities} "
+          f"identities, {stats.branches_folded} branches, "
+          f"{stats.statements_removed} dead statements)")
+    opt_ratio = opt_c / optimized.code_bytes
+    plain_ratio = plain_c / module.code_bytes
+    print(f"  compression ratio: raw {pct(plain_ratio)}, "
+          f"optimized {pct(opt_ratio)}")
+
+    # The optimizer alone helps.
+    assert optimized.code_bytes < module.code_bytes
+    # The paper's prediction: the combination beats either tool alone.
+    assert opt_c <= plain_c
+    assert opt_c < optimized.code_bytes
+    # The "less regular, less compressible" intuition is a second-order
+    # effect: at our optimizer's strength the ratio barely moves (our
+    # folding substitutes uniform literals, which can even help).  Assert
+    # only that it stays in the same band.
+    assert abs(opt_ratio - plain_ratio) < 0.05

@@ -1,0 +1,52 @@
+"""A3 — related-work comparison (paper Sections 4 and 7).
+
+The paper argues, method by method:
+
+* Huffman (fixed-to-variable) decodes bit-serially — and here it also
+  compresses less than the grammar method (Section 4);
+* Tunstall (variable-to-fixed over a memoryless source) loses badly once
+  branch targets force restarts and unique parsability (Section 7);
+* superoperators capture only within-tree patterns; "allowing a single
+  bytecode to span several expression trees and supporting more contexts
+  ... leads to substantial improvements in compression" (Section 7);
+* the original superoperators also excluded literals, which the follow-up
+  fixed (Section 7).
+
+Shape to reproduce, per input: grammar method <= superop-with-literals <=
+superop-without-literals, and grammar method < Huffman and < Tunstall.
+"""
+
+from repro.compress.compressor import Compressor
+from repro.experiments import baseline_rows, corpus, render_table, trained
+
+
+def test_baselines(benchmark, scale):
+    rows = baseline_rows(scale)
+
+    grammar, _ = trained(("gcc",), scale=scale, superop=True)
+    module = corpus(scale)["lcc"]
+    compressor = Compressor(grammar)
+    benchmark.pedantic(
+        lambda: compressor.compress_module(module), rounds=3, iterations=1
+    )
+
+    print()
+    print(render_table(
+        "A3: method comparison (bytes; trained on gcc where applicable)",
+        ["input", "original", "grammar", "superop", "superop-nolit",
+         "huffman", "tunstall", "gzip"],
+        [
+            (r.input, r.original, r.grammar_m, r.superop,
+             r.superop_nolit, r.huffman, r.tunstall, r.gzip)
+            for r in rows
+        ],
+    ))
+
+    for r in rows:
+        # Cross-tree patterns + contexts beat superoperators (Section 7).
+        assert r.grammar_m <= r.superop, r.input
+        # Literal absorption helps superoperators (Section 7).
+        assert r.superop <= r.superop_nolit, r.input
+        # The grammar method beats both strawmen on every input.
+        assert r.grammar_m < r.huffman, r.input
+        assert r.grammar_m < r.tunstall, r.input

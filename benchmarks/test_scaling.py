@@ -1,0 +1,71 @@
+"""F1 — corpus-size scaling (figure-style series).
+
+The paper's evaluation fixes its training corpora; this series sweeps the
+training-corpus size and reports how compression and grammar size respond
+— the curve behind Section 2's assumption that "the corpus is assumed to
+represent statistically the populations of the programs to be coded".
+
+Expected shape: held-out compression improves steeply at first, then
+saturates as the 256-rule budget fills; the encoded grammar grows with the
+corpus until the budget binds; training time grows roughly linearly in
+corpus bytes (the incremental edge-count design).
+"""
+
+import time
+
+from repro.compress.compressor import Compressor
+from repro.corpus.synth import generate_program
+from repro.experiments import pct, render_table
+from repro.grammar.initial import initial_grammar
+from repro.grammar.serialize import grammar_bytes
+from repro.minic import compile_source
+from repro.parsing.stackparser import build_forest
+from repro.training.expander import expand_grammar
+
+SIZES = (2, 6, 18, 54, 120)
+
+
+def test_corpus_scaling(benchmark, scale):
+    held_out = compile_source(generate_program(30, seed=1234))
+
+    rows = []
+    for count in SIZES:
+        corpus = [compile_source(generate_program(count, seed=77))]
+        grammar = initial_grammar()
+        start = time.perf_counter()
+        forest = build_forest(grammar, corpus)
+        expand_grammar(grammar, forest)
+        train_s = time.perf_counter() - start
+        compressed = Compressor(grammar).compress_module(held_out)
+        rows.append((
+            count,
+            corpus[0].code_bytes,
+            f"{train_s:.2f}s",
+            grammar.total_rules(),
+            grammar_bytes(grammar, compact=True),
+            compressed.code_bytes,
+            pct(compressed.code_bytes / held_out.code_bytes),
+        ))
+
+    # Timed portion: training at the mid scale.
+    def train_mid():
+        grammar = initial_grammar()
+        corpus = [compile_source(generate_program(18, seed=77))]
+        expand_grammar(grammar, build_forest(grammar, corpus))
+        return grammar
+    benchmark.pedantic(train_mid, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        "F1: training-corpus scaling (held-out generated program, "
+        f"{held_out.code_bytes} bytes)",
+        ["functions", "corpus bytes", "train time", "rules",
+         "grammar bytes", "held-out", "ratio"],
+        rows,
+    ))
+
+    ratios = [row[5] for row in rows]
+    # More training data never hurts held-out compression much...
+    assert ratios[-1] <= ratios[0]
+    # ...and the biggest corpus compresses the held-out input properly.
+    assert ratios[-1] < held_out.code_bytes

@@ -1,0 +1,67 @@
+"""E3 — the paper's second table (Section 6): whole-executable sizes.
+
+Paper (for its lcc program, 199KB of bytecode):
+
+    Uncompressed bytecode   292,039
+    Compressed bytecode     161,386
+    lcc-compiled x86        240,522
+
+Each row counts everything but libraries: interpreter (where applicable),
+bytecode, label and global tables, descriptors, trampolines, and program
+data.  We run the comparison on our *largest* input (the gcc-like
+program), which plays the paper's role of "program much bigger than the
+interpreter" — the regime where the claim lives.
+
+Shape to reproduce (the paper's two headline inequalities):
+
+    compressed < uncompressed      (compression pays off end to end)
+    compressed < native x86        (beats even the conventional binary)
+
+The paper additionally found native < uncompressed; that ordering depends
+on the interpreter being small relative to the program AND on lcc's x86
+output being nearly as dense as the bytecode.  Our corpus is ~30x smaller
+than the paper's, so we report that comparison without asserting it, plus
+the measured break-even program size.
+"""
+
+from repro.experiments import PAPER_TABLE2, render_table, table2_rows
+
+
+def test_table2(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: table2_rows("gcc", scale), rounds=1, iterations=1
+    )
+
+    print()
+    print(render_table(
+        "E3: whole-executable bytes (largest program; paper used lcc)",
+        ["representation", "bytes", "paper"],
+        [
+            (rows[0].representation, rows[0].bytes,
+             PAPER_TABLE2["uncompressed"]),
+            (rows[1].representation, rows[1].bytes,
+             PAPER_TABLE2["compressed"]),
+            (rows[2].representation, rows[2].bytes,
+             PAPER_TABLE2["native"]),
+        ],
+    ))
+    for row in rows:
+        parts = ", ".join(f"{k}={v}" for k, v in row.breakdown.items())
+        print(f"  {row.representation}: {parts}")
+
+    unc, comp, native = rows
+    interp_growth = comp.breakdown["interpreter"] - \
+        unc.breakdown["interpreter"]
+    bytecode_ratio = comp.breakdown["bytecode"] / unc.breakdown["bytecode"]
+    breakeven = interp_growth / (1 - bytecode_ratio)
+    print(f"  break-even program size: ~{breakeven:,.0f} bytecode bytes "
+          f"(interpreter growth {interp_growth} / savings rate "
+          f"{1 - bytecode_ratio:.0%})")
+
+    # The paper's headline inequalities.
+    assert comp.bytes < unc.bytes
+    assert comp.bytes < native.bytes
+    # Compressed bytecode itself is far smaller than native code.
+    assert comp.breakdown["bytecode"] < native.breakdown["code"]
+    # And the program is past break-even.
+    assert unc.breakdown["bytecode"] > breakeven

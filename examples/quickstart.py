@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Quickstart: the whole pipeline on one small program.
+
+Compile mini-C to the stack bytecode, train an expanded grammar on a
+corpus, compress, and run both representations — the compressed one runs
+*directly* on the generated interpreter, with no decompression step
+(the paper's whole point).
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+CORPUS = [
+    """
+    int sum_to(int n) {
+        int i, s;
+        s = 0;
+        for (i = 1; i <= n; i++) s += i;
+        return s;
+    }
+    int main(void) { putint(sum_to(100)); putchar('\\n'); return 0; }
+    """,
+    """
+    int gcd(int a, int b) { return b == 0 ? a : gcd(b, a % b); }
+    int main(void) { putint(gcd(1071, 462)); putchar('\\n'); return 0; }
+    """,
+    """
+    int main(void) {
+        int i;
+        for (i = 2; i < 40; i++) {
+            int d, prime;
+            prime = 1;
+            for (d = 2; d * d <= i; d++)
+                if (i % d == 0) prime = 0;
+            if (prime) { putint(i); putchar(' '); }
+        }
+        putchar('\\n');
+        return 0;
+    }
+    """,
+]
+
+APP = """
+int collatz_len(int n) {
+    int steps;
+    steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        steps++;
+    }
+    return steps;
+}
+
+int main(void) {
+    int n, best, best_n;
+    best = 0; best_n = 0;
+    for (n = 1; n <= 60; n++) {
+        int len;
+        len = collatz_len(n);
+        if (len > best) { best = len; best_n = n; }
+    }
+    putstr("longest Collatz chain under 60: n=");
+    putint(best_n);
+    putstr(" (");
+    putint(best);
+    putstr(" steps)\\n");
+    return 0;
+}
+"""
+
+
+def main():
+    print("1. compiling the training corpus (mini-C -> stack bytecode)")
+    training = [repro.compile_source(src) for src in CORPUS]
+    training.append(repro.compile_source(APP))
+    for i, module in enumerate(training):
+        print(f"   corpus[{i}]: {module.code_bytes} bytecode bytes, "
+              f"{len(module.procedures)} procedures")
+
+    print("\n2. training: profiled grammar rewriting (Section 4.1)")
+    grammar, report = repro.train_grammar(training)
+    print(f"   {report.iterations} inlining steps, "
+          f"{report.rules_added - report.rules_removed} rules kept, "
+          f"training forest {report.initial_size} -> {report.final_size} "
+          f"derivation steps")
+
+    print("\n3. compressing the application (shortest derivation)")
+    program = repro.compile_source(APP)
+    compressed = repro.compress_module(grammar, program)
+    ratio = compressed.code_bytes / program.code_bytes
+    print(f"   {program.code_bytes} -> {compressed.code_bytes} bytes "
+          f"({ratio:.0%}; the paper's corpus ratios were 29-42%)")
+
+    print("\n4. executing both representations")
+    code1, out1 = repro.run(program)
+    code2, out2 = repro.run_compressed(compressed)
+    print(f"   uncompressed interpreter: exit={code1}, "
+          f"output={out1.decode()!r}")
+    print(f"   compressed interpreter:   exit={code2}, "
+          f"output={out2.decode()!r}")
+    assert (code1, out1) == (code2, out2), "behaviour must be identical"
+
+    print("\n5. and the compressed form is complete: decompressing it "
+          "reproduces the original bytecode byte-for-byte")
+    back = repro.decompress_module(compressed)
+    assert all(a.code == b.code for a, b in
+               zip(back.procedures, program.procedures))
+    print("   round-trip OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Comparator methods: Huffman, Tunstall, superoperators, gzip."""
+
+from .huffman import HuffmanCode, build_code as build_huffman
+from .huffman import compressed_size as huffman_size
+from .tunstall import TunstallCode, build_code as build_tunstall
+from .tunstall import compressed_size_blocks as tunstall_size_blocks
+from .superop import train_superoperators
+from .gzipref import gzip_ratio, gzip_size, gzip_size_per_block, split_blocks
+
+__all__ = [
+    "HuffmanCode", "build_huffman", "huffman_size",
+    "TunstallCode", "build_tunstall", "tunstall_size_blocks",
+    "train_superoperators",
+    "gzip_ratio", "gzip_size", "gzip_size_per_block", "split_blocks",
+]

@@ -1,0 +1,65 @@
+"""Superoperator baseline (Proebsting, POPL 1995; paper Section 7).
+
+The closest prior work: assign new bytecodes to frequent patterns *within*
+expression trees.  The paper's two claimed advantages over superoperators
+are (1) a grammar rule may span several expression trees, and (2) the
+generated interpreter has a context (nonterminal) per rule position rather
+than one flat opcode space.  We model superoperators in this framework as
+profiled grammar rewriting with the cross-tree channel closed: edges whose
+parent rule expands ``<start>`` (the statement-sequencing spine) are never
+inlined, so no rule can span a statement boundary.  The original
+superoperator work also excluded literals from patterns; the follow-up
+removed that restriction, so both variants are available.
+
+This makes benchmark A3's comparison sharp: identical trainer, identical
+compressor, differing only in the pattern language — exactly the axis the
+paper argues about.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..bytecode.module import Module
+from ..grammar.cfg import Grammar
+from ..grammar.initial import initial_grammar
+from ..parsing.stackparser import build_forest
+from ..training.edges import EdgeKey
+from ..training.expander import TrainingReport, expand_grammar
+
+__all__ = ["train_superoperators"]
+
+
+def train_superoperators(corpus: Iterable[Module], *,
+                         allow_literals: bool = True,
+                         max_rules_per_nt: int = 256,
+                         min_count: int = 2,
+                         max_iterations: Optional[int] = None,
+                         ) -> Tuple[Grammar, TrainingReport]:
+    """Train a superoperator-style grammar: no cross-statement patterns.
+
+    Args:
+        allow_literals: False reproduces the original 1995 restriction
+            (patterns may not absorb literal bytes).
+    """
+    grammar = initial_grammar(max_rules_per_nt=max_rules_per_nt)
+    start = grammar.nonterminal("start")
+    byte = grammar.nonterminal("byte")
+    forest = build_forest(grammar, corpus)
+    rules = grammar.rules
+
+    def edge_filter(key: EdgeKey) -> bool:
+        parent_id, _slot, child_id = key
+        if rules[parent_id].lhs == start:
+            return False  # would span expression trees
+        if not allow_literals and rules[child_id].lhs == byte:
+            return False  # original superoperators had no literals
+        return True
+
+    report = expand_grammar(
+        grammar, forest,
+        min_count=min_count,
+        max_iterations=max_iterations,
+        edge_filter=edge_filter,
+    )
+    return grammar, report

@@ -1,0 +1,139 @@
+"""Variable-to-fixed baseline: Tunstall coding (paper Section 7).
+
+Tunstall's construction — the inspiration the paper credits — assigns
+fixed-length codewords to variable-length strings: starting from the
+single-symbol dictionary, repeatedly expand the most probable entry with
+every symbol, until ~2**k entries exist.  The dictionary is *uniquely
+parsable* (a complete tree), which is exactly what breaks at branch
+targets: a target can land mid-entry, so the encoder must flush and
+restart, and the paper's plurally-parsable grammar method exists to fix
+that.  This implementation restarts at block boundaries the same way the
+grammar compressor does, so benchmark A3 compares the two fairly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["TunstallCode", "build_code", "compressed_size_blocks"]
+
+
+@dataclass
+class TunstallCode:
+    """A Tunstall dictionary over byte symbols."""
+
+    entries: List[bytes]                # codeword value -> string
+    index: Dict[bytes, int]
+    prefixes: frozenset                 # proper prefixes of entries
+    codeword_bits: int
+
+    def encode_block(self, data: bytes) -> Tuple[int, int]:
+        """Encode one block; returns (codewords used, flush count).
+
+        The dictionary tree is complete, so the parse is unique: walk
+        until a leaf (an entry).  A block that *ends* mid-walk is coded as
+        that prefix ("the last subsequence in the partition may be a
+        prefix of a sequence in the dictionary") — that flush at every
+        branch target is the cost Section 7 describes.
+        """
+        used = 0
+        flushes = 0
+        pos = 0
+        n = len(data)
+        while pos < n:
+            best = 1
+            limit = min(self.max_len, n - pos)
+            for length in range(limit, 0, -1):
+                piece = data[pos:pos + length]
+                if piece in self.index:
+                    best = length
+                    break
+                if pos + length == n and piece in self.prefixes:
+                    best = length
+                    flushes += 1
+                    break
+            used += 1
+            pos += best
+        return used, flushes
+
+    @property
+    def max_len(self) -> int:
+        return max(len(e) for e in self.entries)
+
+    @property
+    def table_bytes(self) -> int:
+        """Dictionary storage: length byte + payload per entry."""
+        return sum(1 + len(e) for e in self.entries)
+
+
+def build_code(training: Sequence[bytes],
+               codeword_bits: int = 8) -> TunstallCode:
+    """Build a Tunstall dictionary from training blocks.
+
+    Memoryless source model, as in the original construction: symbol
+    probabilities are byte frequencies over the corpus.
+    """
+    freq = Counter()
+    for block in training:
+        freq.update(block)
+    if not freq:
+        freq[0] = 1
+    total = sum(freq.values())
+    probs = {sym: n / total for sym, n in freq.items()}
+    symbols = sorted(probs)
+
+    target = 2 ** codeword_bits
+    # The tree's leaves are the dictionary.  Expanding a leaf replaces it
+    # with len(symbols) children, so expand while it still fits.
+    entries: Dict[bytes, float] = {
+        bytes([sym]): probs[sym] for sym in symbols
+    }
+    heap = [(-p, e) for e, p in entries.items()]
+    heapq.heapify(heap)
+    # Each expansion nets len(symbols)-1 entries; a degenerate one-symbol
+    # source nets zero, so bound entry length instead of looping forever.
+    max_entry_len = 255
+    while heap and len(entries) + len(symbols) - 1 <= target:
+        neg_p, entry = heapq.heappop(heap)
+        if entries.get(entry) != -neg_p:
+            continue  # stale
+        if len(entry) >= max_entry_len:
+            break  # most probable entry is at the length bound: stop
+        del entries[entry]
+        for sym in symbols:
+            child = entry + bytes([sym])
+            p = -neg_p * probs[sym]
+            entries[child] = p
+            heapq.heappush(heap, (-p, child))
+    ordered = sorted(entries)
+    prefixes = set()
+    for entry in ordered:
+        for k in range(1, len(entry)):
+            prefixes.add(entry[:k])
+    return TunstallCode(
+        entries=ordered,
+        index={e: i for i, e in enumerate(ordered)},
+        prefixes=frozenset(prefixes),
+        codeword_bits=codeword_bits,
+    )
+
+
+def compressed_size_blocks(code: TunstallCode,
+                           blocks: Sequence[bytes],
+                           include_table: bool = True) -> int:
+    """Compressed bytes for a program split into basic blocks.
+
+    Each block restarts the parse (branch targets must stay addressable),
+    which is precisely where unique parsability hurts (Section 7).
+    """
+    codewords = 0
+    for block in blocks:
+        used, _ = code.encode_block(block)
+        codewords += used
+    payload_bits = codewords * code.codeword_bits
+    payload = math.ceil(payload_bits / 8)
+    return payload + (code.table_bytes if include_table else 0)

@@ -1,0 +1,15 @@
+"""The initial stack-based bytecode (paper Section 3, Appendices 1-3)."""
+
+from .opcodes import OPS, OP_BY_NAME, OP_BY_CODE, OpSpec, opcode, opname
+from .instructions import Instruction, encode, decode, iter_decode, instr
+from .module import GlobalEntry, Module, Procedure
+from .assembler import AssemblyError, ProcedureBuilder, assemble, disassemble
+from .validate import ValidationError, validate_module, validate_procedure
+
+__all__ = [
+    "OPS", "OP_BY_NAME", "OP_BY_CODE", "OpSpec", "opcode", "opname",
+    "Instruction", "encode", "decode", "iter_decode", "instr",
+    "GlobalEntry", "Module", "Procedure",
+    "AssemblyError", "ProcedureBuilder", "assemble", "disassemble",
+    "ValidationError", "validate_module", "validate_procedure",
+]

@@ -1,0 +1,277 @@
+"""A small textual assembler for the initial bytecode.
+
+The assembler exists for tests, examples and debugging: the mini-C compiler
+builds :class:`~repro.bytecode.module.Module` objects directly through
+:class:`ProcedureBuilder`, which this assembler shares.
+
+Syntax (one item per line, ``#`` starts a comment)::
+
+    .entry main
+    .global msg  data 0
+    .global putchar lib
+    .global main proc 0
+    .data 48 65 6c 6c 6f
+    .bss 64
+
+    .proc main framesize=8 trampoline
+        ADDRLP 0 0
+        LIT1 5
+        ASGNU
+    loop:
+        ADDRLP 0 0
+        INDIRU
+        BrTrue @body
+        RETV
+    body:
+        ...
+        JUMPV @loop
+    .endproc
+
+Operands may be raw byte values, ``@label`` (a 16-bit label-table index for
+``BrTrue``/``JUMPV``), ``$name`` (a 16-bit global-table index for
+``ADDRGP``), ``%name`` (a 16-bit procedure-descriptor index for
+``LocalCALL*``), or ``=N`` (a 16-bit little-endian immediate, for the
+two-byte frame offsets of ``ADDRFP``/``ADDRLP``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .opcodes import OP_BY_NAME, opcode
+from .module import GlobalEntry, Module, Procedure
+
+__all__ = ["ProcedureBuilder", "AssemblyError", "assemble", "disassemble"]
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly input or builder misuse."""
+
+
+class ProcedureBuilder:
+    """Incrementally builds one procedure's code stream and label table.
+
+    Labels are symbolic while building; :meth:`finish` checks every
+    referenced label was defined.  A label definition emits a ``LABELV``
+    byte and records its offset in the label table (branch operands are
+    label-table *indices*, per paper Section 3).
+    """
+
+    def __init__(self, name: str, framesize: int = 0,
+                 needs_trampoline: bool = False, argsize: int = 0) -> None:
+        self.name = name
+        self.framesize = framesize
+        self.needs_trampoline = needs_trampoline
+        self.argsize = argsize
+        self._code = bytearray()
+        self._labels: List[int] = []          # label index -> code offset
+        self._label_ids: Dict[str, int] = {}  # label name -> label index
+        self._defined: set = set()
+
+    # -- labels -----------------------------------------------------------
+    def label_id(self, name: str) -> int:
+        """Intern a label name, returning its label-table index."""
+        if name not in self._label_ids:
+            self._label_ids[name] = len(self._labels)
+            self._labels.append(-1)
+        return self._label_ids[name]
+
+    def here(self, name: str) -> None:
+        """Define label ``name`` at the current position (emits LABELV)."""
+        idx = self.label_id(name)
+        if name in self._defined:
+            raise AssemblyError(f"label {name!r} defined twice in {self.name}")
+        self._defined.add(name)
+        self._labels[idx] = len(self._code)
+        self._code.append(opcode("LABELV"))
+
+    # -- emission ---------------------------------------------------------
+    def emit(self, opname: str, *operand_bytes: int) -> None:
+        """Emit an operator and its raw literal bytes."""
+        spec = OP_BY_NAME.get(opname)
+        if spec is None:
+            raise AssemblyError(f"unknown operator {opname!r}")
+        if len(operand_bytes) != spec.nlit:
+            raise AssemblyError(
+                f"{opname} takes {spec.nlit} literal bytes, "
+                f"got {len(operand_bytes)}"
+            )
+        self._code.append(spec.code)
+        for b in operand_bytes:
+            if not 0 <= int(b) <= 255:
+                raise AssemblyError(f"byte {b} out of range in {opname}")
+            self._code.append(int(b))
+
+    def emit_u16(self, opname: str, value: int) -> None:
+        """Emit an operator whose two literal bytes are a 16-bit LE value."""
+        if not 0 <= value <= 0xFFFF:
+            raise AssemblyError(f"u16 operand {value} out of range")
+        self.emit(opname, value & 0xFF, value >> 8)
+
+    def emit_branch(self, opname: str, label: str) -> None:
+        """Emit BrTrue/JUMPV with a symbolic label operand."""
+        self.emit_u16(opname, self.label_id(label))
+
+    # -- completion ---------------------------------------------------------
+    def finish(self) -> Procedure:
+        missing = [n for n, i in self._label_ids.items()
+                   if self._labels[i] < 0]
+        if missing:
+            raise AssemblyError(
+                f"undefined labels in {self.name}: {', '.join(sorted(missing))}"
+            )
+        return Procedure(
+            name=self.name,
+            code=bytes(self._code),
+            labels=list(self._labels),
+            framesize=self.framesize,
+            needs_trampoline=self.needs_trampoline,
+            argsize=self.argsize,
+        )
+
+
+def _parse_operand(tok: str, builder: ProcedureBuilder,
+                   module: Module) -> Optional[Tuple[int, int]]:
+    """Resolve a symbolic 16-bit operand token, or return None for raw."""
+    if tok.startswith("@"):
+        value = builder.label_id(tok[1:])
+    elif tok.startswith("$"):
+        value = module.global_index(tok[1:])
+    elif tok.startswith("%"):
+        value = module.proc_index(tok[1:])
+    elif tok.startswith("="):
+        value = int(tok[1:], 0)
+    else:
+        return None
+    if not 0 <= value <= 0xFFFF:
+        raise AssemblyError(f"operand {tok!r} out of 16-bit range")
+    return value & 0xFF, value >> 8
+
+
+def assemble(text: str) -> Module:
+    """Assemble a full module from text."""
+    module = Module()
+    builder: Optional[ProcedureBuilder] = None
+    entry_name: Optional[str] = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            if line.startswith(".entry"):
+                entry_name = line.split()[1]
+            elif line.startswith(".global"):
+                parts = line.split()
+                if len(parts) == 3:
+                    _, name, kind = parts
+                    value = 0
+                elif len(parts) == 4:
+                    _, name, kind, sval = parts
+                    value = int(sval, 0)
+                else:
+                    raise AssemblyError(".global name kind [value]")
+                module.globals.append(GlobalEntry(kind, name, value))
+            elif line.startswith(".data"):
+                module.data += bytes(
+                    int(tok, 16) for tok in line.split()[1:]
+                )
+            elif line.startswith(".bss"):
+                module.bss_size += int(line.split()[1], 0)
+            elif line.startswith(".proc"):
+                if builder is not None:
+                    raise AssemblyError("nested .proc")
+                parts = line.split()
+                name = parts[1]
+                framesize = 0
+                argsize = 0
+                tramp = False
+                for p in parts[2:]:
+                    if p.startswith("framesize="):
+                        framesize = int(p.split("=", 1)[1], 0)
+                    elif p.startswith("argsize="):
+                        argsize = int(p.split("=", 1)[1], 0)
+                    elif p == "trampoline":
+                        tramp = True
+                    else:
+                        raise AssemblyError(f"bad .proc attribute {p!r}")
+                # Register the procedure eagerly so %name forward references
+                # and 'proc' globals resolve.
+                builder = ProcedureBuilder(name, framesize, tramp, argsize)
+                module.procedures.append(
+                    Procedure(name, b"", [], framesize, tramp, argsize)
+                )
+            elif line.startswith(".endproc"):
+                if builder is None:
+                    raise AssemblyError(".endproc without .proc")
+                module.procedures[module.proc_index(builder.name)] = (
+                    builder.finish()
+                )
+                builder = None
+            elif line.endswith(":"):
+                if builder is None:
+                    raise AssemblyError("label outside .proc")
+                builder.here(line[:-1].strip())
+            else:
+                if builder is None:
+                    raise AssemblyError("instruction outside .proc")
+                toks = line.split()
+                opname_, args = toks[0], toks[1:]
+                spec = OP_BY_NAME.get(opname_)
+                if spec is None:
+                    raise AssemblyError(f"unknown operator {opname_!r}")
+                if len(args) == 1 and spec.nlit == 2:
+                    sym = _parse_operand(args[0], builder, module)
+                    if sym is not None:
+                        if args[0].startswith("@"):
+                            builder.emit_branch(opname_, args[0][1:])
+                        else:
+                            builder.emit(opname_, *sym)
+                        continue
+                builder.emit(opname_, *(int(a, 0) for a in args))
+        except (AssemblyError, ValueError, KeyError, IndexError) as exc:
+            raise AssemblyError(f"line {lineno}: {raw.strip()!r}: {exc}") from exc
+
+    if builder is not None:
+        raise AssemblyError("missing .endproc at end of input")
+    if entry_name is not None:
+        module.entry = module.proc_index(entry_name)
+    return module
+
+
+def disassemble(module: Module) -> str:
+    """Render a module back into assembler text (labels become Ln:)."""
+    from .instructions import iter_decode
+
+    lines: List[str] = []
+    if module.entry is not None:
+        lines.append(f".entry {module.procedures[module.entry].name}")
+    for g in module.globals:
+        lines.append(f".global {g.name} {g.kind} {g.value}")
+    if module.data:
+        lines.append(".data " + " ".join(f"{b:02x}" for b in module.data))
+    if module.bss_size:
+        lines.append(f".bss {module.bss_size}")
+    for proc in module.procedures:
+        attrs = [f"framesize={proc.framesize}"]
+        if proc.argsize:
+            attrs.append(f"argsize={proc.argsize}")
+        if proc.needs_trampoline:
+            attrs.append("trampoline")
+        lines.append(f".proc {proc.name} {' '.join(attrs)}")
+        label_at = {off: i for i, off in enumerate(proc.labels)}
+        for off, ins in iter_decode(proc.code):
+            if ins.op.name == "LABELV":
+                lines.append(f"L{label_at.get(off, '?')}:")
+                continue
+            if ins.op.name in ("BrTrue", "JUMPV") and ins.op.nlit == 2:
+                lines.append(f"    {ins.op.name} @L{ins.literal()}")
+            elif ins.operands:
+                lines.append(
+                    f"    {ins.op.name} "
+                    + " ".join(str(b) for b in ins.operands)
+                )
+            else:
+                lines.append(f"    {ins.op.name}")
+        lines.append(".endproc")
+    return "\n".join(lines) + "\n"

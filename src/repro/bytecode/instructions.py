@@ -1,0 +1,96 @@
+"""Instruction-level encode/decode for the uncompressed bytecode.
+
+An uncompressed code stream is a flat byte string: each operator occupies one
+byte, immediately followed by ``nlit`` literal operand bytes (paper Section
+3).  ``LABELV`` bytes mark potential branch targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from .opcodes import OP_BY_CODE, OP_BY_NAME, OpSpec
+
+__all__ = ["Instruction", "encode", "decode", "iter_decode", "code_points"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded operator plus its literal operand bytes."""
+
+    op: OpSpec
+    operands: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.operands) != self.op.nlit:
+            raise ValueError(
+                f"{self.op.name} takes {self.op.nlit} literal bytes, "
+                f"got {len(self.operands)}"
+            )
+        for b in self.operands:
+            if not 0 <= b <= 255:
+                raise ValueError(f"operand byte {b} out of range")
+
+    @property
+    def size(self) -> int:
+        """Encoded size in bytes (operator byte + literal bytes)."""
+        return 1 + self.op.nlit
+
+    def literal(self) -> int:
+        """The operand bytes interpreted as a little-endian unsigned int."""
+        value = 0
+        for i, b in enumerate(self.operands):
+            value |= b << (8 * i)
+        return value
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.operands:
+            return f"{self.op.name} {' '.join(str(b) for b in self.operands)}"
+        return self.op.name
+
+
+def instr(name: str, *operands: int) -> Instruction:
+    """Convenience constructor: ``instr("ADDRFP", 0, 4)``."""
+    return Instruction(OP_BY_NAME[name], tuple(operands))
+
+
+def encode(instructions: Sequence[Instruction]) -> bytes:
+    """Encode a sequence of instructions into a flat byte string."""
+    out = bytearray()
+    for ins in instructions:
+        out.append(ins.op.code)
+        out.extend(ins.operands)
+    return bytes(out)
+
+
+def iter_decode(code: bytes) -> Iterator[Tuple[int, Instruction]]:
+    """Yield ``(offset, instruction)`` pairs for a code stream.
+
+    Raises ValueError on an unknown opcode or a truncated literal.
+    """
+    pc = 0
+    n = len(code)
+    while pc < n:
+        op = OP_BY_CODE.get(code[pc])
+        if op is None:
+            raise ValueError(f"unknown opcode {code[pc]} at offset {pc}")
+        end = pc + 1 + op.nlit
+        if end > n:
+            raise ValueError(f"truncated literal for {op.name} at offset {pc}")
+        yield pc, Instruction(op, tuple(code[pc + 1:end]))
+        pc = end
+
+
+def decode(code: bytes) -> List[Instruction]:
+    """Decode a full code stream into a list of instructions."""
+    return [ins for _, ins in iter_decode(code)]
+
+
+def code_points(code: bytes) -> List[int]:
+    """Offsets of every instruction boundary in the stream.
+
+    Used by the validator to check that label-table entries land on
+    instruction boundaries.
+    """
+    return [off for off, _ in iter_decode(code)]

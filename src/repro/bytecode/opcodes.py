@@ -1,0 +1,176 @@
+"""The initial bytecode instruction set (paper Section 3, Appendices 1 and 2).
+
+The bytecode is a simple postfix encoding of lcc IR trees.  Most operators
+consist of a generic base (``ADD``) plus a one-character type suffix giving
+the type of the value produced:
+
+    ``V`` void, ``C``/``S`` char/short, ``I``/``U`` signed/unsigned int,
+    ``F``/``D`` single/double float, ``P`` pointer (folded into ``U`` here,
+    as in the paper's grammar), ``B`` block of memory.
+
+Operators are grouped into *stack-effect classes*, matching the nonterminals
+of the Appendix-2 grammar:
+
+    ``v0``  leaf: pushes a value, pops nothing
+    ``v1``  unary: pops one value, pushes one
+    ``v2``  binary: pops two values, pushes one
+    ``x0``  statement leaf: pops nothing, pushes nothing
+    ``x1``  statement: pops one value
+    ``x2``  statement: pops two values
+
+``LIT[1234]``, ``ADDR[FGL]P``, ``LocalCALL*``, ``JUMPV`` and ``BrTrue`` are
+prefix operators: they take their operand from the literal bytes that follow
+them in the bytecode (paper Section 3).  Branch operands are *label-table
+indices*, not offsets; ``LocalCALL`` operands are procedure-descriptor
+indices; ``ADDRGP`` operands are global-table indices.
+
+``LABELV`` marks a potential branch target.  It is not an operator (the
+parse restarts at every ``LABELV``, Section 4.1) but it does occupy a byte
+in the uncompressed stream; the uncompressed interpreter treats it as a
+no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "OpSpec",
+    "OPS",
+    "OP_BY_NAME",
+    "OP_BY_CODE",
+    "CLASSES",
+    "opcode",
+    "opname",
+    "LABELV",
+]
+
+# Stack-effect classes in the order the Appendix-2 grammar introduces them.
+CLASSES: Tuple[str, ...] = ("v0", "v1", "v2", "x0", "x1", "x2", "pseudo")
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one bytecode operator.
+
+    Attributes:
+        name: full operator name, e.g. ``"ADDU"`` or ``"BrTrue"``.
+        code: the operator's byte value in the uncompressed encoding.
+        klass: stack-effect class (one of :data:`CLASSES`).
+        nlit: number of literal operand bytes following the operator.
+        generic: the un-typed base, e.g. ``"ADD"``.
+        suffix: type suffix (``""`` for suffix-less operators like BrTrue).
+    """
+
+    name: str
+    code: int
+    klass: str
+    nlit: int
+    generic: str
+    suffix: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _split(name: str) -> Tuple[str, str]:
+    """Split an operator name into (generic, suffix)."""
+    if name in ("BrTrue", "LABELV"):
+        return name, ""
+    if name.startswith("LocalCALL"):
+        return "LocalCALL", name[len("LocalCALL"):]
+    if name.startswith("ADDR"):  # ADDRFP / ADDRGP / ADDRLP
+        return name[:5], name[5:]
+    if name.startswith("LIT"):
+        return "LIT", name[3:]
+    if name.startswith("CV"):  # CVDF, CVI1I4, ...
+        return name[:3], name[3:]
+    return name[:-1], name[-1]
+
+
+# The full instruction set, class by class, in Appendix-2 order.  Each entry
+# is (name, nlit).
+_V2 = [
+    "ADDD", "DIVD", "MULD", "SUBD",
+    "ADDF", "DIVF", "MULF", "SUBF",
+    "DIVI", "MODI", "MULI",
+    "ADDU", "DIVU", "MODU", "MULU", "SUBU",
+    "BANDU", "BORU", "BXORU",
+    "EQD", "GED", "GTD", "LED", "LTD", "NED",
+    "EQF", "GEF", "GTF", "LEF", "LTF", "NEF",
+    "GEI", "GTI", "LEI", "LTI",
+    "EQU", "GEU", "GTU", "LEU", "LTU", "NEU",
+    "LSHI", "LSHU", "RSHI", "RSHU",
+]
+
+_V1 = [
+    "BCOMU",
+    "CALLD", "CALLF", "CALLU",
+    "CVDF", "CVDI", "CVFD", "CVFI",
+    "CVID", "CVIF",
+    "CVI1I4", "CVI2I4", "CVU1U4", "CVU2U4",
+    "INDIRC", "INDIRS", "INDIRU",
+    "INDIRD", "INDIRF",
+    "NEGD", "NEGF", "NEGI",
+]
+
+_V0 = [
+    ("ADDRFP", 2), ("ADDRGP", 2), ("ADDRLP", 2),
+    ("LocalCALLD", 2), ("LocalCALLF", 2), ("LocalCALLU", 2),
+    ("LIT1", 1), ("LIT2", 2), ("LIT3", 3), ("LIT4", 4),
+]
+
+_X2 = ["ASGNB", "ASGNC", "ASGNS", "ASGNU", "ASGND", "ASGNF"]
+
+_X1 = [
+    ("ARGB", 0), ("ARGD", 0), ("ARGF", 0), ("ARGU", 0),
+    ("BrTrue", 2), ("CALLV", 0),
+    ("POPD", 0), ("POPF", 0), ("POPU", 0),
+    ("RETD", 0), ("RETF", 0), ("RETU", 0),
+]
+
+_X0 = [("JUMPV", 2), ("LocalCALLV", 2), ("RETV", 0)]
+
+
+def _build() -> List[OpSpec]:
+    specs: List[OpSpec] = []
+    code = 0
+
+    def add(name: str, klass: str, nlit: int) -> None:
+        nonlocal code
+        generic, suffix = _split(name)
+        specs.append(OpSpec(name, code, klass, nlit, generic, suffix))
+        code += 1
+
+    for name, nlit in _V0:
+        add(name, "v0", nlit)
+    for name in _V1:
+        add(name, "v1", 0)
+    for name in _V2:
+        add(name, "v2", 0)
+    for name, nlit in _X0:
+        add(name, "x0", nlit)
+    for name, nlit in _X1:
+        add(name, "x1", nlit)
+    for name in _X2:
+        add(name, "x2", 0)
+    add("LABELV", "pseudo", 0)
+    return specs
+
+
+OPS: List[OpSpec] = _build()
+OP_BY_NAME: Dict[str, OpSpec] = {op.name: op for op in OPS}
+OP_BY_CODE: Dict[int, OpSpec] = {op.code: op for op in OPS}
+
+LABELV: OpSpec = OP_BY_NAME["LABELV"]
+
+
+def opcode(name: str) -> int:
+    """Return the byte value of the named operator."""
+    return OP_BY_NAME[name].code
+
+
+def opname(code: int) -> str:
+    """Return the name of the operator with the given byte value."""
+    return OP_BY_CODE[code].name

@@ -1,0 +1,113 @@
+"""Static validation of bytecode modules.
+
+The initial grammar (Appendix 2) describes exactly the set of instruction
+sequences with proper stack discipline: every basic block (a maximal run of
+instructions between ``LABELV`` marks) is a sequence of complete statements,
+so the evaluation stack is empty at every potential branch target.  The
+validator checks this property instruction by instruction, plus the
+referential integrity of label-table, global-table and descriptor indices.
+A module that validates is guaranteed to parse under the initial grammar.
+"""
+
+from __future__ import annotations
+
+from .instructions import iter_decode
+from .module import Module, Procedure
+
+__all__ = ["ValidationError", "validate_procedure", "validate_module"]
+
+_POPS = {"v0": 0, "v1": 1, "v2": 2, "x0": 0, "x1": 1, "x2": 2, "pseudo": 0}
+_PUSHES = {"v0": 1, "v1": 1, "v2": 1, "x0": 0, "x1": 0, "x2": 0, "pseudo": 0}
+
+
+class ValidationError(ValueError):
+    """Raised when a module violates stack discipline or table bounds."""
+
+
+def validate_procedure(proc: Procedure, module: Module = None) -> None:
+    """Check one procedure; raises :class:`ValidationError` on failure."""
+    depth = 0
+    label_offsets = set(proc.labels)
+    boundaries = set()
+    for off, ins in iter_decode(proc.code):
+        boundaries.add(off)
+        klass = ins.op.klass
+        if klass == "pseudo":  # LABELV: branch target, stack must be empty
+            if depth != 0:
+                raise ValidationError(
+                    f"{proc.name}+{off}: stack depth {depth} at LABELV"
+                )
+        depth -= _POPS[klass]
+        if depth < 0:
+            raise ValidationError(
+                f"{proc.name}+{off}: {ins.op.name} pops from empty stack"
+            )
+        depth += _PUSHES[klass]
+        if klass.startswith("x") and depth != 0:
+            # The grammar derives a block as a sequence of complete
+            # statements: a statement operator always empties the stack.
+            # Depth > 0 here means an enclosing expression was suspended
+            # across a statement (e.g. ARG under a pending address), which
+            # does not parse under Appendix 2.
+            raise ValidationError(
+                f"{proc.name}+{off}: {ins.op.name} leaves stack depth "
+                f"{depth}; statements must complete with an empty stack"
+            )
+        if ins.op.name in ("BrTrue", "JUMPV"):
+            if ins.literal() >= len(proc.labels):
+                raise ValidationError(
+                    f"{proc.name}+{off}: label index {ins.literal()} "
+                    f"out of range ({len(proc.labels)} labels)"
+                )
+            # Control leaves the block; grammar statements keep depth at 0
+            if depth != 0:
+                raise ValidationError(
+                    f"{proc.name}+{off}: stack depth {depth} after "
+                    f"{ins.op.name}"
+                )
+        if module is not None:
+            if ins.op.name == "ADDRGP" and ins.literal() >= len(module.globals):
+                raise ValidationError(
+                    f"{proc.name}+{off}: global index {ins.literal()} "
+                    f"out of range"
+                )
+            if ins.op.generic == "LocalCALL" and (
+                ins.literal() >= len(module.procedures)
+            ):
+                raise ValidationError(
+                    f"{proc.name}+{off}: procedure index {ins.literal()} "
+                    f"out of range"
+                )
+    if depth != 0:
+        raise ValidationError(
+            f"{proc.name}: stack depth {depth} at end of code"
+        )
+    bad = [off for off in label_offsets if off not in boundaries and off != len(proc.code)]
+    if bad:
+        raise ValidationError(
+            f"{proc.name}: label offsets {sorted(bad)} not on an "
+            f"instruction boundary"
+        )
+
+
+def validate_module(module: Module) -> None:
+    """Validate every procedure and module-level table integrity."""
+    names = set()
+    for proc in module.procedures:
+        if proc.name in names:
+            raise ValidationError(f"duplicate procedure name {proc.name!r}")
+        names.add(proc.name)
+        validate_procedure(proc, module)
+    for g in module.globals:
+        if g.kind == "data" and g.value > len(module.data) + module.bss_size:
+            raise ValidationError(
+                f"global {g.name!r} offset {g.value} outside data+bss"
+            )
+        if g.kind == "proc" and g.value >= len(module.procedures):
+            raise ValidationError(
+                f"global {g.name!r} procedure index {g.value} out of range"
+            )
+    if module.entry is not None and not (
+        0 <= module.entry < len(module.procedures)
+    ):
+        raise ValidationError(f"entry index {module.entry} out of range")

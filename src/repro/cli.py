@@ -1,0 +1,187 @@
+"""Command-line interface: the system as a tool chain.
+
+The paper's Figure-1 pipeline, as commands::
+
+    python -m repro compile app.c -o app.rbc
+    python -m repro train corpus1.rbc corpus2.rbc -o trained.rgr
+    python -m repro compress app.rbc -g trained.rgr -o app.rcx
+    python -m repro run app.rcx            # direct interpretation
+    python -m repro decompress app.rcx -o back.rbc
+    python -m repro disasm app.rbc
+    python -m repro stats app.rbc app.rcx  # size breakdowns
+
+`run` accepts either format and executes it on the matching interpreter;
+integer arguments after the file become the entry procedure's arguments
+and the process exit status is the program's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .bytecode.assembler import disassemble
+from .bytecode.module import Module
+from .compress.compressor import Compressor
+from .compress.decompress import decompress_module
+from .grammar.serialize import grammar_bytes
+from .interp.interp1 import Interpreter1
+from .interp.interp2 import Interpreter2
+from .interp.runtime import Machine
+from .minic.driver import compile_sources
+from .pipeline import train_grammar
+from .storage import (
+    load_any,
+    load_grammar,
+    load_module,
+    save_compressed,
+    save_grammar,
+    save_module,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_compile(args) -> int:
+    sources = [Path(p).read_text() for p in args.sources]
+    module = compile_sources(sources)
+    Path(args.output).write_bytes(save_module(module))
+    print(f"{args.output}: {module.code_bytes} bytecode bytes, "
+          f"{len(module.procedures)} procedures")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    corpus = [load_module(Path(p).read_bytes()) for p in args.corpus]
+    grammar, report = train_grammar(
+        corpus,
+        max_rules_per_nt=args.cap,
+        min_count=args.min_count,
+    )
+    Path(args.output).write_bytes(save_grammar(grammar))
+    print(f"{args.output}: {grammar.total_rules()} rules "
+          f"({report.iterations} inlines; training derivations "
+          f"{report.initial_size} -> {report.final_size}, "
+          f"{report.size_ratio:.0%}); "
+          f"{grammar_bytes(grammar, compact=True)} encoded bytes")
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    module = load_module(Path(args.module).read_bytes())
+    grammar = load_grammar(Path(args.grammar).read_bytes())
+    cmod = Compressor(grammar).compress_module(module)
+    Path(args.output).write_bytes(save_compressed(cmod))
+    ratio = cmod.code_bytes / module.code_bytes if module.code_bytes else 1
+    print(f"{args.output}: {module.code_bytes} -> {cmod.code_bytes} "
+          f"bytes ({ratio:.0%})")
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    cmod = load_any(Path(args.module).read_bytes())
+    if isinstance(cmod, Module):
+        print("input is already uncompressed", file=sys.stderr)
+        return 2
+    module = decompress_module(cmod)
+    Path(args.output).write_bytes(save_module(module))
+    print(f"{args.output}: {module.code_bytes} bytecode bytes")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    program = load_any(Path(args.module).read_bytes())
+    if isinstance(program, Module):
+        executor = Interpreter1(program)
+    else:
+        executor = Interpreter2(program)
+    machine = Machine(program, executor,
+                      input_data=sys.stdin.buffer.read()
+                      if args.stdin else b"")
+    code = machine.run(*args.args)
+    sys.stdout.write(machine.output_text())
+    return code & 0xFF
+
+
+def _cmd_disasm(args) -> int:
+    program = load_any(Path(args.module).read_bytes())
+    if not isinstance(program, Module):
+        program = decompress_module(program)
+    sys.stdout.write(disassemble(program))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    for path in args.modules:
+        program = load_any(Path(path).read_bytes())
+        kind = "module" if isinstance(program, Module) else "compressed"
+        print(f"{path} ({kind}):")
+        for key, value in program.size_breakdown().items():
+            print(f"  {key:12} {value:8}")
+        if not isinstance(program, Module):
+            print(f"  {'grammar':12} "
+                  f"{grammar_bytes(program.grammar, compact=True):8}")
+        total = sum(program.size_breakdown().values())
+        print(f"  {'total':12} {total:8}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="bytecode compression via profiled grammar rewriting",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="mini-C sources -> .rbc module")
+    p.add_argument("sources", nargs="+")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("train", help=".rbc corpus -> .rgr grammar")
+    p.add_argument("corpus", nargs="+")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--cap", type=int, default=256,
+                   help="rules per nonterminal (default 256)")
+    p.add_argument("--min-count", type=int, default=2,
+                   help="minimum pair frequency to inline (default 2)")
+    p.set_defaults(fn=_cmd_train)
+
+    p = sub.add_parser("compress", help=".rbc + .rgr -> .rcx")
+    p.add_argument("module")
+    p.add_argument("-g", "--grammar", required=True)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_compress)
+
+    p = sub.add_parser("decompress", help=".rcx -> .rbc (verification)")
+    p.add_argument("module")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_decompress)
+
+    p = sub.add_parser("run", help="execute .rbc or .rcx")
+    p.add_argument("module")
+    p.add_argument("args", nargs="*", type=int)
+    p.add_argument("--stdin", action="store_true",
+                   help="feed stdin to the program's getchar()")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("disasm", help="disassemble .rbc or .rcx")
+    p.add_argument("module")
+    p.set_defaults(fn=_cmd_disasm)
+
+    p = sub.add_parser("stats", help="size breakdowns")
+    p.add_argument("modules", nargs="+")
+    p.set_defaults(fn=_cmd_stats)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

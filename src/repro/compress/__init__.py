@@ -1,0 +1,12 @@
+"""The compressor: shortest derivations, containers, decompression."""
+
+from .tiling import Tiler
+from .compressor import Compressor, compress_module, compress_procedure
+from .container import CompressedModule, CompressedProcedure
+from .decompress import decompress_module, decompress_procedure
+
+__all__ = [
+    "Tiler", "Compressor", "compress_module", "compress_procedure",
+    "CompressedModule", "CompressedProcedure",
+    "decompress_module", "decompress_procedure",
+]

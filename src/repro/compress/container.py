@@ -1,0 +1,115 @@
+"""Compressed program containers (paper Sections 3 and 6).
+
+A compressed procedure keeps the descriptor structure of the original —
+code vector, label table, frame size — but its code vector now holds
+derivation bytes and its label table holds offsets *into the compressed
+stream* (the compressor rewrites the table; the indices embedded in the
+code never change, Section 3).  Globals, data and trampolines are shared
+with the original module unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..bytecode.module import (
+    DESCRIPTOR_BYTES,
+    GLOBAL_ENTRY_BYTES,
+    LABEL_ENTRY_BYTES,
+    TRAMPOLINE_BYTES,
+    GlobalEntry,
+    Module,
+)
+from ..grammar.cfg import Grammar
+
+__all__ = ["CompressedProcedure", "CompressedModule"]
+
+
+@dataclass
+class CompressedProcedure:
+    """Descriptor of one procedure in compressed form."""
+
+    name: str
+    code: bytes                      # concatenated block derivations
+    labels: List[int]                # label index -> compressed offset
+    framesize: int
+    needs_trampoline: bool = False
+    argsize: int = 0
+    block_starts: List[int] = field(default_factory=list)
+
+    @property
+    def code_bytes(self) -> int:
+        return len(self.code)
+
+    @property
+    def label_table_bytes(self) -> int:
+        return LABEL_ENTRY_BYTES * len(self.labels)
+
+
+@dataclass
+class CompressedModule:
+    """A whole program in compressed form, plus the grammar that decodes
+    it (the grammar lives in the interpreter; it is counted there, not
+    here — see :mod:`repro.interp.sizes`)."""
+
+    grammar: Grammar
+    procedures: List[CompressedProcedure] = field(default_factory=list)
+    globals: List[GlobalEntry] = field(default_factory=list)
+    data: bytes = b""
+    bss_size: int = 0
+    entry: int = None
+
+    @classmethod
+    def like(cls, grammar: Grammar, module: Module) -> "CompressedModule":
+        """Container sharing the non-code parts of ``module``."""
+        return cls(
+            grammar=grammar,
+            globals=list(module.globals),
+            data=module.data,
+            bss_size=module.bss_size,
+            entry=module.entry,
+        )
+
+    def proc_index(self, name: str) -> int:
+        for i, p in enumerate(self.procedures):
+            if p.name == name:
+                return i
+        raise KeyError(name)
+
+    def proc_by_name(self, name: str) -> CompressedProcedure:
+        return self.procedures[self.proc_index(name)]
+
+    # -- size accounting ----------------------------------------------------
+    @property
+    def code_bytes(self) -> int:
+        return sum(p.code_bytes for p in self.procedures)
+
+    @property
+    def label_table_bytes(self) -> int:
+        return sum(p.label_table_bytes for p in self.procedures)
+
+    @property
+    def descriptor_bytes(self) -> int:
+        return DESCRIPTOR_BYTES * len(self.procedures)
+
+    @property
+    def global_table_bytes(self) -> int:
+        return GLOBAL_ENTRY_BYTES * len(self.globals)
+
+    @property
+    def trampoline_bytes(self) -> int:
+        return TRAMPOLINE_BYTES * sum(
+            1 for p in self.procedures if p.needs_trampoline
+        )
+
+    def size_breakdown(self) -> Dict[str, int]:
+        return {
+            "bytecode": self.code_bytes,
+            "label_tables": self.label_table_bytes,
+            "descriptors": self.descriptor_bytes,
+            "global_table": self.global_table_bytes,
+            "trampolines": self.trampoline_bytes,
+            "data": len(self.data),
+            "bss": self.bss_size,
+        }

@@ -1,0 +1,77 @@
+"""Decompression: derivation bytes back to the original bytecode.
+
+The interpreter never decompresses (that is the point of the paper), but a
+decompressor gives an end-to-end correctness check: compress, decompress,
+and the original code stream must come back byte for byte.  It also shows
+the compressed form is a *complete* representation — nothing about the
+original is lost.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bytecode.module import Module, Procedure
+from ..bytecode.opcodes import opcode
+from ..grammar.cfg import Grammar, is_byte_terminal, byte_value
+from ..parsing.derivation import decode_tree
+from ..parsing.forest import terminal_yield
+from .container import CompressedModule, CompressedProcedure
+
+__all__ = ["decompress_procedure", "decompress_module", "symbols_to_code"]
+
+_LABELV = opcode("LABELV")
+
+
+def symbols_to_code(symbols: List[int]) -> bytes:
+    """Terminal symbols back to raw code bytes (opcodes and literals)."""
+    out = bytearray()
+    for sym in symbols:
+        out.append(byte_value(sym) if is_byte_terminal(sym) else sym)
+    return bytes(out)
+
+
+def decompress_procedure(grammar: Grammar,
+                         cproc: CompressedProcedure) -> Procedure:
+    """Rebuild the uncompressed procedure, label table included."""
+    pos = 0
+    out = bytearray()
+    # compressed block start -> uncompressed offset of its opening LABELV
+    labelv_at: dict = {}
+    first = True
+    while pos < len(cproc.code):
+        if not first:
+            labelv_at[pos] = len(out)
+            out.append(_LABELV)
+        first = False
+        tree, pos = decode_tree(grammar, cproc.code, pos)
+        out.extend(symbols_to_code(terminal_yield(tree, grammar)))
+    labels = []
+    for coff in cproc.labels:
+        if coff not in labelv_at:
+            raise ValueError(
+                f"{cproc.name}: compressed label offset {coff} is not a "
+                f"block start"
+            )
+        labels.append(labelv_at[coff])
+    return Procedure(
+        name=cproc.name,
+        code=bytes(out),
+        labels=labels,
+        framesize=cproc.framesize,
+        needs_trampoline=cproc.needs_trampoline,
+        argsize=cproc.argsize,
+    )
+
+
+def decompress_module(cmod: CompressedModule) -> Module:
+    """Rebuild a full uncompressed module from a compressed one."""
+    module = Module(
+        globals=list(cmod.globals),
+        data=cmod.data,
+        bss_size=cmod.bss_size,
+        entry=cmod.entry,
+    )
+    for cproc in cmod.procedures:
+        module.procedures.append(decompress_procedure(cmod.grammar, cproc))
+    return module

@@ -1,0 +1,28 @@
+"""The benchmark corpus and the program generator."""
+
+from functools import lru_cache
+from typing import Dict
+
+from ..bytecode.module import Module
+from ..minic.driver import compile_source
+from .programs import EIGHTQ, GZ, LCCLIKE, corpus_sources, gcclike
+from .synth import generate_functions, generate_program
+
+__all__ = [
+    "EIGHTQ", "GZ", "LCCLIKE", "gcclike", "corpus_sources",
+    "generate_functions", "generate_program",
+    "compiled_corpus", "GCCLIKE_SCALE",
+]
+
+#: generated-function count for the large (gcc-like) training input;
+#: benchmarks and tests share this so compiled modules can be cached.
+GCCLIKE_SCALE = 220
+
+
+@lru_cache(maxsize=4)
+def compiled_corpus(gcclike_scale: int = GCCLIKE_SCALE) -> Dict[str, Module]:
+    """Compile the whole corpus once per process (it is deterministic)."""
+    return {
+        name: compile_source(src)
+        for name, src in corpus_sources(gcclike_scale)
+    }

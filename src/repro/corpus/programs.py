@@ -1,0 +1,694 @@
+"""The benchmark corpus (stand-ins for the paper's gcc, lcc, gzip, 8q).
+
+Four programs, mirroring the paper's evaluation inputs (Section 6):
+
+* ``EIGHTQ``   - the classic eight-queens search (the paper's ``8q``,
+  tiny: 436 bytes of bytecode there).
+* ``GZ``       - an LZSS compressor/decompressor with a self-check (the
+  paper's ``gzip`` stand-in).
+* ``LCCLIKE``  - a small compiler: lexer, recursive-descent parser, code
+  generator, and a stack-machine evaluator for a tiny expression language,
+  run over several embedded programs (the paper's ``lcc`` stand-in —
+  fittingly, a compiler compiled to the bytecode).
+* ``gcclike()``- a much larger program: the lcclike passes plus string,
+  sorting, hashing and matrix kernels, plus deterministic generated
+  functions for scale (the paper's ``gcc`` stand-in).
+
+Every program runs to completion on the interpreter and checks its own
+output, so corpus programs double as end-to-end correctness tests for
+compression (identical behaviour compressed vs uncompressed).
+"""
+
+from __future__ import annotations
+
+from .synth import generate_functions
+
+__all__ = ["EIGHTQ", "GZ", "LCCLIKE", "gcclike", "corpus_sources"]
+
+
+EIGHTQ = r"""
+/* Eight queens: count and print all 92 solutions. */
+int rows[8], up[15], down[15], board[8];
+int solutions;
+
+void record(void) {
+    int y;
+    solutions++;
+    if (solutions == 1) {       /* print the first board found */
+        for (y = 0; y < 8; y++) {
+            int x;
+            for (x = 0; x < 8; x++)
+                putchar(board[y] == x ? 'Q' : '.');
+            putchar('\n');
+        }
+    }
+}
+
+void place(int c) {
+    int r;
+    for (r = 0; r < 8; r++) {
+        if (rows[r] && up[r - c + 7] && down[r + c]) {
+            rows[r] = 0;
+            up[r - c + 7] = 0;
+            down[r + c] = 0;
+            board[c] = r;
+            if (c == 7)
+                record();
+            else
+                place(c + 1);
+            rows[r] = 1;
+            up[r - c + 7] = 1;
+            down[r + c] = 1;
+        }
+    }
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 8; i++) rows[i] = 1;
+    for (i = 0; i < 15; i++) { up[i] = 1; down[i] = 1; }
+    solutions = 0;
+    place(0);
+    putint(solutions);
+    putchar('\n');
+    return solutions == 92 ? 0 : 1;
+}
+"""
+
+
+GZ = r"""
+/* LZSS compression with a greedy longest-match search, plus the matching
+   decompressor and a self-check: generate data, compress, decompress,
+   compare.  Token format: a flag byte introduces 8 items; bit i set means
+   a (offset,length) pair follows, clear means a literal byte. */
+
+int WINDOW;      /* 255: offset fits one byte  */
+int MINLEN;      /* 3                          */
+int MAXLEN;      /* 18                         */
+int INSIZE;      /* bytes of test data         */
+
+unsigned char input[4096];
+unsigned char packed[8192];
+unsigned char unpacked[4096];
+
+int gen_data(int n) {
+    /* deterministic, moderately repetitive test data */
+    int i, x;
+    x = 12345;
+    for (i = 0; i < n; i++) {
+        x = x * 1103515245 + 12345;
+        if ((x >> 16 & 7) < 5 && i > 64) {
+            /* copy an earlier run: creates matches for LZSS */
+            int src, len, k;
+            src = (x >> 8 & 63) + 1;
+            len = (x >> 20 & 15) + 4;
+            for (k = 0; k < len && i < n; k++) {
+                input[i] = input[i - src];
+                i++;
+            }
+            i--;
+        } else {
+            input[i] = 'a' + (x >> 16 & 15);
+        }
+    }
+    return n;
+}
+
+int match_length(int pos, int cand, int limit) {
+    int n;
+    n = 0;
+    while (n < limit && input[cand + n] == input[pos + n])
+        n++;
+    return n;
+}
+
+int compress(int n) {
+    int in, out, flagpos, flag, bit;
+    in = 0; out = 0;
+    flagpos = out++; flag = 0; bit = 0;
+    while (in < n) {
+        int best, bestoff, start, cand, limit;
+        if (bit == 8) {
+            packed[flagpos] = flag;
+            flagpos = out++;
+            flag = 0; bit = 0;
+        }
+        best = 0; bestoff = 0;
+        limit = n - in;
+        if (limit > MAXLEN) limit = MAXLEN;
+        start = in - WINDOW;
+        if (start < 0) start = 0;
+        for (cand = start; cand < in; cand++) {
+            int len;
+            len = match_length(in, cand, limit);
+            if (len > best) { best = len; bestoff = in - cand; }
+        }
+        if (best >= MINLEN) {
+            flag |= 1 << bit;
+            packed[out++] = bestoff;
+            packed[out++] = best - MINLEN;
+            in += best;
+        } else {
+            packed[out++] = input[in++];
+        }
+        bit++;
+    }
+    packed[flagpos] = flag;
+    return out;
+}
+
+int decompress(int packed_size) {
+    int in, out, flag, bit;
+    in = 0; out = 0;
+    flag = 0; bit = 8;
+    while (in < packed_size) {
+        if (bit == 8) {
+            flag = packed[in++];
+            bit = 0;
+            if (in >= packed_size) break;
+        }
+        if (flag & (1 << bit)) {
+            int off, len, k;
+            off = packed[in++];
+            len = packed[in++] + MINLEN;
+            for (k = 0; k < len; k++) {
+                unpacked[out] = unpacked[out - off];
+                out++;
+            }
+        } else {
+            unpacked[out++] = packed[in++];
+        }
+        bit++;
+    }
+    return out;
+}
+
+int main(void) {
+    int n, c, u, i;
+    WINDOW = 255; MINLEN = 3; MAXLEN = 18; INSIZE = 1500;
+    n = gen_data(INSIZE);
+    c = compress(n);
+    u = decompress(c);
+    putstr("in=");  putint(n);
+    putstr(" packed="); putint(c);
+    putstr(" out="); putint(u);
+    putchar('\n');
+    if (u != n) return 1;
+    for (i = 0; i < n; i++)
+        if (unpacked[i] != input[i]) return 2;
+    putstr("roundtrip ok\n");
+    return 0;
+}
+"""
+
+
+LCCLIKE = r"""
+/* A miniature compiler + virtual machine for an expression language:
+
+       stmt  := NAME '=' expr ';'  |  '!' expr ';'     (print)
+       expr  := term (('+'|'-') term)*
+       term  := fact (('*'|'/'|'%') fact)*
+       fact  := NUMBER | NAME | '(' expr ')' | '-' fact
+
+   The front end tokenizes and parses; the back end emits stack code into
+   a code array; the VM executes it.  Several programs are embedded and
+   run; outputs are printed.  A compiler compiled to bytecode, like lcc. */
+
+char src[512];
+int srcpos;
+
+int token;       /* 0 eof, 1 number, 2 name, else the character */
+int tokval;
+
+/* opcodes for the little VM */
+int OP_PUSH, OP_LOAD, OP_STORE, OP_ADD, OP_SUB, OP_MUL, OP_DIV,
+    OP_MOD, OP_NEG, OP_PRINT, OP_HALT;
+
+int code[512];
+int codelen;
+int vars[26];
+
+void emit(int op, int arg) {
+    code[codelen++] = op;
+    code[codelen++] = arg;
+}
+
+int isdigit_(int c) { return c >= '0' && c <= '9'; }
+int isname_(int c) { return c >= 'a' && c <= 'z'; }
+
+void next(void) {
+    int c;
+    c = src[srcpos];
+    while (c == ' ' || c == '\n' || c == '\t')
+        c = src[++srcpos];
+    if (c == 0) { token = 0; return; }
+    if (isdigit_(c)) {
+        tokval = 0;
+        while (isdigit_(src[srcpos])) {
+            tokval = tokval * 10 + (src[srcpos] - '0');
+            srcpos++;
+        }
+        token = 1;
+        return;
+    }
+    if (isname_(c)) {
+        tokval = c - 'a';
+        srcpos++;
+        token = 2;
+        return;
+    }
+    token = c;
+    srcpos++;
+}
+
+void expr(void);
+
+void fact(void) {
+    if (token == 1) {
+        emit(OP_PUSH, tokval);
+        next();
+    } else if (token == 2) {
+        emit(OP_LOAD, tokval);
+        next();
+    } else if (token == '(') {
+        next();
+        expr();
+        if (token == ')') next();
+    } else if (token == '-') {
+        next();
+        fact();
+        emit(OP_NEG, 0);
+    } else {
+        /* error: skip */
+        next();
+    }
+}
+
+void term(void) {
+    fact();
+    while (token == '*' || token == '/' || token == '%') {
+        int op;
+        op = token;
+        next();
+        fact();
+        if (op == '*') emit(OP_MUL, 0);
+        else if (op == '/') emit(OP_DIV, 0);
+        else emit(OP_MOD, 0);
+    }
+}
+
+void expr(void) {
+    term();
+    while (token == '+' || token == '-') {
+        int op;
+        op = token;
+        next();
+        term();
+        emit(op == '+' ? OP_ADD : OP_SUB, 0);
+    }
+}
+
+void stmt(void) {
+    if (token == 2) {
+        int v;
+        v = tokval;
+        next();
+        if (token == '=') next();
+        expr();
+        emit(OP_STORE, v);
+    } else if (token == '!') {
+        next();
+        expr();
+        emit(OP_PRINT, 0);
+    }
+    if (token == ';') next();
+}
+
+void compile_src(void) {
+    srcpos = 0;
+    codelen = 0;
+    next();
+    while (token != 0)
+        stmt();
+    emit(OP_HALT, 0);
+}
+
+int stack[64];
+
+void execute(void) {
+    int pc, sp;
+    pc = 0; sp = 0;
+    for (;;) {
+        int op, arg;
+        op = code[pc];
+        arg = code[pc + 1];
+        pc += 2;
+        switch (op) {          /* dispatched as a decision tree, like the
+                                  paper's own lcc configuration */
+        case 1:  stack[sp++] = arg; break;            /* PUSH  */
+        case 2:  stack[sp++] = vars[arg]; break;      /* LOAD  */
+        case 3:  vars[arg] = stack[--sp]; break;      /* STORE */
+        case 4:  sp--; stack[sp - 1] += stack[sp]; break;
+        case 5:  sp--; stack[sp - 1] -= stack[sp]; break;
+        case 6:  sp--; stack[sp - 1] *= stack[sp]; break;
+        case 7:  sp--; stack[sp - 1] /= stack[sp]; break;
+        case 8:  sp--; stack[sp - 1] %= stack[sp]; break;
+        case 9:  stack[sp - 1] = -stack[sp - 1]; break;
+        case 10:
+            putint(stack[--sp]);
+            putchar('\n');
+            break;
+        default:
+            return;   /* HALT */
+        }
+    }
+}
+
+void load_src(char *text) {
+    int i;
+    i = 0;
+    while (text[i]) { src[i] = text[i]; i++; }
+    src[i] = 0;
+}
+
+void run_one(char *text) {
+    load_src(text);
+    compile_src();
+    execute();
+}
+
+int main(void) {
+    OP_PUSH = 1; OP_LOAD = 2; OP_STORE = 3; OP_ADD = 4; OP_SUB = 5;
+    OP_MUL = 6; OP_DIV = 7; OP_MOD = 8; OP_NEG = 9; OP_PRINT = 10;
+    OP_HALT = 11;
+
+    run_one("a = 2 + 3 * 4; ! a;");
+    run_one("x = 10; y = x * x - 1; ! y; ! y % 7;");
+    run_one("n = 100; s = n * (n + 1) / 2; ! s;");
+    run_one("p = (1 + 2) * (3 + 4); q = -p; ! q;");
+    run_one("! 2 * 3 + 4 * 5 - 6 / 2;");
+    return 0;
+}
+"""
+
+
+def gcclike(scale: int = 220, seed: int = 11) -> str:
+    """The large training program: real kernels plus generated functions.
+
+    ``scale`` controls the number of generated functions (roughly 200
+    bytecode bytes each)."""
+    kernels = r"""
+/* -- string kernels ------------------------------------------------- */
+int str_len(char *s) {
+    int n;
+    n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+int str_cmp(char *a, char *b) {
+    int i;
+    i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+void str_rev(char *s) {
+    int i, j;
+    i = 0;
+    j = str_len(s) - 1;
+    while (i < j) {
+        int t;
+        t = s[i]; s[i] = s[j]; s[j] = t;
+        i++; j--;
+    }
+}
+
+unsigned str_hash(char *s) {
+    unsigned h;
+    int i;
+    h = 5381u;
+    for (i = 0; s[i]; i++)
+        h = h * 33u + s[i];
+    return h;
+}
+
+/* -- sorting -------------------------------------------------------- */
+int work[128];
+
+void quicksort(int *a, int lo, int hi) {
+    int i, j, pivot;
+    if (lo >= hi) return;
+    pivot = a[(lo + hi) / 2];
+    i = lo; j = hi;
+    while (i <= j) {
+        while (a[i] < pivot) i++;
+        while (a[j] > pivot) j--;
+        if (i <= j) {
+            int t;
+            t = a[i]; a[i] = a[j]; a[j] = t;
+            i++; j--;
+        }
+    }
+    quicksort(a, lo, j);
+    quicksort(a, i, hi);
+}
+
+void insertion_sort(int *a, int n) {
+    int i;
+    for (i = 1; i < n; i++) {
+        int key, j;
+        key = a[i];
+        j = i - 1;
+        while (j >= 0 && a[j] > key) {
+            a[j + 1] = a[j];
+            j--;
+        }
+        a[j + 1] = key;
+    }
+}
+
+/* -- hashing -------------------------------------------------------- */
+int ht_keys[97], ht_vals[97], ht_used[97];
+
+void ht_clear(void) {
+    int i;
+    for (i = 0; i < 97; i++) ht_used[i] = 0;
+}
+
+void ht_put(int key, int val) {
+    int h;
+    h = (key % 97 + 97) % 97;
+    while (ht_used[h] && ht_keys[h] != key)
+        h = (h + 1) % 97;
+    ht_used[h] = 1;
+    ht_keys[h] = key;
+    ht_vals[h] = val;
+}
+
+int ht_get(int key) {
+    int h;
+    h = (key % 97 + 97) % 97;
+    while (ht_used[h]) {
+        if (ht_keys[h] == key) return ht_vals[h];
+        h = (h + 1) % 97;
+    }
+    return -1;
+}
+
+/* -- fixed-point matrix kernel --------------------------------------- */
+int mat_a[16], mat_b[16], mat_c[16];
+
+void mat_mul(void) {
+    int i, j, k;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 4; j++) {
+            int s;
+            s = 0;
+            for (k = 0; k < 4; k++)
+                s += mat_a[i * 4 + k] * mat_b[k * 4 + j];
+            mat_c[i * 4 + j] = s;
+        }
+}
+
+/* -- struct kernels: BST symbol table, free-list allocator ----------- */
+struct sym {
+    int key;
+    int value;
+    int left;          /* node-pool indices; -1 = nil */
+    int right;
+};
+
+struct sym pool[128];
+int pool_used;
+int bst_root;
+
+int bst_new(int key, int value) {
+    int i;
+    i = pool_used++;
+    pool[i].key = key;
+    pool[i].value = value;
+    pool[i].left = -1;
+    pool[i].right = -1;
+    return i;
+}
+
+void bst_insert(int key, int value) {
+    int i;
+    if (bst_root < 0) { bst_root = bst_new(key, value); return; }
+    i = bst_root;
+    for (;;) {
+        if (key == pool[i].key) { pool[i].value = value; return; }
+        if (key < pool[i].key) {
+            if (pool[i].left < 0) {
+                pool[i].left = bst_new(key, value);
+                return;
+            }
+            i = pool[i].left;
+        } else {
+            if (pool[i].right < 0) {
+                pool[i].right = bst_new(key, value);
+                return;
+            }
+            i = pool[i].right;
+        }
+    }
+}
+
+int bst_lookup(int key) {
+    int i;
+    i = bst_root;
+    while (i >= 0) {
+        if (key == pool[i].key) return pool[i].value;
+        i = key < pool[i].key ? pool[i].left : pool[i].right;
+    }
+    return -1;
+}
+
+struct cell { int value; struct cell *next; };
+struct cell cells[32];
+struct cell *freelist;
+
+void cells_init(void) {
+    int i;
+    freelist = &cells[0];
+    for (i = 0; i < 31; i++) cells[i].next = &cells[i + 1];
+    cells[31].next = (struct cell *)0;
+}
+
+struct cell *cell_alloc(int value) {
+    struct cell *c;
+    c = freelist;
+    freelist = c->next;
+    c->value = value;
+    c->next = (struct cell *)0;
+    return c;
+}
+
+int structs_selftest(void) {
+    int i, fails;
+    struct cell *head, *p;
+    fails = 0;
+
+    bst_root = -1;
+    pool_used = 0;
+    for (i = 0; i < 60; i++)
+        bst_insert(i * 37 % 101, i);
+    for (i = 0; i < 60; i++)
+        if (bst_lookup(i * 37 % 101) != i) fails++;
+    if (bst_lookup(9999) != -1) fails++;
+
+    cells_init();
+    head = (struct cell *)0;
+    for (i = 0; i < 10; i++) {
+        p = cell_alloc(i * i);
+        p->next = head;
+        head = p;
+    }
+    i = 0;
+    for (p = head; p != (struct cell *)0; p = p->next)
+        i += p->value;
+    if (i != 285) fails++;
+    return fails;
+}
+
+/* -- double-precision kernel ----------------------------------------- */
+double poly_eval(double x, int n) {
+    double acc;
+    int i;
+    acc = 0.0;
+    for (i = 0; i < n; i++)
+        acc = acc * x + (i + 1);
+    return acc;
+}
+
+double newton_sqrt(double v) {
+    double guess;
+    int i;
+    guess = v / 2.0 + 0.001;
+    for (i = 0; i < 20; i++)
+        guess = (guess + v / guess) / 2.0;
+    return guess;
+}
+
+int kernels_selftest(void) {
+    int i, fails;
+    char buf[16];
+    fails = 0;
+
+    buf[0] = 'h'; buf[1] = 'e'; buf[2] = 'l'; buf[3] = 'l';
+    buf[4] = 'o'; buf[5] = 0;
+    if (str_len(buf) != 5) fails++;
+    str_rev(buf);
+    if (buf[0] != 'o') fails++;
+    if (str_hash(buf) == 0) fails++;
+
+    for (i = 0; i < 64; i++) work[i] = (i * 37 + 11) % 64;
+    quicksort(work, 0, 63);
+    for (i = 1; i < 64; i++)
+        if (work[i - 1] > work[i]) fails++;
+    for (i = 0; i < 64; i++) work[i] = 63 - i;
+    insertion_sort(work, 64);
+    if (work[0] != 0 || work[63] != 63) fails++;
+
+    ht_clear();
+    for (i = 0; i < 50; i++) ht_put(i * 7, i);
+    for (i = 0; i < 50; i++)
+        if (ht_get(i * 7) != i) fails++;
+    if (ht_get(9999) != -1) fails++;
+
+    for (i = 0; i < 16; i++) { mat_a[i] = i; mat_b[i] = (i == i / 4 * 5); }
+    mat_mul();
+    for (i = 0; i < 16; i++)
+        if (mat_c[i] != mat_a[i]) fails++;
+
+    if (newton_sqrt(49.0) - 7.0 > 0.0001) fails++;
+    if (7.0 - newton_sqrt(49.0) > 0.0001) fails++;
+    if (poly_eval(1.0, 4) != 10.0) fails++;
+
+    return fails;
+}
+"""
+    generated = "\n\n".join(generate_functions(scale, seed))
+    return kernels + "\n" + generated + r"""
+
+int main(void) {
+    int fails;
+    fails = kernels_selftest() + structs_selftest();
+    putstr("fails=");
+    putint(fails);
+    putchar('\n');
+    return fails;
+}
+"""
+
+
+def corpus_sources(gcclike_scale: int = 220):
+    """The four benchmark inputs as (name, source) pairs, in the paper's
+    table order."""
+    return [
+        ("gcc", gcclike(gcclike_scale)),
+        ("lcc", LCCLIKE),
+        ("gzip", GZ),
+        ("8q", EIGHTQ),
+    ]

@@ -1,0 +1,123 @@
+"""Deterministic structured program generator.
+
+The paper trains on lcc and gcc — megabytes of real compiler output.  Our
+mini-C corpus is hand-written, and to reach a realistic *scale* for the
+large training input (``gcclike``) we extend it with generated functions.
+The generator is deterministic (fixed-seed RNG) and produces plausible
+compiler-output shapes: loops over scalars, if/else ladders, accumulators,
+calls into previously generated functions — not random token soup, so
+operator and literal statistics stay realistic for training.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+__all__ = ["generate_functions", "generate_program"]
+
+
+def _expr(rng: random.Random, vars_: List[str], depth: int) -> str:
+    if depth <= 0 or rng.random() < 0.35:
+        if rng.random() < 0.55 and vars_:
+            return rng.choice(vars_)
+        return str(rng.randrange(0, 64))
+    op = rng.choice(["+", "-", "*", "&", "|", "^", "<<", ">>"])
+    left = _expr(rng, vars_, depth - 1)
+    right = _expr(rng, vars_, depth - 1)
+    if op in ("<<", ">>"):
+        right = str(rng.randrange(1, 8))
+    return f"({left} {op} {right})"
+
+
+def _condition(rng: random.Random, vars_: List[str]) -> str:
+    op = rng.choice(["<", ">", "<=", ">=", "==", "!="])
+    return f"({rng.choice(vars_)} {op} {_expr(rng, vars_, 1)})"
+
+
+def _gen_function(rng: random.Random, name: str, arity: int,
+                  callees: List[str], arities: Dict[str, int]) -> str:
+    params = [f"p{i}" for i in range(arity)]
+    locals_ = [f"v{i}" for i in range(rng.randrange(2, 5))]
+    vars_ = params + locals_
+    lines = [f"int {name}({', '.join('int ' + p for p in params)}) {{"]
+    for v in locals_:
+        lines.append(f"    int {v};")
+    for v in locals_:
+        lines.append(f"    {v} = {_expr(rng, params, 1)};")
+    for _ in range(rng.randrange(3, 8)):
+        shape = rng.random()
+        v = rng.choice(locals_)
+        if shape < 0.35:
+            lines.append(f"    {v} = {_expr(rng, vars_, 2)};")
+        elif shape < 0.55:
+            bound = rng.randrange(2, 12)
+            lines.append(
+                f"    for ({params[0]} = 0; {params[0]} < {bound}; "
+                f"{params[0]}++) {{ {v} += {_expr(rng, vars_, 1)}; }}"
+            )
+        elif shape < 0.75:
+            lines.append(f"    if {_condition(rng, vars_)} "
+                         f"{v} = {_expr(rng, vars_, 1)}; "
+                         f"else {v} = {_expr(rng, vars_, 1)};")
+        elif shape < 0.9 and callees:
+            callee = rng.choice(callees)
+            args = ", ".join(
+                _expr(rng, vars_, 1) for _ in range(arities[callee])
+            )
+            lines.append(f"    {v} ^= {callee}({args});")
+        else:
+            denom = f"(({_expr(rng, vars_, 1)} & 7) + 1)"
+            lines.append(f"    {v} = {v} / {denom} + {v} % {denom};")
+    lines.append(f"    return {' ^ '.join(locals_)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def generate_functions(count: int, seed: int = 7,
+                       prefix: str = "gen") -> List[str]:
+    """Generate ``count`` deterministic functions named ``<prefix>0..``."""
+    rng = random.Random(seed)
+    sources: List[str] = []
+    names: List[str] = []
+    arities: Dict[str, int] = {}
+    for i in range(count):
+        name = f"{prefix}{i}"
+        arity = rng.randrange(1, 4)
+        arities[name] = arity
+        sources.append(
+            _gen_function(random.Random(seed * 1_000_003 + i), name,
+                          arity, names[-8:], arities)
+        )
+        names.append(name)
+    return sources
+
+
+def generate_program(count: int = 60, seed: int = 7) -> str:
+    """A complete runnable program of generated functions.
+
+    ``main`` calls a sample of them and returns a checksum, so the program
+    is executable (and its behaviour must survive compression)."""
+    functions = generate_functions(count, seed)
+    # Recover arities the same way generate_functions assigned them.
+    rng_a = random.Random(seed)
+    arities = {f"gen{i}": rng_a.randrange(1, 4) for i in range(count)}
+    rng = random.Random(seed ^ 0xC0FFEE)
+    calls = []
+    for i in rng.sample(range(count), min(10, count)):
+        name = f"gen{i}"
+        args = ", ".join(str(rng.randrange(1, 30))
+                         for _ in range(arities[name]))
+        calls.append(f"    acc ^= {name}({args});")
+    body = "\n".join(calls)
+    return "\n\n".join(functions) + f"""
+
+int main(void) {{
+    int acc;
+    acc = 0;
+{body}
+    putint(acc);
+    putchar('\\n');
+    return acc & 127;
+}}
+"""

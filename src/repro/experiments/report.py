@@ -1,0 +1,31 @@
+"""Paper-style table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "pct"]
+
+
+def pct(ratio: float) -> str:
+    return f"{ratio * 100:.0f}%"
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table, right-aligned numeric columns."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.rjust(w) if i else cell.ljust(w)
+            for i, (cell, w) in enumerate(zip(cells, widths))
+        )
+
+    lines = [title, fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Grammar machinery: CFGs, the initial bytecode grammars, serialization."""
+
+from .cfg import (
+    BYTE_TERM_BASE,
+    Grammar,
+    Rule,
+    byte_terminal,
+    byte_value,
+    fragment_graft,
+    fragment_hole_count,
+    fragment_rules,
+    fragment_size,
+    is_byte_terminal,
+    is_nonterminal,
+    is_terminal,
+)
+from .initial import initial_grammar, typed_grammar
+
+__all__ = [
+    "BYTE_TERM_BASE", "Grammar", "Rule", "byte_terminal", "byte_value",
+    "fragment_graft", "fragment_hole_count", "fragment_rules",
+    "fragment_size", "is_byte_terminal", "is_nonterminal", "is_terminal",
+    "initial_grammar", "typed_grammar",
+]

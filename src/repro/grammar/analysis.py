@@ -1,0 +1,103 @@
+"""Grammar analyses: reachability, productivity, language preservation.
+
+Inlining never changes the language (Section 4.1), and subsumption removal
+only deletes *inlined* rules — these analyses let tests state that as a
+checkable property rather than an assumption:
+
+* every expanded rule's RHS re-derives under the original rules
+  (:func:`derives_under_originals`), so L(expanded) = L(original);
+* the grammar stays fully productive and reachable from <start>.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .cfg import Grammar, Rule, is_nonterminal
+
+__all__ = [
+    "reachable_nonterminals",
+    "productive_nonterminals",
+    "derives_under_originals",
+    "check_language_preserved",
+]
+
+
+def reachable_nonterminals(grammar: Grammar) -> Set[int]:
+    """Nonterminals reachable from the start symbol."""
+    seen: Set[int] = set()
+    work = [grammar.start]
+    while work:
+        nt = work.pop()
+        if nt in seen:
+            continue
+        seen.add(nt)
+        for rule in grammar.rules_for(nt):
+            for sym in rule.rhs:
+                if is_nonterminal(sym) and sym not in seen:
+                    work.append(sym)
+    return seen
+
+
+def productive_nonterminals(grammar: Grammar) -> Set[int]:
+    """Nonterminals that derive at least one terminal string."""
+    productive: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in grammar:
+            if rule.lhs in productive:
+                continue
+            if all(not is_nonterminal(s) or s in productive
+                   for s in rule.rhs):
+                productive.add(rule.lhs)
+                changed = True
+    return productive
+
+
+def derives_under_originals(grammar: Grammar, rule: Rule) -> bool:
+    """Does ``lhs =>* rhs`` hold using only original rules?
+
+    Checked structurally through the rule's fragment: expanding the
+    fragment's original rules must reproduce the rule's RHS exactly.
+    """
+    expansion: List[int] = []
+
+    def expand(frag, expected_lhs) -> bool:
+        if frag is None:
+            # A hole: contributes its nonterminal symbol.
+            expansion.append(expected_lhs)
+            return True
+        rid, children = frag
+        original = grammar.rules.get(rid)
+        if original is None or original.origin != "original":
+            return False
+        if original.lhs != expected_lhs:
+            return False
+        child_i = 0
+        for sym in original.rhs:
+            if is_nonterminal(sym):
+                if not expand(children[child_i], sym):
+                    return False
+                child_i += 1
+            else:
+                expansion.append(sym)
+        return True
+
+    if not expand(rule.fragment, rule.lhs):
+        return False
+    return tuple(expansion) == rule.rhs
+
+
+def check_language_preserved(grammar: Grammar) -> None:
+    """Assert the invariants that make training language-preserving."""
+    for rule in grammar:
+        if rule.origin == "inlined":
+            assert derives_under_originals(grammar, rule), (
+                f"rule {rule.id} does not re-derive under original rules"
+            )
+    reachable = reachable_nonterminals(grammar)
+    productive = productive_nonterminals(grammar)
+    for nt in grammar.nonterminals:
+        assert nt in productive, f"<{grammar.nt_name(nt)}> is unproductive"
+    assert grammar.start in reachable

@@ -1,0 +1,210 @@
+"""The initial bytecode grammars (paper Appendix 2, plus the Section-6
+"type-tracking" variant used as an ablation).
+
+The standard grammar groups operators by their effect on the evaluation
+stack; it "effectively tracks stack height" (Section 6)::
+
+    <start> = ε | <start> <x>
+    <v>     = <v0> | <v> <v1> | <v> <v> <v2>
+    <x>     = <x0> | <v> <x1> | <v> <v> <x2>
+    <v0>    = ADDRFP <byte> <byte> | ... | LIT4 <byte> <byte> <byte> <byte>
+    <v1>    = BCOMU | CALLD | ... | NEGI
+    <v2>    = ADDD | ... | RSHU
+    <x0>    = JUMPV <byte> <byte> | LocalCALLV <byte> <byte> | RETV
+    <x1>    = ARGB | ... | RETU
+    <x2>    = ASGNB | ... | ASGNF
+    <byte>  = 0 | 1 | ... | 255
+
+The type-tracking variant splits ``<v>`` by the datatype of the produced
+value (D/F/integer-or-pointer), which the paper reports "did not do
+significantly better" — we reproduce that comparison in benchmark A1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..bytecode.opcodes import OPS, OpSpec
+from .cfg import Grammar, byte_terminal
+
+__all__ = ["initial_grammar", "typed_grammar", "height_grammar"]
+
+
+def _op_rhs(grammar: Grammar, op: OpSpec) -> List[int]:
+    """RHS for a class rule: the operator terminal plus its literal bytes."""
+    byte = grammar.nonterminal("byte")
+    return [op.code] + [byte] * op.nlit
+
+
+def initial_grammar(max_rules_per_nt: int = 256) -> Grammar:
+    """Build the Appendix-2 grammar."""
+    g = Grammar(max_rules_per_nt=max_rules_per_nt)
+    start = g.add_nonterminal("start")
+    x = g.add_nonterminal("x")
+    v = g.add_nonterminal("v")
+    v0 = g.add_nonterminal("v0")
+    v1 = g.add_nonterminal("v1")
+    v2 = g.add_nonterminal("v2")
+    x0 = g.add_nonterminal("x0")
+    x1 = g.add_nonterminal("x1")
+    x2 = g.add_nonterminal("x2")
+    byte = g.add_nonterminal("byte")
+    g.start = start
+
+    g.add_rule(start, [])
+    g.add_rule(start, [start, x])
+    g.add_rule(x, [x0])
+    g.add_rule(x, [v, x1])
+    g.add_rule(x, [v, v, x2])
+    g.add_rule(v, [v0])
+    g.add_rule(v, [v, v1])
+    g.add_rule(v, [v, v, v2])
+
+    class_nt = {"v0": v0, "v1": v1, "v2": v2, "x0": x0, "x1": x1, "x2": x2}
+    for op in OPS:
+        if op.klass == "pseudo":
+            continue  # LABELV is a block separator, not a grammar symbol
+        g.add_rule(class_nt[op.klass], _op_rhs(g, op))
+
+    for value in range(256):
+        g.add_rule(byte, [byte_terminal(value)])
+
+    g.check()
+    return g
+
+
+# Result-type buckets for the typed grammar: D and F keep their own value
+# nonterminal; everything else that yields a value (I/U/C/S/pointer) shares
+# the "word" bucket, because the bytecode keeps all of those in one 4-byte
+# stack slot.
+_TYPE_BUCKET: Dict[str, str] = {"D": "d", "F": "f"}
+
+
+def _result_bucket(op: OpSpec) -> str:
+    """Which typed value nonterminal an operator's result belongs to."""
+    suffix = op.suffix
+    if op.generic in ("EQ", "NE", "GE", "GT", "LE", "LT"):
+        return "w"  # comparisons push a 0/1 word flag regardless of suffix
+    if op.generic in ("CVD", "CVF", "CVI"):
+        # Conversions: result type is the *last* letter of the suffix.
+        return _TYPE_BUCKET.get(suffix[-1], "w")
+    if op.generic in ("CVI1", "CVI2", "CVU1", "CVU2"):
+        return "w"
+    if suffix and suffix[0] in _TYPE_BUCKET:
+        return _TYPE_BUCKET[suffix[0]]
+    return "w"
+
+
+def _operand_buckets(op: OpSpec) -> List[str]:
+    """Typed stack operands an operator pops, bottom-most first."""
+    npop = {"v0": 0, "v1": 1, "v2": 2, "x0": 0, "x1": 1, "x2": 2}[op.klass]
+    if npop == 0:
+        return []
+    g, s = op.generic, op.suffix
+    if g in ("EQ", "NE", "GE", "GT", "LE", "LT"):
+        b = _TYPE_BUCKET.get(s, "w")
+        return [b, b]
+    if g in ("CVD",):
+        return ["d"]
+    if g in ("CVF",):
+        return ["f"]
+    if g in ("CVI", "CVI1", "CVI2", "CVU1", "CVU2"):
+        return ["w"]
+    if g == "ASGN":
+        # address, value
+        return ["w", _TYPE_BUCKET.get(s, "w")]
+    if g in ("ARG", "POP", "RET"):
+        return [_TYPE_BUCKET.get(s, "w")]
+    if g == "CALL":
+        return ["w"]  # function address
+    if g == "INDIR":
+        return ["w"]  # address
+    if g in ("LSH", "RSH"):
+        return ["w", "w"]
+    b = _TYPE_BUCKET.get(s, "w")
+    return [b] * npop
+
+
+def typed_grammar(max_rules_per_nt: int = 256) -> Grammar:
+    """A starting grammar that tracks the datatype of each stack element.
+
+    Value nonterminals: ``<vw>`` (word: int/unsigned/pointer), ``<vf>``
+    (float), ``<vd>`` (double); statements stay untyped.  Same language as
+    :func:`initial_grammar` restricted to type-correct programs, which is
+    what the compiler emits.
+    """
+    g = Grammar(max_rules_per_nt=max_rules_per_nt)
+    start = g.add_nonterminal("start")
+    x = g.add_nonterminal("x")
+    vnt = {b: g.add_nonterminal(f"v{b}") for b in ("w", "f", "d")}
+    byte = g.add_nonterminal("byte")
+    g.start = start
+
+    g.add_rule(start, [])
+    g.add_rule(start, [start, x])
+
+    for op in OPS:
+        if op.klass == "pseudo":
+            continue
+        rhs_tail = [op.code] + [byte] * op.nlit
+        operands = [vnt[b] for b in _operand_buckets(op)]
+        if op.klass.startswith("v"):
+            lhs = vnt[_result_bucket(op)]
+        else:
+            lhs = x
+        g.add_rule(lhs, operands + rhs_tail)
+
+    for value in range(256):
+        g.add_rule(byte, [byte_terminal(value)])
+
+    g.check()
+    return g
+
+
+def height_grammar(max_depth: int = 3,
+                   max_rules_per_nt: int = 256) -> Grammar:
+    """A starting grammar that tracks the evaluation-stack *depth* of each
+    value — one of the "grammars that track more state" the paper's closing
+    note invites (Section 6).
+
+    Value nonterminals ``<h0> .. <hK>`` mean "a value computed with d
+    values already below it" (depths above ``max_depth`` collapse into
+    ``<hK>``).  Same language as :func:`initial_grammar`; the extra context
+    gives the expander up to ``max_depth`` times more rule budget for value
+    positions, at the cost of a larger initial grammar.
+    """
+    if max_depth < 1:
+        raise ValueError("max_depth must be >= 1")
+    g = Grammar(max_rules_per_nt=max_rules_per_nt)
+    start = g.add_nonterminal("start")
+    x = g.add_nonterminal("x")
+    heights = [g.add_nonterminal(f"h{d}") for d in range(max_depth + 1)]
+    v0 = g.add_nonterminal("v0")
+    v1 = g.add_nonterminal("v1")
+    v2 = g.add_nonterminal("v2")
+    x0 = g.add_nonterminal("x0")
+    x1 = g.add_nonterminal("x1")
+    x2 = g.add_nonterminal("x2")
+    byte = g.add_nonterminal("byte")
+    g.start = start
+
+    g.add_rule(start, [])
+    g.add_rule(start, [start, x])
+    g.add_rule(x, [x0])
+    g.add_rule(x, [heights[0], x1])
+    g.add_rule(x, [heights[0], heights[1], x2])
+    for d, h in enumerate(heights):
+        deeper = heights[min(d + 1, max_depth)]
+        g.add_rule(h, [v0])
+        g.add_rule(h, [h, v1])
+        g.add_rule(h, [h, deeper, v2])
+
+    class_nt = {"v0": v0, "v1": v1, "v2": v2, "x0": x0, "x1": x1, "x2": x2}
+    for op in OPS:
+        if op.klass == "pseudo":
+            continue
+        g.add_rule(class_nt[op.klass], _op_rhs(g, op))
+    for value in range(256):
+        g.add_rule(byte, [byte_terminal(value)])
+    g.check()
+    return g

@@ -1,0 +1,28 @@
+"""The two interpreters and their shared runtime (paper Section 5)."""
+
+from .memory import MASK32, Memory, f32, to_signed, to_unsigned
+from .state import Exit, IState, Jump, Return, Trap
+from .base import HANDLERS, UnsupportedOpcode, execute
+from .runtime import (
+    INTRINSIC_BASE,
+    INTRINSICS,
+    Intrinsic,
+    Machine,
+    TRAMPOLINE_BASE,
+    run_program,
+)
+from .tables import InterpTables, RuleProgram, TableError
+from .interp1 import Interpreter1
+from .interp2 import Interpreter2
+from .profile import ExecutionProfile, ProfilingExecutor, profile_run
+
+__all__ = [
+    "MASK32", "Memory", "f32", "to_signed", "to_unsigned",
+    "Exit", "IState", "Jump", "Return", "Trap",
+    "HANDLERS", "UnsupportedOpcode", "execute",
+    "INTRINSIC_BASE", "INTRINSICS", "Intrinsic", "Machine",
+    "TRAMPOLINE_BASE", "run_program",
+    "InterpTables", "RuleProgram", "TableError",
+    "Interpreter1", "Interpreter2",
+    "ExecutionProfile", "ProfilingExecutor", "profile_run",
+]

@@ -1,0 +1,97 @@
+"""The generated interpreter: executes compressed bytecode (paper Section 5).
+
+``interp`` repeatedly calls ``interpNT(istate, NT_start)``: one call
+executes one whole block derivation.  ``interpNT`` fetches the next
+compressed byte which, with the current nonterminal, identifies the rule
+for the next derivation step; it then advances across the rule's right-hand
+side, executing terminals through the same ``interpret1`` switch as the
+uncompressed interpreter and recursing on nonterminals.  Literal operand
+bytes come either from the rule (burned in) or from the stream, as the
+rule's compiled plan says (Section 5's modified GET macro).
+
+The recursion is realized with an explicit step stack, because a block with
+many statements derives through a deep left-recursive ``<start>`` spine.
+
+On a control transfer the whole in-progress derivation is abandoned and the
+pc moves to the label's compressed offset — guaranteed by the compressor to
+be the start of a fresh ``<start>`` derivation (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from .base import HANDLERS
+from .state import IState, Jump, Return, Trap
+from .tables import InterpTables
+
+__all__ = ["Interpreter2"]
+
+
+class Interpreter2:
+    """Executor for compressed modules (plug into
+    :class:`repro.interp.runtime.Machine`)."""
+
+    def __init__(self, cmodule) -> None:
+        self.module = cmodule
+        self.tables = InterpTables(cmodule.grammar)
+        self.byte_nt = self.tables.byte_nt
+
+    # -- stream access ------------------------------------------------------
+    @staticmethod
+    def _read_byte(istate: IState, code: bytes) -> int:
+        pc = istate.pc
+        if pc >= len(code):
+            raise Trap("compressed stream exhausted mid-derivation")
+        istate.pc = pc + 1
+        return code[pc]
+
+    def _exec_derivation(self, machine, istate: IState, code: bytes) -> None:
+        """interpNT(istate, NT_start): run one complete block derivation."""
+        tables = self.tables
+        read = self._read_byte
+        program = tables.program(tables.start, read(istate, code))
+        stack: List[Tuple[tuple, int]] = [(program.steps, 0)]
+        while stack:
+            steps, i = stack[-1]
+            if i == len(steps):
+                stack.pop()
+                continue
+            stack[-1] = (steps, i + 1)
+            step = steps[i]
+            if step[0] == "op":
+                _, opcode_, plan = step
+                if plan:
+                    operands = tuple(
+                        b if b is not None else read(istate, code)
+                        for b in plan
+                    )
+                else:
+                    operands = ()
+                machine.instret += 1
+                HANDLERS[opcode_](istate, machine, operands)
+            else:
+                sub = tables.program(step[1], read(istate, code))
+                stack.append((sub.steps, 0))
+
+    def run_procedure(self, machine, index: int, istate: IState) -> Any:
+        cproc = self.module.procedures[index]
+        code = cproc.code
+        labels = cproc.labels
+        end = len(code)
+        istate.pc = 0
+        while True:
+            try:
+                while istate.pc < end:
+                    self._exec_derivation(machine, istate, code)
+                raise Trap(f"{cproc.name}: fell off the end of the code")
+            except Jump as jump:
+                try:
+                    istate.pc = labels[jump.label]
+                except IndexError:
+                    raise Trap(
+                        f"{cproc.name}: branch to label {jump.label} "
+                        f"out of range"
+                    ) from None
+            except Return as ret:
+                return ret.value

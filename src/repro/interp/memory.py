@@ -1,0 +1,114 @@
+"""Byte-addressable memory for the bytecode machine.
+
+The interpreter state manipulates a small evaluation stack of C-union-like
+values (paper Section 5); everything addressable — globals, locals, formals,
+heap — lives in one flat little-endian byte array so that ``ADDR*`` /
+``INDIR*`` / ``ASGN*`` behave like real pointers.
+
+Integer stack values are kept as 32-bit *patterns* (0 .. 2**32-1); the
+signed operators reinterpret them, mirroring the C union of basic machine
+types.  Floats are stored as Python floats; single-precision results are
+rounded through a real float32 representation so ``F``-suffixed arithmetic
+matches 32-bit hardware.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["Memory", "MemoryError_", "MASK32", "to_signed", "to_unsigned",
+           "f32"]
+
+MASK32 = 0xFFFFFFFF
+
+
+def to_signed(pattern: int) -> int:
+    """Reinterpret a 32-bit pattern as a signed int."""
+    pattern &= MASK32
+    return pattern - 0x100000000 if pattern & 0x80000000 else pattern
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python int into a 32-bit pattern."""
+    return value & MASK32
+
+
+def f32(value: float) -> float:
+    """Round a Python float through IEEE single precision."""
+    return struct.unpack("<f", struct.pack("<f", value))[0]
+
+
+class MemoryError_(RuntimeError):
+    """Out-of-range access (the VM's segmentation fault)."""
+
+
+class Memory:
+    """Flat little-endian memory with typed accessors."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._bytes = bytearray(size)
+
+    def _check(self, addr: int, n: int) -> None:
+        if addr < 0 or addr + n > self.size:
+            raise MemoryError_(
+                f"access of {n} bytes at address {addr:#x} is out of range"
+            )
+
+    # -- raw ----------------------------------------------------------------
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self._bytes[addr:addr + len(data)] = data
+
+    def read_bytes(self, addr: int, n: int) -> bytes:
+        self._check(addr, n)
+        return bytes(self._bytes[addr:addr + n])
+
+    def read_cstring(self, addr: int) -> bytes:
+        """NUL-terminated string starting at ``addr``."""
+        end = self._bytes.find(b"\0", addr)
+        if end < 0:
+            raise MemoryError_(f"unterminated string at {addr:#x}")
+        return bytes(self._bytes[addr:end])
+
+    # -- integers ---------------------------------------------------------
+    def load_u8(self, addr: int) -> int:
+        self._check(addr, 1)
+        return self._bytes[addr]
+
+    def load_u16(self, addr: int) -> int:
+        self._check(addr, 2)
+        return self._bytes[addr] | (self._bytes[addr + 1] << 8)
+
+    def load_u32(self, addr: int) -> int:
+        self._check(addr, 4)
+        return int.from_bytes(self._bytes[addr:addr + 4], "little")
+
+    def store_u8(self, addr: int, value: int) -> None:
+        self._check(addr, 1)
+        self._bytes[addr] = value & 0xFF
+
+    def store_u16(self, addr: int, value: int) -> None:
+        self._check(addr, 2)
+        self._bytes[addr:addr + 2] = (value & 0xFFFF).to_bytes(2, "little")
+
+    def store_u32(self, addr: int, value: int) -> None:
+        self._check(addr, 4)
+        self._bytes[addr:addr + 4] = (value & MASK32).to_bytes(4, "little")
+
+    # -- floats ------------------------------------------------------------
+    def load_f32(self, addr: int) -> float:
+        self._check(addr, 4)
+        return struct.unpack_from("<f", self._bytes, addr)[0]
+
+    def load_f64(self, addr: int) -> float:
+        self._check(addr, 8)
+        return struct.unpack_from("<d", self._bytes, addr)[0]
+
+    def store_f32(self, addr: int, value: float) -> None:
+        self._check(addr, 4)
+        struct.pack_into("<f", self._bytes, addr, value)
+
+    def store_f64(self, addr: int, value: float) -> None:
+        self._check(addr, 8)
+        struct.pack_into("<d", self._bytes, addr, value)

@@ -1,0 +1,191 @@
+"""Execution profiling for both interpreters.
+
+The paper's method is *profile-driven by static frequency*: the grammar is
+rewritten to shorten the training corpus's derivations — i.e. to compress
+the program text, not its execution.  This profiler measures the other
+side: what actually runs.  It wraps either executor and counts
+
+* operator executions (both interpreters),
+* rule dispatches per (nonterminal, codeword) — interpreter 2 only: how
+  often each *learned instruction* is fetched at run time,
+* block entries (derivation restarts) and branch transfers.
+
+That enables an analysis the paper does not run but clearly invites: the
+correlation between a rule's static usage (how many bytes it saves) and
+its dynamic usage (how often the interpreter walks it) — and the cost
+model for a hypothetical execution-profile-driven variant of the trainer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+from ..bytecode.opcodes import opname
+from .interp1 import Interpreter1
+from .interp2 import Interpreter2
+from .state import IState, Jump, Return
+
+__all__ = ["ExecutionProfile", "ProfilingExecutor", "profile_run"]
+
+
+@dataclass
+class ExecutionProfile:
+    """Counters collected during one run."""
+
+    operators: Counter = field(default_factory=Counter)   # opcode -> n
+    rules: Counter = field(default_factory=Counter)       # (nt, cw) -> n
+    blocks_entered: int = 0
+    branches_taken: int = 0
+    returns: int = 0
+
+    @property
+    def total_operators(self) -> int:
+        return sum(self.operators.values())
+
+    @property
+    def total_dispatches(self) -> int:
+        """Rule fetches (interp2) or operator fetches (interp1)."""
+        return sum(self.rules.values()) or self.total_operators
+
+    def top_operators(self, n: int = 10):
+        return [(opname(code), count)
+                for code, count in self.operators.most_common(n)]
+
+    def top_rules(self, n: int = 10):
+        return self.rules.most_common(n)
+
+
+class ProfilingExecutor:
+    """Wraps an Interpreter1 or Interpreter2, recording a profile.
+
+    Plugs into :class:`repro.interp.runtime.Machine` exactly like the
+    wrapped executor.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.profile = ExecutionProfile()
+        if isinstance(inner, Interpreter2):
+            self._install_interp2_hooks(inner)
+        elif isinstance(inner, Interpreter1):
+            self._install_interp1_hooks(inner)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot profile {type(inner).__name__}")
+
+    # The hooks shadow the executor's tables on a shallow copy, so the
+    # original executor instances stay reusable and unprofiled.
+    def _install_interp1_hooks(self, inner: Interpreter1) -> None:
+        from ..bytecode.instructions import iter_decode
+        from .base import HANDLERS
+
+        profile = self.profile
+
+        def make_traced(op_code, handler):
+            def traced(istate, machine, operands):
+                profile.operators[op_code] += 1
+                try:
+                    return handler(istate, machine, operands)
+                except Jump:
+                    profile.branches_taken += 1
+                    raise
+                except Return:
+                    profile.returns += 1
+                    raise
+            return traced
+
+        decoded = []
+        for proc in inner.module.procedures:
+            table = {}
+            for off, ins in reversed(list(iter_decode(proc.code))):
+                nxt = off + ins.size
+                if ins.op.name == "LABELV":
+                    table[off] = table.get(
+                        nxt, (lambda s, m, o: None, (), nxt)
+                    )
+                else:
+                    table[off] = (
+                        make_traced(ins.op.code, HANDLERS[ins.op.code]),
+                        ins.operands, nxt,
+                    )
+            decoded.append(table)
+        clone = Interpreter1.__new__(Interpreter1)
+        clone.module = inner.module
+        clone._decoded = decoded
+        self._run = clone.run_procedure
+
+    def _install_interp2_hooks(self, inner: Interpreter2) -> None:
+        profile = self.profile
+        outer = self
+
+        class _Tracing(Interpreter2):
+            def __init__(self):  # noqa: D401 - share tables, no re-init
+                self.module = inner.module
+                self.tables = inner.tables
+                self.byte_nt = inner.byte_nt
+
+            def _exec_derivation(self, machine, istate, code):
+                profile.blocks_entered += 1
+                return outer._trace_derivation(self, machine, istate, code)
+
+        self._run = _Tracing().run_procedure
+
+    def _trace_derivation(self, interp: Interpreter2, machine,
+                          istate: IState, code: bytes) -> None:
+        from .base import HANDLERS
+
+        profile = self.profile
+        tables = interp.tables
+        read = interp._read_byte
+        codeword = read(istate, code)
+        profile.rules[(tables.start, codeword)] += 1
+        program = tables.program(tables.start, codeword)
+        stack = [(program.steps, 0)]
+        while stack:
+            steps, i = stack[-1]
+            if i == len(steps):
+                stack.pop()
+                continue
+            stack[-1] = (steps, i + 1)
+            step = steps[i]
+            if step[0] == "op":
+                _, op, plan = step
+                operands = tuple(
+                    b if b is not None else read(istate, code)
+                    for b in plan
+                ) if plan else ()
+                machine.instret += 1
+                profile.operators[op] += 1
+                try:
+                    HANDLERS[op](istate, machine, operands)
+                except Jump:
+                    profile.branches_taken += 1
+                    raise
+                except Return:
+                    profile.returns += 1
+                    raise
+            else:
+                codeword = read(istate, code)
+                profile.rules[(step[1], codeword)] += 1
+                sub = tables.program(step[1], codeword)
+                stack.append((sub.steps, 0))
+
+    def run_procedure(self, machine, index: int, istate: IState) -> Any:
+        return self._run(machine, index, istate)
+
+
+def profile_run(program, *args: int,
+                input_data: bytes = b"") -> Tuple[int, bytes,
+                                                  ExecutionProfile]:
+    """Run a Module or CompressedModule under the profiler."""
+    from ..bytecode.module import Module
+    from .runtime import Machine
+
+    if isinstance(program, Module):
+        executor = ProfilingExecutor(Interpreter1(program))
+    else:
+        executor = ProfilingExecutor(Interpreter2(program))
+    machine = Machine(program, executor, input_data=input_data)
+    code = machine.run(*args)
+    return code, bytes(machine.output), executor.profile

@@ -1,0 +1,327 @@
+"""The machine: memory layout, procedure calls, trampolines, intrinsics
+(paper Sections 3 and 5, Appendix 3).
+
+Layout of the flat address space::
+
+    0 .. 63            unmapped guard (null pointers fault)
+    DATA_BASE ..       initialized data, then zero-initialized bss
+    heap ..            bump allocator for the malloc intrinsic
+    arg region         the outgoing-argument stack (ARG* write here;
+                       contiguous, so a callee's &arg1 is one address,
+                       exactly the x86 convention the paper relies on)
+    frame region       procedure locals, one frame per activation
+
+Addresses at :data:`TRAMPOLINE_BASE` + i are the C-callable trampolines of
+bytecoded procedures (Appendix 3); addresses at :data:`INTRINSIC_BASE` + i
+are library routines (``exit``, ``putchar``, ``malloc``...).  The loader
+fills the global table with these, so ``ADDRGP k; CALLU`` calls either kind
+through one mechanism, as in the paper.
+
+The machine is interpreter-agnostic: an *executor* object supplies
+``run_procedure(machine, index, istate)``; :mod:`repro.interp.interp1` and
+:mod:`repro.interp.interp2` provide the uncompressed and compressed
+executors over the identical runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from .memory import MASK32, Memory, to_signed
+from .state import Exit, IState, Trap
+
+__all__ = [
+    "DATA_BASE", "TRAMPOLINE_BASE", "INTRINSIC_BASE",
+    "Machine", "Intrinsic", "INTRINSICS", "run_program",
+]
+
+DATA_BASE = 64
+TRAMPOLINE_BASE = 0x1000_0000
+INTRINSIC_BASE = 0x2000_0000
+
+_ARG_REGION = 1 << 16        # outgoing-argument stack
+_FRAME_REGION = 1 << 20      # procedure frames
+_DEFAULT_HEAP = 1 << 20
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """A library routine callable from bytecode.
+
+    ``argtypes`` is a string over {'i' (4-byte word), 'f' (float32),
+    'd' (float64)} describing the formal block layout; ``fn`` receives the
+    machine and the decoded argument values and returns the result value
+    (a 32-bit pattern or a float, or None for void).
+    """
+
+    name: str
+    argtypes: str
+    fn: Callable[..., Any]
+
+    @property
+    def argsize(self) -> int:
+        return sum(8 if t == "d" else 4 for t in self.argtypes)
+
+
+def _sizeof(t: str) -> int:
+    return 8 if t == "d" else 4
+
+
+# -- the intrinsic library ----------------------------------------------------
+
+def _i_exit(machine, code):
+    raise Exit(to_signed(code))
+
+
+def _i_abort(machine):
+    raise Trap("abort() called")
+
+
+def _i_putchar(machine, c):
+    machine.output.append(c & 0xFF)
+    return c & 0xFF
+
+
+def _i_getchar(machine):
+    if machine.input_pos < len(machine.input):
+        b = machine.input[machine.input_pos]
+        machine.input_pos += 1
+        return b
+    return MASK32  # EOF = -1
+
+
+def _i_puts(machine, p):
+    machine.output.extend(machine.memory.read_cstring(p))
+    machine.output.append(ord("\n"))
+    return 0
+
+
+def _i_putstr(machine, p):
+    machine.output.extend(machine.memory.read_cstring(p))
+    return 0
+
+
+def _i_putint(machine, v):
+    machine.output.extend(str(to_signed(v)).encode())
+    return 0
+
+
+def _i_putuint(machine, v):
+    machine.output.extend(str(v & MASK32).encode())
+    return 0
+
+
+def _i_putfloat(machine, d):
+    machine.output.extend(f"{d:.6g}".encode())
+    return 0
+
+
+def _i_malloc(machine, n):
+    return machine.heap_alloc(n)
+
+
+def _i_free(machine, p):
+    return 0
+
+
+def _i_memcpy(machine, dst, src, n):
+    machine.memory.write_bytes(dst, machine.memory.read_bytes(src, n))
+    return dst
+
+
+def _i_memset(machine, p, v, n):
+    machine.memory.write_bytes(p, bytes([v & 0xFF]) * n)
+    return p
+
+
+def _i_strlen(machine, p):
+    return len(machine.memory.read_cstring(p))
+
+
+INTRINSICS: List[Intrinsic] = [
+    Intrinsic("exit", "i", _i_exit),
+    Intrinsic("abort", "", _i_abort),
+    Intrinsic("putchar", "i", _i_putchar),
+    Intrinsic("getchar", "", _i_getchar),
+    Intrinsic("puts", "i", _i_puts),
+    Intrinsic("putstr", "i", _i_putstr),
+    Intrinsic("putint", "i", _i_putint),
+    Intrinsic("putuint", "i", _i_putuint),
+    Intrinsic("putfloat", "d", _i_putfloat),
+    Intrinsic("malloc", "i", _i_malloc),
+    Intrinsic("free", "i", _i_free),
+    Intrinsic("memcpy", "iii", _i_memcpy),
+    Intrinsic("memset", "iii", _i_memset),
+    Intrinsic("strlen", "i", _i_strlen),
+]
+
+_INTRINSIC_INDEX: Dict[str, int] = {
+    intr.name: i for i, intr in enumerate(INTRINSICS)
+}
+
+
+class Machine:
+    """One loaded program plus its execution resources."""
+
+    def __init__(self, program, executor, *, heap_size: int = _DEFAULT_HEAP,
+                 input_data: bytes = b"") -> None:
+        """``program`` is a Module or CompressedModule (same duck type:
+        procedures / globals / data / bss_size / entry); ``executor``
+        supplies ``run_procedure(machine, index, istate)``."""
+        self.program = program
+        self.executor = executor
+        self.output = bytearray()
+        self.input = input_data
+        self.input_pos = 0
+        self.call_depth = 0
+        # Each bytecode call nests a handful of Python frames; keep the
+        # machine's own limit low enough that it fires before CPython's
+        # recursion limit would, and give the interpreter headroom.
+        self.max_call_depth = 400
+        _PY_FRAMES_PER_CALL = 8
+        import sys
+        needed = self.max_call_depth * _PY_FRAMES_PER_CALL + 1000
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
+        self.instret = 0  # executed operator count (for the speed bench)
+
+        data = program.data
+        self._bss_base = DATA_BASE + len(data)
+        self._heap_base = _align(self._bss_base + program.bss_size, 16)
+        self._heap_end = self._heap_base
+        self._heap_limit = self._heap_base + heap_size
+        self._arg_base = _align(self._heap_limit, 16)
+        self.arg_sp = self._arg_base
+        self._frame_base = self._arg_base + _ARG_REGION
+        self.frame_sp = self._frame_base
+        total = self._frame_base + _FRAME_REGION
+        self.memory = Memory(total)
+        self.memory.write_bytes(DATA_BASE, data)
+
+        # Resolve the global table (the loader's job, Section 3).
+        self._global_addrs: List[int] = []
+        for entry in program.globals:
+            if entry.kind == "data":
+                self._global_addrs.append(DATA_BASE + entry.value)
+            elif entry.kind == "proc":
+                self._global_addrs.append(TRAMPOLINE_BASE + entry.value)
+            else:  # lib
+                idx = _INTRINSIC_INDEX.get(entry.name)
+                if idx is None:
+                    raise Trap(f"unresolved library symbol {entry.name!r}")
+                self._global_addrs.append(INTRINSIC_BASE + idx)
+
+    # -- address helpers ----------------------------------------------------
+    def global_address(self, index: int) -> int:
+        try:
+            return self._global_addrs[index]
+        except IndexError:
+            raise Trap(f"global index {index} out of range") from None
+
+    def heap_alloc(self, n: int) -> int:
+        addr = self._heap_end
+        self._heap_end = _align(addr + max(n, 1), 8)
+        if self._heap_end > self._heap_limit:
+            raise Trap("out of heap")
+        return addr
+
+    # -- outgoing arguments -------------------------------------------------
+    def push_arg_u32(self, value: int) -> None:
+        self.memory.store_u32(self.arg_sp, value)
+        self.arg_sp += 4
+
+    def push_arg_f32(self, value: float) -> None:
+        self.memory.store_f32(self.arg_sp, value)
+        self.arg_sp += 4
+
+    def push_arg_f64(self, value: float) -> None:
+        self.memory.store_f64(self.arg_sp, value)
+        self.arg_sp += 8
+
+    # -- calls ------------------------------------------------------------
+    def call_address(self, addr: int) -> Any:
+        """Indirect call: trampoline or library routine (one mechanism for
+        both, Section 3)."""
+        if TRAMPOLINE_BASE <= addr < TRAMPOLINE_BASE + len(
+                self.program.procedures):
+            proc_index = addr - TRAMPOLINE_BASE
+            if not self.program.procedures[proc_index].needs_trampoline:
+                raise Trap(
+                    f"indirect call to {self.program.procedures[proc_index].name!r},"
+                    f" which has no trampoline"
+                )
+            return self.call_procedure(proc_index)
+        if INTRINSIC_BASE <= addr < INTRINSIC_BASE + len(INTRINSICS):
+            return self.call_intrinsic(addr - INTRINSIC_BASE)
+        raise Trap(f"call to non-function address {addr:#x}")
+
+    def call_intrinsic(self, index: int) -> Any:
+        intr = INTRINSICS[index]
+        args_base = self.arg_sp - intr.argsize
+        values = []
+        offset = args_base
+        for t in intr.argtypes:
+            if t == "i":
+                values.append(self.memory.load_u32(offset))
+            elif t == "f":
+                values.append(self.memory.load_f32(offset))
+            else:
+                values.append(self.memory.load_f64(offset))
+            offset += _sizeof(t)
+        self.arg_sp = args_base
+        result = intr.fn(self, *values)
+        return 0 if result is None else result
+
+    def call_procedure(self, index: int) -> Any:
+        """LocalCALL / trampoline body: build a frame and interpret."""
+        try:
+            proc = self.program.procedures[index]
+        except IndexError:
+            raise Trap(f"procedure index {index} out of range") from None
+        if self.call_depth >= self.max_call_depth:
+            raise Trap("call stack overflow")
+        args_base = self.arg_sp - proc.argsize
+        locals_base = self.frame_sp
+        frame_top = locals_base + proc.framesize
+        if frame_top > self.memory.size:
+            raise Trap("frame stack overflow")
+        istate = IState(args_base, locals_base)
+        self.call_depth += 1
+        self.frame_sp = frame_top
+        try:
+            return self.executor.run_procedure(self, index, istate)
+        finally:
+            self.frame_sp = locals_base
+            self.arg_sp = args_base
+            self.call_depth -= 1
+
+    # -- program entry --------------------------------------------------------
+    def run(self, *int_args: int) -> int:
+        """Call the entry procedure with word arguments; returns the exit
+        code (from ``exit``) or the entry's return value."""
+        entry = self.program.entry
+        if entry is None:
+            raise Trap("program has no entry procedure")
+        for a in int_args:
+            self.push_arg_u32(a & MASK32)
+        try:
+            result = self.call_procedure(entry)
+        except Exit as e:
+            return e.code
+        return to_signed(result) if isinstance(result, int) else 0
+
+    def output_text(self) -> str:
+        return self.output.decode("utf-8", errors="replace")
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def run_program(program, executor, *int_args: int,
+                input_data: bytes = b"") -> Tuple[int, bytes]:
+    """Convenience: run to completion, returning (exit code, output)."""
+    machine = Machine(program, executor, input_data=input_data)
+    code = machine.run(*int_args)
+    return code, bytes(machine.output)

@@ -1,0 +1,59 @@
+"""Interpreter state and control-flow signals (paper Section 5).
+
+The C implementation keeps an ``istate`` struct (pc, evaluation stack) and
+uses ``longjmp`` for returns and branch targets; our Python interpreters use
+exceptions the same way: the operator semantics raise, the per-procedure
+interpreter loop catches and adjusts the pc.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = ["IState", "Jump", "Return", "Exit", "Trap"]
+
+
+class IState:
+    """Per-activation interpreter state."""
+
+    __slots__ = ("pc", "stack", "args_base", "locals_base")
+
+    def __init__(self, args_base: int, locals_base: int) -> None:
+        self.pc = 0
+        self.stack: List[Any] = []
+        self.args_base = args_base
+        self.locals_base = locals_base
+
+    def push(self, value: Any) -> None:
+        self.stack.append(value)
+
+    def pop(self) -> Any:
+        return self.stack.pop()
+
+
+class Jump(Exception):
+    """Transfer control to a label (``JUMPV`` / taken ``BrTrue``)."""
+
+    def __init__(self, label: int) -> None:
+        super().__init__(label)
+        self.label = label
+
+
+class Return(Exception):
+    """Return from the current procedure (``RET*``)."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Exit(Exception):
+    """Terminate the whole program (the ``exit`` intrinsic)."""
+
+    def __init__(self, code: int) -> None:
+        super().__init__(code)
+        self.code = code
+
+
+class Trap(RuntimeError):
+    """A machine fault: bad call target, unsupported operator, ..."""

@@ -1,0 +1,134 @@
+"""Rule tables for the generated interpreter (paper Section 5).
+
+"A table encodes for each rule the sequence of terminals and non-terminals
+on the rule's right-hand side."  We compile each rule into a *step program*:
+
+* ``("op", opcode, literal_plan)`` — execute one operator; the plan has one
+  entry per literal operand byte, either a burned-in value (the rule
+  constrains that byte — partially-inlined literals, Section 5) or ``None``
+  meaning "fetch the next byte from the compressed stream" (the GET macro's
+  decision of where each literal half comes from).
+* ``("nt", nonterminal)`` — recurse: read one byte, look up that
+  nonterminal's rule, run its steps.
+
+The compiler checks the structural invariant that makes this sound: in any
+rule of an expanded grammar derived from the initial grammar, every operator
+terminal is immediately followed by exactly its ``nlit`` byte symbols
+(burned or streamed) — inlining preserves the adjacency because only whole
+nonterminal occurrences are ever substituted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..bytecode.opcodes import OP_BY_CODE
+from ..grammar.cfg import (
+    Grammar,
+    byte_value,
+    is_byte_terminal,
+    is_nonterminal,
+)
+
+__all__ = ["Step", "RuleProgram", "InterpTables", "TableError"]
+
+Step = Tuple  # ("op", opcode, plan) | ("nt", nonterminal)
+
+
+class TableError(ValueError):
+    """Raised when a grammar violates the operator/literal adjacency
+    invariant (cannot happen for grammars produced by this system)."""
+
+
+class RuleProgram:
+    """One rule compiled to interpreter steps."""
+
+    __slots__ = ("rule_id", "steps")
+
+    def __init__(self, rule_id: int, steps: Tuple[Step, ...]) -> None:
+        self.rule_id = rule_id
+        self.steps = steps
+
+
+class InterpTables:
+    """All rule programs of a grammar, indexed [nonterminal][codeword]."""
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+        self.start = grammar.start
+        self.byte_nt = grammar.nonterminal("byte")
+        self.by_nt: Dict[int, List[RuleProgram]] = {}
+        for nt in grammar.nonterminals:
+            if nt == self.byte_nt:
+                continue  # byte "rules" are read directly from the stream
+            self.by_nt[nt] = [
+                self._compile(rule) for rule in grammar.rules_for(nt)
+            ]
+
+    def _compile(self, rule) -> RuleProgram:
+        steps: List[Step] = []
+        rhs = rule.rhs
+        i = 0
+        while i < len(rhs):
+            sym = rhs[i]
+            if is_nonterminal(sym):
+                if sym == self.byte_nt:
+                    raise TableError(
+                        f"rule {rule.id}: <byte> not attached to an operator"
+                    )
+                steps.append(("nt", sym))
+                i += 1
+            elif is_byte_terminal(sym):
+                raise TableError(
+                    f"rule {rule.id}: burned byte not attached to an operator"
+                )
+            else:
+                spec = OP_BY_CODE[sym]
+                plan: List[Optional[int]] = []
+                for k in range(1, spec.nlit + 1):
+                    if i + k >= len(rhs):
+                        raise TableError(
+                            f"rule {rule.id}: {spec.name} missing literal "
+                            f"bytes"
+                        )
+                    opnd = rhs[i + k]
+                    if is_byte_terminal(opnd):
+                        plan.append(byte_value(opnd))
+                    elif opnd == self.byte_nt:
+                        plan.append(None)  # streamed
+                    else:
+                        raise TableError(
+                            f"rule {rule.id}: {spec.name} operand {k} is "
+                            f"neither a byte nor <byte>"
+                        )
+                steps.append(("op", sym, tuple(plan)))
+                i += 1 + spec.nlit
+        return RuleProgram(rule.id, tuple(steps))
+
+    def program(self, nt: int, codeword: int) -> RuleProgram:
+        programs = self.by_nt[nt]
+        if codeword >= len(programs):
+            raise TableError(
+                f"codeword {codeword} out of range for "
+                f"<{self.grammar.nt_name(nt)}> ({len(programs)} rules)"
+            )
+        return programs[codeword]
+
+    # -- size accounting (paper Section 6: "The grammar occupies 10,525
+    # bytes") ---------------------------------------------------------------
+    def encoded_bytes(self) -> int:
+        """Bytes to store the rule tables in the straightforward encoding:
+        per rule, a length byte plus one byte per step (operator or
+        nonterminal tag) plus one byte per literal-plan entry."""
+        total = 0
+        for programs in self.by_nt.values():
+            for rp in programs:
+                total += 1  # rhs length
+                for step in rp.steps:
+                    if step[0] == "op":
+                        total += 1 + len(step[2])
+                    else:
+                        total += 1
+        # per-nonterminal table of rule offsets (2 bytes each)
+        total += sum(2 * len(p) for p in self.by_nt.values())
+        return total

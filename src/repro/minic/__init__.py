@@ -1,0 +1,15 @@
+"""Mini-C: the lcc-substitute front end (see DESIGN.md)."""
+
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse
+from .sema import FunctionInfo, SemaError, Symbol, analyze
+from .codegen import CodegenError, generate
+from .driver import compile_and_run, compile_source, compile_sources
+
+__all__ = [
+    "LexError", "Token", "tokenize",
+    "ParseError", "parse",
+    "FunctionInfo", "SemaError", "Symbol", "analyze",
+    "CodegenError", "generate",
+    "compile_and_run", "compile_source", "compile_sources",
+]

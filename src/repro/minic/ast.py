@@ -1,0 +1,242 @@
+"""Abstract syntax for mini-C.
+
+Plain dataclasses; types are attached by :mod:`repro.minic.sema` (the
+``ctype`` attribute on expressions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = [
+    "Node", "Expr", "Stmt",
+    "IntLit", "FloatLit", "StrLit", "Name",
+    "Unary", "Binary", "Assign", "Cond", "Call", "Index", "Cast",
+    "IncDec", "SizeOf", "Member",
+    "ExprStmt", "Block", "If", "While", "DoWhile", "For", "Return",
+    "Break", "Continue", "LocalDecl", "Switch", "CaseLabel",
+    "Param", "FuncDef", "GlobalDecl", "TranslationUnit",
+]
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+@dataclass
+class Expr(Node):
+    """Base of all expressions; ``ctype`` is set by sema."""
+
+    ctype: object = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+    unsigned: bool = False
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+    single: bool = False  # 'f' suffix
+
+
+@dataclass
+class StrLit(Expr):
+    value: bytes = b""
+
+
+@dataclass
+class Name(Expr):
+    name: str = ""
+    symbol: object = None  # bound by sema
+
+
+@dataclass
+class Unary(Expr):
+    """op in - ! ~ * & (plus unary +, dropped by the parser)."""
+
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    """op is '=' or a compound '+=' etc."""
+
+    op: str = "="
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class Cond(Expr):
+    cond: Expr = None
+    then: Expr = None
+    other: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    func: Expr = None
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Cast(Expr):
+    target_type: object = None
+    operand: Expr = None
+
+
+@dataclass
+class Member(Expr):
+    """``base.name`` (arrow=False) or ``base->name`` (arrow=True)."""
+
+    base: Expr = None
+    name: str = ""
+    arrow: bool = False
+    field_type: object = None   # set by sema
+    field_offset: int = 0       # set by sema
+
+
+@dataclass
+class IncDec(Expr):
+    """++/-- in prefix or postfix position."""
+
+    op: str = "++"
+    operand: Expr = None
+    postfix: bool = False
+
+
+@dataclass
+class SizeOf(Expr):
+    target_type: object = None
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None  # None = empty statement
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None
+    cond: Expr = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Expr] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclass
+class CaseLabel(Stmt):
+    """``case N:`` (value set) or ``default:`` (value None) inside a
+    switch body; a position marker, not an executable statement."""
+
+    value: Optional[int] = None
+
+
+@dataclass
+class Switch(Stmt):
+    """C switch with fallthrough: the body is a statement list in which
+    CaseLabel markers name the dispatch targets."""
+
+    cond: Expr = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class LocalDecl(Stmt):
+    ctype: object = None
+    name: str = ""
+    init: Optional[Expr] = None
+    symbol: object = None  # bound by sema
+
+
+# -- top level ----------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    ctype: object = None
+    name: str = ""
+
+
+@dataclass
+class FuncDef(Node):
+    ret: object = None
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None  # None = declaration only
+
+
+@dataclass
+class GlobalDecl(Node):
+    ctype: object = None
+    name: str = ""
+    init: object = None  # int/float value, bytes, or list of values
+    is_extern_lib: bool = False
+
+
+@dataclass
+class TranslationUnit(Node):
+    items: List[Node] = field(default_factory=list)

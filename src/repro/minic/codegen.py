@@ -1,0 +1,1043 @@
+"""Code generation: typed AST -> stack bytecode (the lcc-substitute back
+end).
+
+The generated code follows lcc's shape (paper Section 3):
+
+* expressions become postfix trees over the evaluation stack;
+* every branch target is a ``LABELV`` with an empty evaluation stack, so
+  the output always parses under the Appendix-2 grammar — constructs that
+  need internal labels (``&&``, ``||``, ``?:``) are *hoisted* into
+  temporaries at points where the stack is empty, exactly the flattening a
+  tree-based compiler performs;
+* direct calls use ``LocalCALL``; address-taken functions get trampolines
+  and are reached through the global table (``ADDRGP``; paper Section 3);
+* string and floating-point literals live in the data segment and are
+  addressed via anonymous global-table entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import struct
+
+from ..bytecode.assembler import ProcedureBuilder
+from ..bytecode.module import GlobalEntry, Module
+from . import ast
+from .sema import FunctionInfo, Symbol, analyze
+from .types import (
+    Array, CHAR, DOUBLE, FLOAT, FuncType, INT, Pointer, SHORT, Struct,
+    Type, UCHAR, UINT, USHORT, VOID, is_integer,
+)
+
+__all__ = ["CodegenError", "generate"]
+
+
+class CodegenError(ValueError):
+    """Raised for constructs outside the supported subset."""
+
+
+def _is_word(t: Type) -> bool:
+    return is_integer(t) or isinstance(t, (Pointer, FuncType))
+
+
+def _suffix(t: Type) -> str:
+    """Operator type suffix for a computation on values of type t."""
+    if t == DOUBLE:
+        return "D"
+    if t == FLOAT:
+        return "F"
+    return "U"
+
+
+class _ModuleBuilder:
+    """Data segment, bss, global table, string/const pools."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+        self.bss_size = 0
+        self.globals: List[GlobalEntry] = []
+        self._bss_entries: List[int] = []   # indices into self.globals
+        self._index: Dict[str, int] = {}
+        self._strings: Dict[bytes, int] = {}
+        self._consts: Dict[Tuple[str, float], int] = {}
+
+    def _add_entry(self, entry: GlobalEntry) -> int:
+        index = len(self.globals)
+        self.globals.append(entry)
+        self._index[entry.name] = index
+        return index
+
+    def index_of(self, name: str) -> int:
+        return self._index[name]
+
+    def _append_data(self, payload: bytes, alignment: int) -> int:
+        while len(self.data) % alignment:
+            self.data.append(0)
+        offset = len(self.data)
+        self.data.extend(payload)
+        return offset
+
+    # -- named globals ------------------------------------------------------
+    def add_var(self, name: str, ctype: Type, init) -> int:
+        if init is None:
+            align = 8 if ctype == DOUBLE else 4
+            self.bss_size = (self.bss_size + align - 1) & ~(align - 1)
+            entry = GlobalEntry("data", name, self.bss_size)
+            self.bss_size += max(ctype.size, 1)
+            index = self._add_entry(entry)
+            self._bss_entries.append(index)
+            return index
+        return self._add_entry(
+            GlobalEntry("data", name,
+                        self._append_data(_init_bytes(ctype, init),
+                                          8 if ctype == DOUBLE else 4))
+        )
+
+    def add_lib(self, name: str) -> int:
+        if name in self._index:
+            return self._index[name]
+        return self._add_entry(GlobalEntry("lib", name))
+
+    def add_proc(self, name: str, proc_index: int) -> int:
+        key = f"&{name}"
+        if key in self._index:
+            return self._index[key]
+        return self._add_entry(GlobalEntry("proc", key, proc_index))
+
+    def add_string(self, value: bytes) -> int:
+        if value not in self._strings:
+            offset = self._append_data(value + b"\0", 1)
+            self._strings[value] = self._add_entry(
+                GlobalEntry("data", f"__str{len(self._strings)}", offset)
+            )
+        return self._strings[value]
+
+    def add_const(self, value: float, ctype: Type) -> int:
+        key = (_suffix(ctype), float(value))
+        if key not in self._consts:
+            if ctype == DOUBLE:
+                payload = struct.pack("<d", value)
+            else:
+                payload = struct.pack("<f", value)
+            offset = self._append_data(payload, 8 if ctype == DOUBLE else 4)
+            self._consts[key] = self._add_entry(
+                GlobalEntry(
+                    "data",
+                    f"__const{len(self._consts)}", offset
+                )
+            )
+        return self._consts[key]
+
+    def finalize(self) -> None:
+        """bss symbols live just past the initialized data."""
+        base = len(self.data)
+        for index in self._bss_entries:
+            entry = self.globals[index]
+            self.globals[index] = GlobalEntry(
+                entry.kind, entry.name, base + entry.value
+            )
+
+
+def _init_bytes(ctype: Type, init) -> bytes:
+    """Encode a global initializer into data bytes."""
+    if isinstance(init, bytes):
+        payload = init + b"\0"
+        return payload.ljust(ctype.size, b"\0")
+    if isinstance(init, list):
+        element = ctype.element
+        out = bytearray()
+        for v in init:
+            out.extend(_scalar_bytes(element, v))
+        return bytes(out).ljust(ctype.size, b"\0")
+    return _scalar_bytes(ctype, init)
+
+
+def _scalar_bytes(ctype: Type, value) -> bytes:
+    if ctype == DOUBLE:
+        return struct.pack("<d", float(value))
+    if ctype == FLOAT:
+        return struct.pack("<f", float(value))
+    pattern = int(value) & 0xFFFFFFFF
+    return pattern.to_bytes(4, "little")[: max(ctype.size, 1)]
+
+
+class _FuncGen:
+    """Generates one function body."""
+
+    def __init__(self, module: "_ModuleBuilder", funcs: Dict[str, FunctionInfo],
+                 proc_index: Dict[str, int], info: FunctionInfo) -> None:
+        self.mb = module
+        self.funcs = funcs
+        self.proc_index = proc_index
+        self.info = info
+        self.builder = ProcedureBuilder(
+            info.name,
+            argsize=info.argsize,
+            needs_trampoline=info.address_taken or info.name == "main",
+        )
+        self._label_n = 0
+        self._temp_n = 0
+        self._breaks: List[str] = []
+        self._continues: List[str] = []
+
+    # -- small helpers ------------------------------------------------------
+    def new_label(self) -> str:
+        self._label_n += 1
+        return f".L{self._label_n}"
+
+    def new_temp(self, ctype: Type) -> Symbol:
+        self._temp_n += 1
+        return self.info.add_local(f".t{self._temp_n}", ctype)
+
+    def emit(self, opname: str, *operands: int) -> None:
+        self.builder.emit(opname, *operands)
+
+    def emit_u16(self, opname: str, value: int) -> None:
+        self.builder.emit_u16(opname, value)
+
+    # -- addresses and memory --------------------------------------------------
+    def gen_addr(self, expr: ast.Expr) -> None:
+        """Push the address of an lvalue."""
+        if isinstance(expr, ast.Name):
+            sym = expr.symbol
+            if sym.kind == "param":
+                self.emit_u16("ADDRFP", sym.offset)
+            elif sym.kind == "local":
+                self.emit_u16("ADDRLP", sym.offset)
+            elif sym.kind == "global":
+                self.emit_u16("ADDRGP", self.mb.index_of(sym.name))
+            else:
+                raise CodegenError(f"cannot take address of {sym.kind}")
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            self.gen_expr(expr.operand)
+            return
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                self.gen_expr(expr.base)   # pointer value
+            else:
+                self.gen_addr(expr.base)   # struct lvalue address
+            if expr.field_offset:
+                self.gen_int(expr.field_offset)
+                self.emit("ADDU")
+            return
+        if isinstance(expr, ast.Index):
+            self.gen_expr(expr.base)
+            size = max(expr.ctype.size, 1)
+            if isinstance(expr.index, ast.IntLit) or (
+                    isinstance(expr.index, ast.Cast)
+                    and isinstance(expr.index.operand, ast.IntLit)):
+                lit = expr.index if isinstance(expr.index, ast.IntLit) \
+                    else expr.index.operand
+                self.gen_int(lit.value * size)
+            else:
+                self.gen_expr(expr.index)
+                if size != 1:
+                    self.gen_int(size)
+                    self.emit("MULU")
+            self.emit("ADDU")
+            return
+        raise CodegenError(f"line {expr.line}: not an lvalue")
+
+    def gen_load(self, ctype: Type) -> None:
+        """Address on stack -> value of ``ctype`` on stack."""
+        if ctype == CHAR:
+            self.emit("INDIRC")
+            self.emit("CVI1I4")
+        elif ctype == UCHAR:
+            self.emit("INDIRC")
+        elif ctype == SHORT:
+            self.emit("INDIRS")
+            self.emit("CVI2I4")
+        elif ctype == USHORT:
+            self.emit("INDIRS")
+        elif ctype == FLOAT:
+            self.emit("INDIRF")
+        elif ctype == DOUBLE:
+            self.emit("INDIRD")
+        elif _is_word(ctype):
+            self.emit("INDIRU")
+        else:
+            raise CodegenError(f"cannot load a value of type {ctype}")
+
+    def gen_store(self, ctype: Type) -> None:
+        """Address and value on stack -> stored."""
+        if ctype in (CHAR, UCHAR):
+            self.emit("ASGNC")
+        elif ctype in (SHORT, USHORT):
+            self.emit("ASGNS")
+        elif ctype == FLOAT:
+            self.emit("ASGNF")
+        elif ctype == DOUBLE:
+            self.emit("ASGND")
+        elif _is_word(ctype):
+            self.emit("ASGNU")
+        else:
+            raise CodegenError(f"cannot store a value of type {ctype}")
+
+    def load_symbol(self, sym: Symbol) -> None:
+        if sym.kind == "param":
+            self.emit_u16("ADDRFP", sym.offset)
+        elif sym.kind == "local":
+            self.emit_u16("ADDRLP", sym.offset)
+        else:
+            self.emit_u16("ADDRGP", self.mb.index_of(sym.name))
+        self.gen_load(sym.ctype)
+
+    def store_into_symbol(self, sym: Symbol, gen_value) -> None:
+        """Emit address, run gen_value() to push the value, store."""
+        if sym.kind == "param":
+            self.emit_u16("ADDRFP", sym.offset)
+        elif sym.kind == "local":
+            self.emit_u16("ADDRLP", sym.offset)
+        else:
+            self.emit_u16("ADDRGP", self.mb.index_of(sym.name))
+        gen_value()
+        self.gen_store(sym.ctype)
+
+    # -- constants ----------------------------------------------------------
+    def gen_int(self, value: int) -> None:
+        pattern = value & 0xFFFFFFFF
+        if pattern < 0x100:
+            self.emit("LIT1", pattern)
+        elif pattern < 0x10000:
+            self.emit("LIT2", pattern & 0xFF, pattern >> 8)
+        elif pattern < 0x1000000:
+            self.emit("LIT3", pattern & 0xFF, (pattern >> 8) & 0xFF,
+                      pattern >> 16)
+        else:
+            self.emit("LIT4", pattern & 0xFF, (pattern >> 8) & 0xFF,
+                      (pattern >> 16) & 0xFF, pattern >> 24)
+
+    def gen_float_const(self, value: float, ctype: Type) -> None:
+        index = self.mb.add_const(value, ctype)
+        self.emit_u16("ADDRGP", index)
+        self.emit("INDIRD" if ctype == DOUBLE else "INDIRF")
+
+    # -- expressions: hoisting ----------------------------------------------
+    #
+    # Two kinds of subexpression cannot be generated with values pending on
+    # the evaluation stack:
+    #
+    # * ``&&``/``||``/``?:``/comma need internal branch targets, and every
+    #   LABELV requires an empty stack (Appendix-2 grammar);
+    # * calls with arguments emit ARG *statements*, and a statement operator
+    #   also requires an empty stack — this is exactly why lcc flattens
+    #   nested calls out of expressions.
+    #
+    # ``hoist`` rewrites an expression at an empty-stack point: offending
+    # subtrees are evaluated into fresh temporaries here and now, and the
+    # returned expression references the temps instead.
+
+    def _temp_name(self, temp: Symbol, line: int, ctype) -> ast.Name:
+        name = ast.Name(line, ctype, temp.name)
+        name.symbol = temp
+        return name
+
+    def hoist(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Cond) or (
+                isinstance(expr, ast.Binary) and expr.op in ("&&", "||")):
+            temp = self.new_temp(expr.ctype)
+            self.gen_labelful_into(temp, expr)
+            return self._temp_name(temp, expr.line, expr.ctype)
+        if isinstance(expr, ast.Binary) and expr.op == "," and \
+                expr.ctype != VOID:
+            temp = self.new_temp(expr.ctype)
+            self.gen_for_effect(expr.left)
+            right = self.hoist(expr.right)
+            self.store_into_symbol(temp, lambda: self.gen_expr(right))
+            return self._temp_name(temp, expr.line, expr.ctype)
+        # Children first: inner calls are evaluated (now, stack empty)
+        # before the enclosing call's ARGs start.
+        for attr in ("operand", "base", "index", "left", "right",
+                     "target", "value", "func"):
+            child = getattr(expr, attr, None)
+            if isinstance(child, ast.Expr):
+                setattr(expr, attr, self.hoist(child))
+        if isinstance(expr, ast.Call):
+            expr.args = [self.hoist(a) for a in expr.args]
+            if expr.args and expr.ctype != VOID:
+                temp = self.new_temp(expr.ctype)
+                self._gen_call_store(
+                    expr,
+                    lambda: self.emit_u16("ADDRLP", temp.offset),
+                    temp.ctype,
+                )
+                return self._temp_name(temp, expr.line, expr.ctype)
+        if isinstance(expr, ast.Assign):
+            # ASGN is a statement operator: perform the store now (children
+            # were hoisted, so the target is side-effect free) and let the
+            # expression read the target back — the stored, converted value.
+            self._gen_assign_effect(expr)
+            return expr.target
+        if isinstance(expr, ast.IncDec):
+            if expr.postfix:
+                temp = self.new_temp(expr.ctype)
+                operand = expr.operand
+                self.store_into_symbol(temp, lambda: (
+                    self.gen_addr(operand), self.gen_load(operand.ctype)
+                ))
+                self._gen_incdec_effect(expr)
+                return self._temp_name(temp, expr.line, expr.ctype)
+            self._gen_incdec_effect(expr)
+            return expr.operand
+        return expr
+
+    def _gen_call_store(self, call: ast.Call, push_addr, ctype) -> None:
+        """[ARG statements][address][call operator][store]: the only
+        grammar-legal way to capture a call's value (the ARGs finish as
+        statements before the address is pushed)."""
+        self._emit_args(call)
+        push_addr()
+        self._emit_call_operator(call)
+        self.gen_store(ctype)
+
+    def gen_labelful_into(self, temp: Symbol, expr: ast.Expr) -> None:
+        """Evaluate a ``&&``/``||``/``?:`` into ``temp`` using branches;
+        requires (and preserves) an empty evaluation stack."""
+        if isinstance(expr, ast.Cond):
+            l_true = self.new_label()
+            l_false = self.new_label()
+            l_end = self.new_label()
+            self.gen_branch(expr.cond, l_true, l_false)
+            self.builder.here(l_true)
+            # Hoist each arm *before* pushing the temp's address, so any
+            # nested label-ful construct sees an empty evaluation stack.
+            then = self.hoist(expr.then)
+            self.store_into_symbol(temp, lambda: self.gen_expr(then))
+            self.builder.emit_branch("JUMPV", l_end)
+            self.builder.here(l_false)
+            other = self.hoist(expr.other)
+            self.store_into_symbol(temp, lambda: self.gen_expr(other))
+            self.builder.here(l_end)
+            return
+        # && / ||: temp = 1 on the true path, 0 on the false path.
+        l_true = self.new_label()
+        l_false = self.new_label()
+        l_end = self.new_label()
+        self.gen_branch(expr, l_true, l_false)
+        self.builder.here(l_true)
+        self.store_into_symbol(temp, lambda: self.gen_int(1))
+        self.builder.emit_branch("JUMPV", l_end)
+        self.builder.here(l_false)
+        self.store_into_symbol(temp, lambda: self.gen_int(0))
+        self.builder.here(l_end)
+
+    def gen_branch(self, expr: ast.Expr, l_true: str, l_false: str) -> None:
+        """Branch on a condition; empty stack before and after."""
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            l_mid = self.new_label()
+            self.gen_branch(expr.left, l_mid, l_false)
+            self.builder.here(l_mid)
+            self.gen_branch(expr.right, l_true, l_false)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            l_mid = self.new_label()
+            self.gen_branch(expr.left, l_true, l_mid)
+            self.builder.here(l_mid)
+            self.gen_branch(expr.right, l_true, l_false)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.gen_branch(expr.operand, l_false, l_true)
+            return
+        expr = self.hoist(expr)
+        self.gen_flag(expr)
+        self.builder.emit_branch("BrTrue", l_true)
+        self.builder.emit_branch("JUMPV", l_false)
+
+    def gen_flag(self, expr: ast.Expr) -> None:
+        """Push a 0/1 flag for a (label-free) scalar condition."""
+        ctype = expr.ctype
+        if ctype in (FLOAT, DOUBLE):
+            self.gen_expr(expr)
+            self.gen_float_const(0.0, ctype)
+            self.emit("NED" if ctype == DOUBLE else "NEF")
+            return
+        if isinstance(expr, ast.Binary) and expr.op in (
+                "==", "!=", "<", ">", "<=", ">="):
+            self.gen_expr(expr)  # comparisons already push a flag
+            return
+        self.gen_expr(expr)
+        self.gen_int(0)
+        self.emit("NEU")
+
+    # -- expressions: values -------------------------------------------------------
+    def gen_expr(self, expr: ast.Expr) -> None:
+        """Push the expression's value (label-free subtrees only)."""
+        method = getattr(self, "_gen_" + type(expr).__name__, None)
+        if method is None:
+            raise CodegenError(
+                f"line {expr.line}: cannot generate "
+                f"{type(expr).__name__}"
+            )
+        method(expr)
+
+    def _gen_IntLit(self, expr: ast.IntLit) -> None:
+        self.gen_int(expr.value)
+
+    def _gen_FloatLit(self, expr: ast.FloatLit) -> None:
+        self.gen_float_const(expr.value, expr.ctype)
+
+    def _gen_StrLit(self, expr: ast.StrLit) -> None:
+        self.emit_u16("ADDRGP", self.mb.add_string(expr.value))
+
+    def _gen_Name(self, expr: ast.Name) -> None:
+        sym = expr.symbol
+        if isinstance(sym.ctype, Array):
+            self.gen_addr(expr)
+            return
+        if sym.kind == "func":
+            # handled via Cast decay; direct value use is its address
+            self._gen_func_address(sym)
+            return
+        self.load_symbol(sym)
+
+    def _gen_func_address(self, sym: Symbol) -> None:
+        info = sym.func
+        if not info.defined:
+            self.emit_u16("ADDRGP", self.mb.add_lib(sym.name))
+        else:
+            self.emit_u16(
+                "ADDRGP",
+                self.mb.add_proc(sym.name, self.proc_index[sym.name]),
+            )
+
+    def _gen_Cast(self, expr: ast.Cast) -> None:
+        operand = expr.operand
+        target = expr.ctype
+        if isinstance(operand.ctype, Array):
+            self.gen_addr(operand)
+            return
+        if isinstance(operand.ctype, FuncType):
+            self._gen_func_address(operand.symbol)
+            return
+        self.gen_expr(operand)
+        self._gen_convert(operand.ctype, target, expr.line)
+
+    def _gen_convert(self, src: Type, dst: Type, line: int) -> None:
+        if src == dst or dst == VOID:
+            if dst == VOID and src in (FLOAT, DOUBLE):
+                self.emit("POPF" if src == FLOAT else "POPD")
+            elif dst == VOID:
+                self.emit("POPU")
+            return
+        src_f = src in (FLOAT, DOUBLE)
+        dst_f = dst in (FLOAT, DOUBLE)
+        if src_f and dst_f:
+            self.emit("CVFD" if src == FLOAT else "CVDF")
+            return
+        if src_f and not dst_f:
+            self.emit("CVFI" if src == FLOAT else "CVDI")
+            self._narrow(dst)
+            return
+        if not src_f and dst_f:
+            # NOTE: unsigned sources go through the signed conversion (the
+            # ISA has no unsigned-to-float operator); see module docstring.
+            self.emit("CVIF" if dst == FLOAT else "CVID")
+            return
+        self._narrow(dst)
+
+    def _narrow(self, dst: Type) -> None:
+        if dst == CHAR:
+            self.emit("CVI1I4")
+        elif dst == UCHAR:
+            self.emit("CVU1U4")
+        elif dst == SHORT:
+            self.emit("CVI2I4")
+        elif dst == USHORT:
+            self.emit("CVU2U4")
+        # words and pointers: nothing to do
+
+    def _gen_Unary(self, expr: ast.Unary) -> None:
+        op = expr.op
+        if op == "&":
+            operand = expr.operand
+            if isinstance(operand, ast.Name) and operand.symbol.kind == \
+                    "func":
+                self._gen_func_address(operand.symbol)
+                return
+            self.gen_addr(operand)
+            return
+        if op == "*":
+            self.gen_expr(expr.operand)
+            if not isinstance(expr.ctype, (FuncType, Array)):
+                self.gen_load(expr.ctype)
+            return
+        if op == "-":
+            self.gen_expr(expr.operand)
+            t = expr.ctype
+            self.emit("NEGD" if t == DOUBLE else
+                      "NEGF" if t == FLOAT else "NEGI")
+            return
+        if op == "~":
+            self.gen_expr(expr.operand)
+            self.emit("BCOMU")
+            return
+        if op == "!":
+            self.gen_expr(expr.operand)
+            t = expr.operand.ctype
+            if t in (FLOAT, DOUBLE):
+                self.gen_float_const(0.0, t)
+                self.emit("EQD" if t == DOUBLE else "EQF")
+            else:
+                self.gen_int(0)
+                self.emit("EQU")
+            return
+        raise CodegenError(f"line {expr.line}: unary {op!r}")
+
+    _CMP_SIGNED = {"<": "LTI", ">": "GTI", "<=": "LEI", ">=": "GEI"}
+    _CMP_GENERIC = {"==": "EQ", "!=": "NE", "<": "LT", ">": "GT",
+                    "<=": "LE", ">=": "GE"}
+
+    def _gen_Binary(self, expr: ast.Binary) -> None:
+        op = expr.op
+        if op == ",":
+            self.gen_for_effect(expr.left)
+            self.gen_expr(expr.right)
+            return
+        if op in ("&&", "||"):
+            raise CodegenError(
+                f"line {expr.line}: {op} reached gen_expr without hoisting"
+            )
+        left, right = expr.left, expr.right
+        lt, rt = left.ctype, right.ctype
+        if op == "-" and isinstance(lt, Pointer) and isinstance(rt, Pointer):
+            self.gen_expr(left)
+            self.gen_expr(right)
+            self.emit("SUBU")
+            size = max(lt.pointee.size, 1)
+            if size != 1:
+                self.gen_int(size)
+                self.emit("DIVU")
+            return
+        if op in ("+", "-") and isinstance(lt, Pointer) and _is_word(rt):
+            self.gen_expr(left)
+            self.gen_expr(right)
+            size = max(lt.pointee.size, 1)
+            if size != 1:
+                self.gen_int(size)
+                self.emit("MULU")
+            self.emit("ADDU" if op == "+" else "SUBU")
+            return
+        if op == "+" and isinstance(rt, Pointer):
+            self.gen_expr(left)
+            size = max(rt.pointee.size, 1)
+            if size != 1:
+                self.gen_int(size)
+                self.emit("MULU")
+            self.gen_expr(right)
+            self.emit("ADDU")
+            return
+        self.gen_expr(left)
+        self.gen_expr(right)
+        common = left.ctype
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if common == INT and op in self._CMP_SIGNED:
+                self.emit(self._CMP_SIGNED[op])
+            else:
+                self.emit(self._CMP_GENERIC[op] + _suffix(common))
+            return
+        if op == "+":
+            self.emit("ADD" + _suffix(common))
+        elif op == "-":
+            self.emit("SUB" + _suffix(common))
+        elif op == "*":
+            if common == INT:
+                self.emit("MULI")
+            elif common == UINT or _is_word(common):
+                self.emit("MULU")
+            else:
+                self.emit("MUL" + _suffix(common))
+        elif op == "/":
+            if common == INT:
+                self.emit("DIVI")
+            elif _is_word(common):
+                self.emit("DIVU")
+            else:
+                self.emit("DIV" + _suffix(common))
+        elif op == "%":
+            self.emit("MODI" if common == INT else "MODU")
+        elif op == "&":
+            self.emit("BANDU")
+        elif op == "|":
+            self.emit("BORU")
+        elif op == "^":
+            self.emit("BXORU")
+        elif op == "<<":
+            self.emit("LSHI" if common == INT else "LSHU")
+        elif op == ">>":
+            self.emit("RSHI" if common == INT else "RSHU")
+        else:
+            raise CodegenError(f"line {expr.line}: operator {op!r}")
+
+    def _gen_assign_effect(self, expr: ast.Assign) -> None:
+        self.gen_addr(expr.target)
+        self.gen_expr(expr.value)
+        self.gen_store(expr.target.ctype)
+
+    def _gen_incdec_effect(self, expr: ast.IncDec) -> None:
+        ctype = expr.operand.ctype
+        if ctype in (FLOAT, DOUBLE):
+            raise CodegenError(
+                f"line {expr.line}: ++/-- on floating types is not in the "
+                f"mini-C subset"
+            )
+        step = max(ctype.pointee.size, 1) if isinstance(ctype, Pointer) \
+            else 1
+        self.gen_addr(expr.operand)
+        self.gen_addr(expr.operand)
+        self.gen_load(ctype)
+        self.gen_int(step)
+        self.emit("ADDU" if expr.op == "++" else "SUBU")
+        self.gen_store(ctype)
+
+    # -- calls ---------------------------------------------------------------
+    def _emit_args(self, call: ast.Call) -> None:
+        """ARG each argument, first to last.  Each ARG is a complete
+        statement, so the evaluation stack must be empty on entry; callers
+        guarantee that (hoisting)."""
+        for arg in call.args:
+            self.gen_expr(arg)
+            t = arg.ctype
+            if t == DOUBLE:
+                self.emit("ARGD")
+            elif t == FLOAT:
+                self.emit("ARGF")
+            else:
+                self.emit("ARGU")
+
+    def _emit_call_operator(self, call: ast.Call):
+        """Emit just the call operator (args already pushed); returns the
+        return type.  Pushes the result for non-void calls."""
+        func = call.func
+        if isinstance(func, ast.Name) and func.symbol.kind == "func":
+            info = func.symbol.func
+            ret = info.ctype.ret
+            if info.defined:
+                self.emit_u16(
+                    "LocalCALL" + self._call_suffix(ret),
+                    self.proc_index[func.name],
+                )
+            else:  # library routine: through the global table
+                self.emit_u16("ADDRGP", self.mb.add_lib(func.name))
+                self.emit("CALL" + self._call_suffix(ret))
+            return ret
+        ftype = func.ctype
+        if isinstance(ftype, Pointer):
+            ftype = ftype.pointee
+        ret = ftype.ret
+        self.gen_expr(func)
+        self.emit("CALL" + self._call_suffix(ret))
+        return ret
+
+    def _gen_Call(self, expr: ast.Call) -> None:
+        # Value position.  Calls *with* arguments were hoisted into temps
+        # (their ARGs are statements); only argument-less calls are legal
+        # inline, and those can appear anywhere a leaf can.
+        if expr.args:
+            raise CodegenError(
+                f"line {expr.line}: call with arguments reached gen_expr "
+                f"without hoisting (internal error)"
+            )
+        self._emit_call_operator(expr)
+
+    @staticmethod
+    def _call_suffix(ret: Type) -> str:
+        if ret == VOID:
+            return "V"
+        if ret == DOUBLE:
+            return "D"
+        if ret == FLOAT:
+            return "F"
+        return "U"
+
+    def _gen_Index(self, expr: ast.Index) -> None:
+        self.gen_addr(expr)
+        if not isinstance(expr.ctype, (Array, Struct)):
+            self.gen_load(expr.ctype)
+
+    def _gen_Member(self, expr: ast.Member) -> None:
+        self.gen_addr(expr)
+        if not isinstance(expr.ctype, (Array, Struct)):
+            self.gen_load(expr.ctype)
+
+    # -- statements -----------------------------------------------------------------
+    def _pop_value(self, ctype: Type) -> None:
+        if ctype == DOUBLE:
+            self.emit("POPD")
+        elif ctype == FLOAT:
+            self.emit("POPF")
+        elif ctype != VOID:
+            self.emit("POPU")
+
+    def gen_for_effect(self, expr: ast.Expr) -> None:
+        """Evaluate for side effects; requires and leaves an empty stack."""
+        if isinstance(expr, ast.Binary) and expr.op == ",":
+            self.gen_for_effect(expr.left)
+            self.gen_for_effect(expr.right)
+            return
+        if isinstance(expr, ast.Cast) and expr.ctype == VOID:
+            self.gen_for_effect(expr.operand)
+            return
+        if isinstance(expr, ast.Call):
+            # Direct emission: ARG statements run here, at an empty stack.
+            expr.args = [self.hoist(a) for a in expr.args]
+            expr.func = self.hoist(expr.func)
+            self._emit_args(expr)
+            ret = self._emit_call_operator(expr)
+            self._pop_value(ret)
+            return
+        if isinstance(expr, ast.Assign):
+            expr.target = self.hoist(expr.target)
+            value = expr.value
+            if expr.op == "=" and isinstance(value, ast.Call) and value.args:
+                # x = f(...): ARGs as statements, then [addr][call][store].
+                value.args = [self.hoist(a) for a in value.args]
+                value.func = self.hoist(value.func)
+                self._gen_call_store(
+                    value,
+                    lambda: self.gen_addr(expr.target),
+                    expr.target.ctype,
+                )
+                return
+            expr.value = self.hoist(value)
+            self._gen_assign_effect(expr)
+            return
+        if isinstance(expr, ast.IncDec):
+            expr.operand = self.hoist(expr.operand)
+            self._gen_incdec_effect(expr)
+            return
+        if isinstance(expr, (ast.Name, ast.IntLit, ast.FloatLit,
+                             ast.StrLit)):
+            return  # pure, no effect
+        expr = self.hoist(expr)
+        self.gen_expr(expr)
+        self._pop_value(expr.ctype)
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for s in stmt.body:
+                self.gen_stmt(s)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self.gen_for_effect(stmt.expr)
+        elif isinstance(stmt, ast.LocalDecl):
+            if stmt.init is not None:
+                init = stmt.init
+                if isinstance(init, ast.Call) and init.args:
+                    init.args = [self.hoist(a) for a in init.args]
+                    init.func = self.hoist(init.func)
+                    sym = stmt.symbol
+                    self._gen_call_store(
+                        init,
+                        lambda: self.emit_u16("ADDRLP", sym.offset),
+                        sym.ctype,
+                    )
+                else:
+                    init = self.hoist(init)
+                    self.store_into_symbol(stmt.symbol,
+                                           lambda: self.gen_expr(init))
+        elif isinstance(stmt, ast.If):
+            l_then = self.new_label()
+            l_else = self.new_label()
+            self.gen_branch(stmt.cond, l_then, l_else)
+            self.builder.here(l_then)
+            self.gen_stmt(stmt.then)
+            if stmt.other is not None:
+                l_end = self.new_label()
+                self.builder.emit_branch("JUMPV", l_end)
+                self.builder.here(l_else)
+                self.gen_stmt(stmt.other)
+                self.builder.here(l_end)
+            else:
+                self.builder.here(l_else)
+        elif isinstance(stmt, ast.While):
+            l_top = self.new_label()
+            l_body = self.new_label()
+            l_end = self.new_label()
+            self.builder.here(l_top)
+            self._breaks.append(l_end)
+            self._continues.append(l_top)
+            self.gen_branch(stmt.cond, l_body, l_end)
+            self.builder.here(l_body)
+            self.gen_stmt(stmt.body)
+            self.builder.emit_branch("JUMPV", l_top)
+            self.builder.here(l_end)
+            self._breaks.pop()
+            self._continues.pop()
+        elif isinstance(stmt, ast.DoWhile):
+            l_top = self.new_label()
+            l_cond = self.new_label()
+            l_end = self.new_label()
+            self.builder.here(l_top)
+            self._breaks.append(l_end)
+            self._continues.append(l_cond)
+            self.gen_stmt(stmt.body)
+            self.builder.here(l_cond)
+            self.gen_branch(stmt.cond, l_top, l_end)
+            self.builder.here(l_end)
+            self._breaks.pop()
+            self._continues.pop()
+        elif isinstance(stmt, ast.For):
+            l_top = self.new_label()
+            l_body = self.new_label()
+            l_step = self.new_label()
+            l_end = self.new_label()
+            if stmt.init is not None:
+                self.gen_for_effect(stmt.init)
+            self.builder.here(l_top)
+            self._breaks.append(l_end)
+            self._continues.append(l_step)
+            if stmt.cond is not None:
+                self.gen_branch(stmt.cond, l_body, l_end)
+                self.builder.here(l_body)
+            self.gen_stmt(stmt.body)
+            self.builder.here(l_step)
+            if stmt.step is not None:
+                self.gen_for_effect(stmt.step)
+            self.builder.emit_branch("JUMPV", l_top)
+            self.builder.here(l_end)
+            self._breaks.pop()
+            self._continues.pop()
+        elif isinstance(stmt, ast.Switch):
+            self._gen_switch(stmt)
+        elif isinstance(stmt, ast.Return):
+            ret = self.info.ctype.ret
+            if stmt.value is None:
+                self.emit("RETV")
+            elif isinstance(stmt.value, ast.Call) and stmt.value.args:
+                # return f(...): ARG statements, then [call][RET] directly.
+                call = stmt.value
+                call.args = [self.hoist(a) for a in call.args]
+                call.func = self.hoist(call.func)
+                self._emit_args(call)
+                self._emit_call_operator(call)
+                self.emit("RET" + self._call_suffix(ret))
+            else:
+                value = self.hoist(stmt.value)
+                self.gen_expr(value)
+                self.emit("RET" + self._call_suffix(ret))
+        elif isinstance(stmt, ast.Break):
+            self.builder.emit_branch("JUMPV", self._breaks[-1])
+        elif isinstance(stmt, ast.Continue):
+            self.builder.emit_branch("JUMPV", self._continues[-1])
+        else:  # pragma: no cover
+            raise CodegenError(f"unhandled statement {type(stmt).__name__}")
+
+    def _gen_switch(self, stmt: ast.Switch) -> None:
+        """Lower a switch to a binary decision tree over the case values —
+        the lcc option the paper's evaluation used ("compiles switches
+        into decision trees, because the current implementation of the
+        bytecode cannot handle indirect jumps")."""
+        l_end = self.new_label()
+        l_default = self.new_label()
+        cases = []          # (value, label)
+        has_default = False
+        for item in stmt.body:
+            if isinstance(item, ast.CaseLabel):
+                if item.value is None:
+                    has_default = True
+                else:
+                    cases.append((item.value, self.new_label()))
+
+        # Evaluate the controlling expression once, into a temp.
+        temp = self.new_temp(stmt.cond.ctype)
+        cond = self.hoist(stmt.cond)
+        self.store_into_symbol(temp, lambda: self.gen_expr(cond))
+
+        # Dispatch: binary search over the sorted case values.
+        signed = stmt.cond.ctype == INT
+        by_value = dict(cases)
+        # Sort in the comparison domain the dispatch uses (LTI vs LTU),
+        # so negative case values order correctly either way.
+        domain = (lambda v: v) if signed else (lambda v: v & 0xFFFFFFFF)
+        sorted_values = sorted(by_value, key=domain)
+
+        def emit_tree(values):
+            if len(values) <= 3:
+                for v in values:
+                    self.load_symbol(temp)
+                    self.gen_int(v)
+                    self.emit("EQU")
+                    self.builder.emit_branch("BrTrue", by_value[v])
+                self.builder.emit_branch(
+                    "JUMPV", l_default if has_default else l_end
+                )
+                return
+            mid = len(values) // 2
+            l_low = self.new_label()
+            self.load_symbol(temp)
+            self.gen_int(values[mid])
+            self.emit("LTI" if signed else "LTU")
+            self.builder.emit_branch("BrTrue", l_low)
+            emit_tree(values[mid:])
+            self.builder.here(l_low)
+            emit_tree(values[:mid])
+
+        emit_tree(sorted_values)
+
+        # Body: statements in order, labels at case positions
+        # (fallthrough is just sequential execution).
+        case_iter = iter(cases)
+        self._breaks.append(l_end)
+        try:
+            for item in stmt.body:
+                if isinstance(item, ast.CaseLabel):
+                    if item.value is None:
+                        self.builder.here(l_default)
+                    else:
+                        self.builder.here(next(case_iter)[1])
+                else:
+                    self.gen_stmt(item)
+        finally:
+            self._breaks.pop()
+        if not has_default:
+            pass  # no-case path jumped straight to l_end
+        self.builder.here(l_end)
+
+    def generate(self, body: ast.Block):
+        self.gen_stmt(body)
+        # Defensive epilogue: C says falling off the end of a non-void
+        # function is undefined; we return 0/0.0.
+        ret = self.info.ctype.ret
+        if ret == VOID:
+            self.emit("RETV")
+        elif ret in (FLOAT, DOUBLE):
+            self.gen_float_const(0.0, ret)
+            self.emit("RETD" if ret == DOUBLE else "RETF")
+        else:
+            self.gen_int(0)
+            self.emit("RETU")
+        self.builder.framesize = self.info.framesize
+        return self.builder.finish()
+
+
+def generate(unit: ast.TranslationUnit) -> Module:
+    """Sema + codegen: typed AST in, complete Module out."""
+    functions = analyze(unit)
+
+    mb = _ModuleBuilder()
+    for item in unit.items:
+        if isinstance(item, ast.GlobalDecl):
+            mb.add_var(item.name, item.ctype, item.init)
+
+    defined = [item for item in unit.items
+               if isinstance(item, ast.FuncDef) and item.body is not None]
+    proc_index = {item.name: i for i, item in enumerate(defined)}
+
+    procedures = []
+    for item in defined:
+        gen = _FuncGen(mb, functions, proc_index, functions[item.name])
+        procedures.append((gen, item.body))
+
+    module = Module()
+    for gen, body in procedures:
+        module.procedures.append(gen.generate(body))
+    mb.finalize()
+    module.globals = mb.globals
+    module.data = bytes(mb.data)
+    module.bss_size = mb.bss_size
+    if "main" in proc_index:
+        module.entry = proc_index["main"]
+    return module

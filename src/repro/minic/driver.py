@@ -1,0 +1,57 @@
+"""Compiler driver: source text -> validated Module, plus a convenience
+runner used everywhere in tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..bytecode.module import Module
+from ..bytecode.validate import validate_module
+from ..interp.interp1 import Interpreter1
+from ..interp.runtime import run_program
+from .codegen import generate
+from .parser import parse
+
+__all__ = ["compile_source", "compile_sources", "compile_and_run"]
+
+# The runtime library's C declarations, implicitly prepended so corpus
+# programs can just call these (they resolve to interpreter intrinsics).
+RUNTIME_DECLS = """
+int putchar(int c);
+int getchar(void);
+int puts(char *s);
+int putstr(char *s);
+int putint(int v);
+int putuint(unsigned v);
+int putfloat(double v);
+void exit(int code);
+void abort(void);
+char *malloc(unsigned n);
+void free(char *p);
+char *memcpy(char *dst, char *src, unsigned n);
+char *memset(char *p, int v, unsigned n);
+unsigned strlen(char *s);
+"""
+
+
+def compile_source(source: str, *, with_runtime: bool = True) -> Module:
+    """Compile one translation unit to a validated bytecode module."""
+    text = (RUNTIME_DECLS + source) if with_runtime else source
+    module = generate(parse(text))
+    validate_module(module)
+    return module
+
+
+def compile_sources(sources: Iterable[str]) -> Module:
+    """Compile several source files as one program (textual linkage, the
+    mini-C equivalent of whole-program compilation)."""
+    return compile_source("\n".join(sources))
+
+
+def compile_and_run(source: str, *args: int,
+                    input_data: bytes = b"") -> Tuple[int, bytes]:
+    """Compile and execute on the uncompressed interpreter; returns
+    (exit code, output bytes)."""
+    module = compile_source(source)
+    return run_program(module, Interpreter1(module), *args,
+                       input_data=input_data)

@@ -1,0 +1,164 @@
+"""Lexer for mini-C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "char", "short", "int", "unsigned", "float", "double", "void",
+    "struct",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "switch", "case", "default", "sizeof",
+}
+
+# Longest first so e.g. ">>=" wins over ">>" and ">".
+_PUNCT = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".",
+]
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39,
+            '"': 34, "a": 7, "b": 8, "f": 12, "v": 11}
+
+
+class LexError(ValueError):
+    """Raised on malformed source text."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """kind: 'id', 'kw', 'int', 'float', 'char', 'str', 'punct', 'eof'."""
+
+    kind: str
+    text: str
+    value: object = None
+    line: int = 0
+
+    def __str__(self) -> str:
+        return self.text or self.kind
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a full translation unit; appends an 'eof' token."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(source)
+    line = 1
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\v\f":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if source.startswith("/*", i):
+            j = source.find("*/", i + 2)
+            if j < 0:
+                raise LexError(f"line {line}: unterminated comment")
+            line += source.count("\n", i, j)
+            i = j + 2
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, None, line))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                if j < n and source[j] == ".":
+                    is_float = True
+                    j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+                if j < n and source[j] in "eE":
+                    is_float = True
+                    j += 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+                value = float(source[i:j]) if is_float else int(source[i:j])
+            suffix_f = False
+            if j < n and source[j] in "fF" and is_float:
+                suffix_f = True
+                j += 1
+            if j < n and source[j] in "uUlL":
+                j += 1
+            text = source[i:j]
+            if is_float:
+                tokens.append(Token("float", text,
+                                    (value, suffix_f), line))
+            else:
+                tokens.append(Token("int", text, value, line))
+            i = j
+            continue
+        if c == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                if j + 1 >= n or source[j + 1] not in _ESCAPES:
+                    raise LexError(f"line {line}: bad escape")
+                value = _ESCAPES[source[j + 1]]
+                j += 2
+            elif j < n:
+                value = ord(source[j])
+                j += 1
+            else:
+                raise LexError(f"line {line}: unterminated char literal")
+            if j >= n or source[j] != "'":
+                raise LexError(f"line {line}: unterminated char literal")
+            tokens.append(Token("char", source[i:j + 1], value, line))
+            i = j + 1
+            continue
+        if c == '"':
+            j = i + 1
+            out = bytearray()
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    if j + 1 >= n or source[j + 1] not in _ESCAPES:
+                        raise LexError(f"line {line}: bad escape")
+                    out.append(_ESCAPES[source[j + 1]])
+                    j += 2
+                elif source[j] == "\n":
+                    raise LexError(f"line {line}: newline in string")
+                else:
+                    out.append(ord(source[j]))
+                    j += 1
+            if j >= n:
+                raise LexError(f"line {line}: unterminated string")
+            tokens.append(Token("str", source[i:j + 1], bytes(out), line))
+            i = j + 1
+            continue
+        for p in _PUNCT:
+            if source.startswith(p, i):
+                tokens.append(Token("punct", p, None, line))
+                i += len(p)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {c!r}")
+    tokens.append(Token("eof", "", None, line))
+    return tokens

@@ -1,0 +1,536 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+from .lexer import Token, tokenize
+from .types import (
+    Array, CHAR, DOUBLE, FLOAT, INT, Pointer, SHORT, Struct, Type, UCHAR,
+    UINT, USHORT, VOID,
+)
+
+__all__ = ["ParseError", "parse"]
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+
+_TYPE_KEYWORDS = {"char", "short", "int", "unsigned", "float", "double",
+                  "void", "struct"}
+
+
+class ParseError(ValueError):
+    """Raised on a syntax error, with the offending line number."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.structs: dict = {}  # tag -> Struct
+
+    # -- token plumbing ------------------------------------------------------
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, ahead: int = 1) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tok
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(f"line {self.tok.line}: {message}")
+
+    def expect(self, text: str) -> Token:
+        if self.tok.text != text:
+            raise self.error(f"expected {text!r}, found {self.tok.text!r}")
+        return self.advance()
+
+    def accept(self, text: str) -> bool:
+        if self.tok.text == text:
+            self.advance()
+            return True
+        return False
+
+    # -- types ------------------------------------------------------------
+    def at_type(self) -> bool:
+        return self.tok.kind == "kw" and self.tok.text in _TYPE_KEYWORDS
+
+    def parse_base_type(self) -> Type:
+        tok = self.advance()
+        if tok.text == "struct":
+            return self.parse_struct_type()
+        if tok.text == "unsigned":
+            if self.tok.text == "char":
+                self.advance()
+                return UCHAR
+            if self.tok.text == "short":
+                self.advance()
+                return USHORT
+            if self.tok.text == "int":
+                self.advance()
+            return UINT
+        if tok.text == "char":
+            return CHAR
+        if tok.text == "short":
+            if self.tok.text == "int":
+                self.advance()
+            return SHORT
+        if tok.text == "int":
+            return INT
+        if tok.text == "float":
+            return FLOAT
+        if tok.text == "double":
+            return DOUBLE
+        if tok.text == "void":
+            return VOID
+        raise self.error(f"expected a type, found {tok.text!r}")
+
+    def parse_struct_type(self) -> Type:
+        """After the 'struct' keyword: tag, optional member definition."""
+        if self.tok.kind != "id":
+            raise self.error("expected a struct tag")
+        tag = self.advance().text
+        if self.tok.text != "{":
+            if tag not in self.structs:
+                raise self.error(f"unknown struct {tag!r}")
+            return self.structs[tag]
+        if tag in self.structs and self.structs[tag].is_complete:
+            raise self.error(f"struct {tag!r} defined twice")
+        # Register the tag before parsing members, so pointers to the
+        # struct inside its own definition resolve (linked structures).
+        struct = self.structs.setdefault(tag, Struct(tag))
+        self.expect("{")
+        members = []
+        while not self.accept("}"):
+            if self.tok.kind == "eof":
+                raise self.error("unterminated struct definition")
+            base = self.parse_base_type()
+            while True:
+                ftype = base
+                while self.accept("*"):
+                    ftype = Pointer(ftype)
+                if self.tok.kind != "id":
+                    raise self.error("expected a member name")
+                fname = self.advance().text
+                if self.accept("["):
+                    count = self.parse_const_int()
+                    self.expect("]")
+                    ftype = Array(ftype, count)
+                if ftype == VOID:
+                    raise self.error("struct member of type void")
+                element = ftype
+                while isinstance(element, Array):
+                    element = element.element
+                if isinstance(element, Struct) and not element.is_complete:
+                    raise self.error(
+                        f"member {fname!r} has incomplete type "
+                        f"{element.name} (use a pointer)"
+                    )
+                if any(m[0] == fname for m in members):
+                    raise self.error(f"duplicate member {fname!r}")
+                members.append((fname, ftype))
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        if not members:
+            raise self.error("empty struct")
+        struct.define(members)
+        return struct
+
+    def parse_type(self) -> Type:
+        t = self.parse_base_type()
+        while self.accept("*"):
+            t = Pointer(t)
+        return t
+
+    # -- top level ----------------------------------------------------------
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while self.tok.kind != "eof":
+            unit.items.extend(self.parse_toplevel())
+        return unit
+
+    def parse_toplevel(self) -> List[ast.Node]:
+        line = self.tok.line
+        base = self.parse_type()
+        if isinstance(base, Struct) and self.accept(";"):
+            return []  # pure type definition
+        if self.tok.kind != "id":
+            raise self.error("expected a name")
+        name = self.advance().text
+        if self.tok.text == "(":
+            return [self.parse_function(base, name, line)]
+        return self.parse_global_decls(base, name, line)
+
+    def parse_function(self, ret: Type, name: str, line: int) -> ast.FuncDef:
+        self.expect("(")
+        params: List[ast.Param] = []
+        if not self.accept(")"):
+            if self.tok.text == "void" and self.peek().text == ")":
+                self.advance()
+                self.expect(")")
+            else:
+                while True:
+                    pline = self.tok.line
+                    ptype = self.parse_type()
+                    pname = ""
+                    if self.tok.kind == "id":
+                        pname = self.advance().text
+                    if self.accept("["):
+                        self.expect("]")  # array params decay to pointers
+                        ptype = Pointer(ptype)
+                    params.append(ast.Param(pline, ptype, pname))
+                    if not self.accept(","):
+                        break
+                self.expect(")")
+        if self.accept(";"):
+            return ast.FuncDef(line, ret, name, params, None)
+        body = self.parse_block()
+        return ast.FuncDef(line, ret, name, params, body)
+
+    def parse_global_decls(self, base: Type, first_name: str,
+                           line: int) -> List[ast.Node]:
+        # ``base`` arrives with any leading stars already folded in for the
+        # first declarator (parse_toplevel used parse_type); subsequent
+        # comma declarators take their stars from the element type.
+        decls: List[ast.Node] = []
+        name = first_name
+        declared_type: Type = base
+        element = base
+        while isinstance(element, Pointer):
+            element = element.pointee
+        while True:
+            ctype = declared_type
+            if self.accept("["):
+                count = self.parse_const_int()
+                self.expect("]")
+                ctype = Array(ctype, count)
+            init = None
+            if self.accept("="):
+                init = self.parse_global_init()
+            decls.append(ast.GlobalDecl(line, ctype, name, init))
+            if not self.accept(","):
+                break
+            declared_type = element
+            while self.accept("*"):
+                declared_type = Pointer(declared_type)
+            if self.tok.kind != "id":
+                raise self.error("expected a name")
+            name = self.advance().text
+        self.expect(";")
+        return decls
+
+    def parse_global_init(self):
+        if self.tok.kind == "str":
+            return self.advance().value
+        if self.accept("{"):
+            values = []
+            if not self.accept("}"):
+                while True:
+                    values.append(self.parse_const_scalar())
+                    if not self.accept(","):
+                        break
+                self.expect("}")
+            return values
+        return self.parse_const_scalar()
+
+    def parse_const_scalar(self):
+        negate = False
+        if self.accept("-"):
+            negate = True
+        tok = self.advance()
+        if tok.kind == "int" or tok.kind == "char":
+            return -tok.value if negate else tok.value
+        if tok.kind == "float":
+            value = tok.value[0]
+            return -value if negate else value
+        raise self.error("expected a constant")
+
+    def parse_const_int(self) -> int:
+        tok = self.advance()
+        if tok.kind != "int":
+            raise self.error("expected an integer constant")
+        return tok.value
+
+    # -- statements ------------------------------------------------------------
+    def parse_block(self) -> ast.Block:
+        line = self.tok.line
+        self.expect("{")
+        body: List[ast.Stmt] = []
+        while not self.accept("}"):
+            if self.tok.kind == "eof":
+                raise self.error("unterminated block")
+            body.extend(self.parse_statement())
+        return ast.Block(line, body)
+
+    def parse_statement(self) -> List[ast.Stmt]:
+        tok = self.tok
+        if tok.text == "{":
+            return [self.parse_block()]
+        if self.at_type():
+            return self.parse_local_decl()
+        if tok.text == "if":
+            return [self.parse_if()]
+        if tok.text == "while":
+            return [self.parse_while()]
+        if tok.text == "do":
+            return [self.parse_do()]
+        if tok.text == "for":
+            return [self.parse_for()]
+        if tok.text == "switch":
+            return [self.parse_switch()]
+        if tok.text == "case" or tok.text == "default":
+            raise self.error(f"{tok.text!r} outside a switch body")
+        if tok.text == "return":
+            line = self.advance().line
+            value = None
+            if self.tok.text != ";":
+                value = self.parse_expr()
+            self.expect(";")
+            return [ast.Return(line, value)]
+        if tok.text == "break":
+            self.advance()
+            self.expect(";")
+            return [ast.Break(tok.line)]
+        if tok.text == "continue":
+            self.advance()
+            self.expect(";")
+            return [ast.Continue(tok.line)]
+        if self.accept(";"):
+            return [ast.ExprStmt(tok.line, None)]
+        expr = self.parse_expr()
+        self.expect(";")
+        return [ast.ExprStmt(tok.line, expr)]
+
+    def parse_local_decl(self) -> List[ast.Stmt]:
+        line = self.tok.line
+        base = self.parse_base_type()
+        decls: List[ast.Stmt] = []
+        while True:
+            ctype = base
+            while self.accept("*"):
+                ctype = Pointer(ctype)
+            if self.tok.kind != "id":
+                raise self.error("expected a name")
+            name = self.advance().text
+            if self.accept("["):
+                count = self.parse_const_int()
+                self.expect("]")
+                ctype = Array(ctype, count)
+            init = None
+            if self.accept("="):
+                init = self.parse_assignment()
+            decls.append(ast.LocalDecl(line, ctype, name, init))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        return decls
+
+    def parse_switch(self) -> ast.Switch:
+        line = self.expect("switch").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        self.expect("{")
+        body: List[ast.Stmt] = []
+        while not self.accept("}"):
+            if self.tok.kind == "eof":
+                raise self.error("unterminated switch body")
+            if self.tok.text == "case":
+                cline = self.advance().line
+                negate = self.accept("-")
+                tok = self.advance()
+                if tok.kind not in ("int", "char"):
+                    raise self.error("expected an integer case value")
+                value = -tok.value if negate else tok.value
+                self.expect(":")
+                body.append(ast.CaseLabel(cline, value))
+            elif self.tok.text == "default":
+                cline = self.advance().line
+                self.expect(":")
+                body.append(ast.CaseLabel(cline, None))
+            else:
+                body.extend(self.parse_statement())
+        return ast.Switch(line, cond, body)
+
+    def parse_if(self) -> ast.If:
+        line = self.expect("if").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = _single(self.parse_statement())
+        other = None
+        if self.accept("else"):
+            other = _single(self.parse_statement())
+        return ast.If(line, cond, then, other)
+
+    def parse_while(self) -> ast.While:
+        line = self.expect("while").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        return ast.While(line, cond, _single(self.parse_statement()))
+
+    def parse_do(self) -> ast.DoWhile:
+        line = self.expect("do").line
+        body = _single(self.parse_statement())
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        self.expect(";")
+        return ast.DoWhile(line, body, cond)
+
+    def parse_for(self) -> ast.For:
+        line = self.expect("for").line
+        self.expect("(")
+        init = None if self.tok.text == ";" else self.parse_expr()
+        self.expect(";")
+        cond = None if self.tok.text == ";" else self.parse_expr()
+        self.expect(";")
+        step = None if self.tok.text == ")" else self.parse_expr()
+        self.expect(")")
+        return ast.For(line, init, cond, step,
+                       _single(self.parse_statement()))
+
+    # -- expressions -------------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self.accept(","):
+            right = self.parse_assignment()
+            expr = ast.Binary(expr.line, None, ",", expr, right)
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self.parse_conditional()
+        if self.tok.text in _ASSIGN_OPS:
+            op = self.advance().text
+            value = self.parse_assignment()
+            return ast.Assign(left.line, None, op, left, value)
+        return left
+
+    def parse_conditional(self) -> ast.Expr:
+        cond = self.parse_binary(0)
+        if self.accept("?"):
+            then = self.parse_expr()
+            self.expect(":")
+            other = self.parse_conditional()
+            return ast.Cond(cond.line, None, cond, then, other)
+        return cond
+
+    _LEVELS = [
+        ["||"], ["&&"], ["|"], ["^"], ["&"],
+        ["==", "!="], ["<", ">", "<=", ">="],
+        ["<<", ">>"], ["+", "-"], ["*", "/", "%"],
+    ]
+
+    def parse_binary(self, level: int) -> ast.Expr:
+        if level == len(self._LEVELS):
+            return self.parse_unary()
+        ops = self._LEVELS[level]
+        left = self.parse_binary(level + 1)
+        while self.tok.text in ops and self.tok.kind == "punct":
+            op = self.advance().text
+            right = self.parse_binary(level + 1)
+            left = ast.Binary(left.line, None, op, left, right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.tok
+        if tok.text in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(tok.line, None, tok.text, operand)
+        if tok.text == "+":
+            self.advance()
+            return self.parse_unary()
+        if tok.text in ("++", "--"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.IncDec(tok.line, None, tok.text, operand, False)
+        if tok.text == "sizeof":
+            self.advance()
+            self.expect("(")
+            t = self.parse_type()
+            if self.accept("["):
+                count = self.parse_const_int()
+                self.expect("]")
+                t = Array(t, count)
+            self.expect(")")
+            return ast.SizeOf(tok.line, None, t)
+        if tok.text == "(" and self.peek().kind == "kw" and \
+                self.peek().text in _TYPE_KEYWORDS:
+            self.advance()
+            t = self.parse_type()
+            self.expect(")")
+            operand = self.parse_unary()
+            return ast.Cast(tok.line, None, t, operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("("):
+                args: List[ast.Expr] = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                    self.expect(")")
+                expr = ast.Call(expr.line, None, expr, args)
+            elif self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                expr = ast.Index(expr.line, None, expr, index)
+            elif self.tok.text in (".", "->"):
+                arrow = self.advance().text == "->"
+                if self.tok.kind != "id":
+                    raise self.error("expected a member name")
+                name = self.advance().text
+                expr = ast.Member(expr.line, None, expr, name, arrow)
+            elif self.tok.text in ("++", "--"):
+                op = self.advance().text
+                expr = ast.IncDec(expr.line, None, op, expr, True)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.advance()
+        if tok.kind == "int":
+            return ast.IntLit(tok.line, None, tok.value,
+                              tok.text.lower().endswith("u"))
+        if tok.kind == "char":
+            return ast.IntLit(tok.line, None, tok.value, False)
+        if tok.kind == "float":
+            value, single = tok.value
+            return ast.FloatLit(tok.line, None, value, single)
+        if tok.kind == "str":
+            return ast.StrLit(tok.line, None, tok.value)
+        if tok.kind == "id":
+            return ast.Name(tok.line, None, tok.text)
+        if tok.text == "(":
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise ParseError(
+            f"line {tok.line}: unexpected token {tok.text or tok.kind!r}"
+        )
+
+
+def _single(stmts: List[ast.Stmt]) -> ast.Stmt:
+    if len(stmts) == 1:
+        return stmts[0]
+    return ast.Block(stmts[0].line if stmts else 0, stmts)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse a translation unit from source text."""
+    return _Parser(tokenize(source)).parse_unit()

@@ -1,0 +1,630 @@
+"""Semantic analysis for mini-C: name binding, type checking, implicit
+conversions.
+
+Sema rewrites the AST in place: every expression gets a ``ctype``, implicit
+conversions become explicit :class:`~repro.minic.ast.Cast` nodes, names are
+bound to :class:`Symbol` objects, and each function definition gets frame
+layout information (formal offsets, local offsets, frame size) that the
+code generator turns into ``ADDRFP``/``ADDRLP`` offsets directly.
+
+Known deviations from full C, documented here and in DESIGN.md:
+
+* ``unsigned -> double`` conversion goes through the signed path (the
+  paper's ISA has no CVU-to-float operator); values >= 2**31 convert
+  incorrectly, which the corpus avoids.
+* no variadic functions (the runtime library uses fixed-arity primitives
+  like ``putint``);
+* structs pass and return by pointer only, and whole-struct assignment is
+  rejected (the ISA's block operators ASGNB/ARGB are present but, as in
+  the paper's benchmarks, never emitted);
+* ``switch`` is supported and lowered to decision trees — the exact lcc
+  option the paper's evaluation used ("because the current implementation
+  of the bytecode cannot handle indirect jumps", Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import ast
+from .types import (
+    Array, CHAR, DOUBLE, FLOAT, FuncType, INT, Pointer, Struct,
+    Type, UCHAR, UINT, VOID, align_of, is_arith, is_integer,
+    is_scalar, promote, usual_arith,
+)
+
+__all__ = ["SemaError", "Symbol", "FunctionInfo", "analyze"]
+
+
+class SemaError(ValueError):
+    """A semantic error, with source line."""
+
+
+@dataclass
+class Symbol:
+    """A declared name.
+
+    kind: ``param`` | ``local`` | ``global`` | ``func`` | ``lib``.
+    ``offset`` is the frame offset for params/locals; globals get their
+    addresses at code generation time.
+    """
+
+    name: str
+    ctype: Type
+    kind: str
+    offset: int = 0
+    func: Optional["FunctionInfo"] = None
+
+
+@dataclass
+class FunctionInfo:
+    """Layout and signature of one function."""
+
+    name: str
+    ctype: FuncType
+    defined: bool = False
+    params: List[Symbol] = field(default_factory=list)
+    locals: List[Symbol] = field(default_factory=list)
+    argsize: int = 0
+    framesize: int = 0
+    address_taken: bool = False
+
+    def add_local(self, name: str, ctype: Type) -> Symbol:
+        align = max(align_of(ctype), 4)
+        self.framesize = _align(self.framesize, align)
+        sym = Symbol(name, ctype, "local", self.framesize)
+        self.framesize += max(ctype.size, 1)
+        self.framesize = _align(self.framesize, 4)
+        self.locals.append(sym)
+        return sym
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def _param_slot(ctype: Type) -> int:
+    return 8 if ctype == DOUBLE else 4
+
+
+def _err(node: ast.Node, message: str) -> SemaError:
+    return SemaError(f"line {node.line}: {message}")
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.names: Dict[str, Symbol] = {}
+
+    def declare(self, sym: Symbol, node: ast.Node) -> None:
+        if sym.name in self.names:
+            raise _err(node, f"{sym.name!r} redeclared")
+        self.names[sym.name] = sym
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class Analyzer:
+    """Analyzes one translation unit."""
+
+    def __init__(self) -> None:
+        self.globals = _Scope()
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.current: Optional[FunctionInfo] = None
+        self.loop_depth = 0
+        self.break_depth = 0  # loops + switches
+
+    # -- entry ------------------------------------------------------------
+    def run(self, unit: ast.TranslationUnit) -> Dict[str, FunctionInfo]:
+        # Two passes: declare everything, then check bodies (allows
+        # forward references between functions).
+        for item in unit.items:
+            if isinstance(item, ast.FuncDef):
+                self._declare_function(item)
+            elif isinstance(item, ast.GlobalDecl):
+                self._declare_global(item)
+        for item in unit.items:
+            if isinstance(item, ast.FuncDef) and item.body is not None:
+                self._check_function(item)
+        return self.functions
+
+    # -- declarations ------------------------------------------------------
+    def _declare_function(self, node: ast.FuncDef) -> None:
+        if isinstance(node.ret, Struct):
+            raise _err(node, "functions cannot return structs by value "
+                             "(mini-C restriction; return a pointer)")
+        for p in node.params:
+            if isinstance(p.ctype, Struct):
+                raise _err(node, "struct parameters must be pointers "
+                                 "(mini-C restriction)")
+        ftype = FuncType(node.ret, [p.ctype for p in node.params])
+        info = self.functions.get(node.name)
+        if info is None:
+            info = FunctionInfo(node.name, ftype)
+            self.functions[node.name] = info
+            self.globals.declare(
+                Symbol(node.name, ftype, "func", func=info), node
+            )
+        elif info.ctype.name != ftype.name:
+            raise _err(node, f"conflicting declarations of {node.name!r}")
+        if node.body is not None:
+            if info.defined:
+                raise _err(node, f"{node.name!r} defined twice")
+            info.defined = True
+
+    def _declare_global(self, node: ast.GlobalDecl) -> None:
+        if node.ctype == VOID:
+            raise _err(node, f"variable {node.name!r} has type void")
+        sym = Symbol(node.name, node.ctype, "global")
+        self.globals.declare(sym, node)
+        self._check_global_init(node)
+
+    def _check_global_init(self, node: ast.GlobalDecl) -> None:
+        init = node.init
+        if init is None:
+            return
+        if isinstance(init, bytes):
+            if not (isinstance(node.ctype, Array)
+                    and node.ctype.element in (CHAR, UCHAR)):
+                raise _err(node, "string initializer on a non-char array")
+            if len(init) + 1 > node.ctype.size:
+                raise _err(node, "string initializer too long")
+        elif isinstance(init, list):
+            if not isinstance(node.ctype, Array):
+                raise _err(node, "brace initializer on a non-array")
+            if len(init) > node.ctype.count:
+                raise _err(node, "too many initializers")
+        else:
+            if isinstance(node.ctype, (Array,)):
+                raise _err(node, "scalar initializer on an array")
+
+    # -- functions ----------------------------------------------------------
+    def _check_function(self, node: ast.FuncDef) -> None:
+        info = self.functions[node.name]
+        self.current = info
+        scope = _Scope(self.globals)
+        offset = 0
+        info.params = []
+        for p in node.params:
+            ctype = p.ctype
+            if isinstance(ctype, Array):
+                ctype = Pointer(ctype.element)
+            sym = Symbol(p.name or f"<anon{offset}>", ctype, "param", offset)
+            offset += _param_slot(ctype)
+            info.params.append(sym)
+            if p.name:
+                scope.declare(sym, p)
+        info.argsize = offset
+        self._check_block(node.body, _Scope(scope))
+        self.current = None
+
+    # -- statements ------------------------------------------------------------
+    def _check_block(self, block: ast.Block, scope: _Scope) -> None:
+        for stmt in block.body:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, _Scope(scope))
+        elif isinstance(stmt, ast.LocalDecl):
+            if stmt.ctype == VOID:
+                raise _err(stmt, f"variable {stmt.name!r} has type void")
+            sym = self.current.add_local(stmt.name, stmt.ctype)
+            if stmt.init is not None:
+                stmt.init = self._check_expr(stmt.init, scope)
+                if isinstance(stmt.ctype, Array):
+                    raise _err(stmt, "array locals cannot be initialized")
+                stmt.init = self._convert(stmt.init, stmt.ctype, stmt)
+            scope.declare(sym, stmt)
+            stmt.symbol = sym
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                stmt.expr = self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            stmt.cond = self._check_cond(stmt.cond, scope)
+            self._check_stmt(stmt.then, _Scope(scope))
+            if stmt.other is not None:
+                self._check_stmt(stmt.other, _Scope(scope))
+        elif isinstance(stmt, ast.While):
+            stmt.cond = self._check_cond(stmt.cond, scope)
+            self._in_loop(stmt.body, scope)
+        elif isinstance(stmt, ast.DoWhile):
+            self._in_loop(stmt.body, scope)
+            stmt.cond = self._check_cond(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                stmt.init = self._check_expr(stmt.init, scope)
+            if stmt.cond is not None:
+                stmt.cond = self._check_cond(stmt.cond, scope)
+            if stmt.step is not None:
+                stmt.step = self._check_expr(stmt.step, scope)
+            self._in_loop(stmt.body, scope)
+        elif isinstance(stmt, ast.Return):
+            ret = self.current.ctype.ret
+            if stmt.value is None:
+                if ret != VOID:
+                    raise _err(stmt, "return without a value")
+            else:
+                if ret == VOID:
+                    raise _err(stmt, "return with a value in void function")
+                stmt.value = self._check_expr(stmt.value, scope)
+                stmt.value = self._convert(stmt.value, ret, stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._check_switch(stmt, scope)
+        elif isinstance(stmt, ast.CaseLabel):
+            raise _err(stmt, "case/default label outside a switch body")
+        elif isinstance(stmt, ast.Break):
+            if self.break_depth == 0:
+                raise _err(stmt, "break outside a loop or switch")
+        elif isinstance(stmt, ast.Continue):
+            if self.loop_depth == 0:
+                raise _err(stmt, "continue outside a loop")
+        else:  # pragma: no cover - parser produces no other nodes
+            raise _err(stmt, f"unhandled statement {type(stmt).__name__}")
+
+    def _in_loop(self, body: ast.Stmt, scope: _Scope) -> None:
+        self.loop_depth += 1
+        self.break_depth += 1
+        try:
+            self._check_stmt(body, _Scope(scope))
+        finally:
+            self.loop_depth -= 1
+            self.break_depth -= 1
+
+    def _check_switch(self, stmt: ast.Switch, scope: _Scope) -> None:
+        stmt.cond = self._check_expr(stmt.cond, scope)
+        if not is_integer(stmt.cond.ctype):
+            raise _err(stmt, f"switch on non-integer {stmt.cond.ctype}")
+        stmt.cond = self._convert(stmt.cond, promote(stmt.cond.ctype), stmt)
+        seen = set()
+        defaults = 0
+        inner = _Scope(scope)
+        self.break_depth += 1
+        try:
+            for item in stmt.body:
+                if isinstance(item, ast.CaseLabel):
+                    if item.value is None:
+                        defaults += 1
+                        if defaults > 1:
+                            raise _err(item, "multiple default labels")
+                    else:
+                        if item.value in seen:
+                            raise _err(
+                                item, f"duplicate case {item.value}"
+                            )
+                        seen.add(item.value)
+                else:
+                    self._check_stmt(item, inner)
+        finally:
+            self.break_depth -= 1
+        if not seen and not defaults:
+            raise _err(stmt, "switch body has no case or default labels")
+
+    def _check_cond(self, expr: ast.Expr, scope: _Scope) -> ast.Expr:
+        expr = self._check_expr(expr, scope)
+        if not is_scalar(expr.ctype):
+            raise _err(expr, f"condition has non-scalar type {expr.ctype}")
+        return expr
+
+    # -- expressions -------------------------------------------------------------
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> ast.Expr:
+        method = getattr(self, "_expr_" + type(expr).__name__)
+        return method(expr, scope)
+
+    def _decay(self, expr: ast.Expr) -> ast.Expr:
+        """Arrays and functions decay to pointers."""
+        if isinstance(expr.ctype, Array):
+            target = Pointer(expr.ctype.element)
+            return ast.Cast(expr.line, target, target, expr)
+        if isinstance(expr.ctype, FuncType):
+            # Using a function as a value takes its address: it will need a
+            # trampoline (paper Section 3).
+            if isinstance(expr, ast.Name) and expr.symbol.kind == "func":
+                expr.symbol.func.address_taken = True
+            target = Pointer(expr.ctype)
+            return ast.Cast(expr.line, target, target, expr)
+        return expr
+
+    def _convert(self, expr: ast.Expr, target: Type,
+                 at: ast.Node) -> ast.Expr:
+        expr = self._decay(expr)
+        src = expr.ctype
+        if src == target:
+            return expr
+        ok = (
+            (is_arith(src) and is_arith(target))
+            or (isinstance(src, Pointer) and isinstance(target, Pointer))
+            or (isinstance(src, Pointer) and is_integer(target))
+            or (is_integer(src) and isinstance(target, Pointer))
+            or (isinstance(src, FuncType) and isinstance(target, Pointer))
+        )
+        if not ok:
+            raise _err(at, f"cannot convert {src} to {target}")
+        cast = ast.Cast(expr.line, target, target, expr)
+        return cast
+
+    def _expr_IntLit(self, expr: ast.IntLit, scope) -> ast.Expr:
+        expr.ctype = UINT if expr.unsigned else INT
+        return expr
+
+    def _expr_FloatLit(self, expr: ast.FloatLit, scope) -> ast.Expr:
+        expr.ctype = FLOAT if expr.single else DOUBLE
+        return expr
+
+    def _expr_StrLit(self, expr: ast.StrLit, scope) -> ast.Expr:
+        expr.ctype = Pointer(CHAR)
+        return expr
+
+    def _expr_Name(self, expr: ast.Name, scope: _Scope) -> ast.Expr:
+        sym = scope.lookup(expr.name)
+        if sym is None:
+            raise _err(expr, f"undeclared name {expr.name!r}")
+        expr.symbol = sym
+        expr.ctype = sym.ctype
+        return expr
+
+    def _expr_SizeOf(self, expr: ast.SizeOf, scope) -> ast.Expr:
+        lit = ast.IntLit(expr.line, UINT, expr.target_type.size, True)
+        return lit
+
+    def _expr_Cast(self, expr: ast.Cast, scope) -> ast.Expr:
+        expr.operand = self._decay(self._check_expr(expr.operand, scope))
+        target = expr.target_type
+        if target == VOID:
+            expr.ctype = VOID
+            return expr
+        src = expr.operand.ctype
+        if not (is_arith(src) or isinstance(src, (Pointer, FuncType))):
+            raise _err(expr, f"cannot cast from {src}")
+        if not (is_arith(target) or isinstance(target, Pointer)):
+            raise _err(expr, f"cannot cast to {target}")
+        expr.ctype = target
+        return expr
+
+    def _expr_Unary(self, expr: ast.Unary, scope) -> ast.Expr:
+        if expr.op == "&":
+            operand = self._check_expr(expr.operand, scope)
+            if isinstance(operand, ast.Name) and operand.symbol.kind in (
+                    "func", "lib"):
+                operand.symbol.func.address_taken = True
+                expr.operand = operand
+                expr.ctype = Pointer(operand.ctype)
+                return expr
+            self._require_lvalue(operand)
+            expr.operand = operand
+            expr.ctype = Pointer(operand.ctype)
+            return expr
+        operand = self._decay(self._check_expr(expr.operand, scope))
+        expr.operand = operand
+        if expr.op == "*":
+            if isinstance(operand.ctype, Pointer):
+                expr.ctype = operand.ctype.pointee
+            elif isinstance(operand.ctype, FuncType):
+                expr.ctype = operand.ctype  # *f == f for functions
+            else:
+                raise _err(expr, f"cannot dereference {operand.ctype}")
+            return expr
+        if expr.op == "!":
+            if not is_scalar(operand.ctype):
+                raise _err(expr, f"! on non-scalar {operand.ctype}")
+            expr.ctype = INT
+            return expr
+        if expr.op == "~":
+            if not is_integer(operand.ctype):
+                raise _err(expr, f"~ on non-integer {operand.ctype}")
+            expr.operand = self._convert(operand, promote(operand.ctype),
+                                         expr)
+            expr.ctype = expr.operand.ctype
+            return expr
+        if expr.op == "-":
+            if not is_arith(operand.ctype):
+                raise _err(expr, f"- on non-arithmetic {operand.ctype}")
+            expr.operand = self._convert(operand, promote(operand.ctype),
+                                         expr)
+            expr.ctype = expr.operand.ctype
+            return expr
+        raise _err(expr, f"unhandled unary {expr.op!r}")
+
+    def _expr_Binary(self, expr: ast.Binary, scope) -> ast.Expr:
+        left = self._decay(self._check_expr(expr.left, scope))
+        right = self._decay(self._check_expr(expr.right, scope))
+        return self._type_binary(expr, left, right)
+
+    def _type_binary(self, expr: ast.Binary, left: ast.Expr,
+                     right: ast.Expr) -> ast.Expr:
+        op = expr.op
+        if op == ",":
+            expr.left, expr.right = left, right
+            expr.ctype = right.ctype
+            return expr
+        if op in ("&&", "||"):
+            for side in (left, right):
+                if not is_scalar(side.ctype):
+                    raise _err(expr, f"{op} on non-scalar {side.ctype}")
+            expr.left, expr.right = left, right
+            expr.ctype = INT
+            return expr
+        lt, rt = left.ctype, right.ctype
+        if op in ("+", "-"):
+            if isinstance(lt, Pointer) and is_integer(rt):
+                expr.left = left
+                expr.right = self._convert(right, UINT, expr)
+                expr.ctype = lt
+                return expr
+            if op == "+" and is_integer(lt) and isinstance(rt, Pointer):
+                expr.left = self._convert(left, UINT, expr)
+                expr.right = right
+                expr.ctype = rt
+                return expr
+            if op == "-" and isinstance(lt, Pointer) and \
+                    isinstance(rt, Pointer):
+                expr.left, expr.right = left, right
+                expr.ctype = INT
+                return expr
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if isinstance(lt, Pointer) or isinstance(rt, Pointer):
+                expr.left = self._convert(left, UINT, expr)
+                expr.right = self._convert(right, UINT, expr)
+                expr.ctype = INT
+                return expr
+            common = usual_arith(lt, rt)
+            expr.left = self._convert(left, common, expr)
+            expr.right = self._convert(right, common, expr)
+            expr.ctype = INT
+            return expr
+        if op in ("<<", ">>"):
+            if not (is_integer(lt) and is_integer(rt)):
+                raise _err(expr, f"{op} on non-integers")
+            expr.left = self._convert(left, promote(lt), expr)
+            expr.right = self._convert(right, INT, expr)
+            expr.ctype = expr.left.ctype
+            return expr
+        if op in ("&", "|", "^", "%"):
+            if not (is_integer(lt) and is_integer(rt)):
+                raise _err(expr, f"{op} on non-integers")
+            common = usual_arith(lt, rt)
+            expr.left = self._convert(left, common, expr)
+            expr.right = self._convert(right, common, expr)
+            expr.ctype = common
+            return expr
+        if op in ("+", "-", "*", "/"):
+            if not (is_arith(lt) and is_arith(rt)):
+                raise _err(expr, f"{op} on {lt} and {rt}")
+            common = usual_arith(lt, rt)
+            expr.left = self._convert(left, common, expr)
+            expr.right = self._convert(right, common, expr)
+            expr.ctype = common
+            return expr
+        raise _err(expr, f"unhandled operator {op!r}")
+
+    def _expr_Assign(self, expr: ast.Assign, scope) -> ast.Expr:
+        target = self._check_expr(expr.target, scope)
+        self._require_lvalue(target)
+        if isinstance(target.ctype, Array):
+            raise _err(expr, "cannot assign to an array")
+        if isinstance(target.ctype, Struct):
+            raise _err(expr, "whole-struct assignment is not in the "
+                             "mini-C subset (copy members)")
+        value = self._check_expr(expr.value, scope)
+        if expr.op != "=":
+            # Compound assignment re-reads the target; the code generator
+            # hoists side-effecting subexpressions out of the target first,
+            # so sharing the node between the read and the write is safe.
+            binop = ast.Binary(expr.line, None, expr.op[:-1], target, value)
+            value = self._type_binary(binop, self._decay(target),
+                                      self._decay(value))
+        expr.target = target
+        expr.value = self._convert(value, target.ctype, expr)
+        expr.ctype = target.ctype
+        return expr
+
+    def _expr_Cond(self, expr: ast.Cond, scope) -> ast.Expr:
+        expr.cond = self._check_cond(expr.cond, scope)
+        then = self._decay(self._check_expr(expr.then, scope))
+        other = self._decay(self._check_expr(expr.other, scope))
+        if is_arith(then.ctype) and is_arith(other.ctype):
+            common = usual_arith(then.ctype, other.ctype)
+        elif then.ctype == other.ctype:
+            common = then.ctype
+        elif isinstance(then.ctype, Pointer) and \
+                isinstance(other.ctype, Pointer):
+            common = then.ctype
+        else:
+            raise _err(expr, f"?: branches disagree: "
+                             f"{then.ctype} vs {other.ctype}")
+        expr.then = self._convert(then, common, expr)
+        expr.other = self._convert(other, common, expr)
+        expr.ctype = common
+        return expr
+
+    def _expr_Call(self, expr: ast.Call, scope) -> ast.Expr:
+        func = self._check_expr(expr.func, scope)
+        ftype = func.ctype
+        if isinstance(ftype, Pointer) and isinstance(ftype.pointee,
+                                                     FuncType):
+            ftype = ftype.pointee
+        if not isinstance(ftype, FuncType):
+            raise _err(expr, f"called object has type {ftype}, not function")
+        if len(expr.args) != len(ftype.params):
+            raise _err(
+                expr,
+                f"call takes {len(ftype.params)} arguments, "
+                f"got {len(expr.args)}"
+            )
+        expr.func = func
+        new_args = []
+        for arg, ptype in zip(expr.args, ftype.params):
+            if isinstance(ptype, Array):
+                ptype = Pointer(ptype.element)
+            arg = self._check_expr(arg, scope)
+            new_args.append(self._convert(arg, ptype, expr))
+        expr.args = new_args
+        expr.ctype = ftype.ret
+        return expr
+
+    def _expr_Index(self, expr: ast.Index, scope) -> ast.Expr:
+        base = self._decay(self._check_expr(expr.base, scope))
+        index = self._check_expr(expr.index, scope)
+        if not isinstance(base.ctype, Pointer):
+            raise _err(expr, f"indexing non-pointer {base.ctype}")
+        if not is_integer(index.ctype):
+            raise _err(expr, "array index is not an integer")
+        expr.base = base
+        expr.index = self._convert(index, UINT, expr)
+        expr.ctype = base.ctype.pointee
+        return expr
+
+    def _expr_Member(self, expr: ast.Member, scope) -> ast.Expr:
+        base = self._check_expr(expr.base, scope)
+        if expr.arrow:
+            base = self._decay(base)
+            if not (isinstance(base.ctype, Pointer)
+                    and isinstance(base.ctype.pointee, Struct)):
+                raise _err(expr, f"-> on non-struct-pointer {base.ctype}")
+            struct = base.ctype.pointee
+        else:
+            if not isinstance(base.ctype, Struct):
+                raise _err(expr, f". on non-struct {base.ctype}")
+            self._require_lvalue(base)
+            struct = base.ctype
+        found = struct.field(expr.name)
+        if found is None:
+            raise _err(expr, f"{struct} has no member {expr.name!r}")
+        expr.base = base
+        expr.field_type, expr.field_offset = found
+        expr.ctype = expr.field_type
+        return expr
+
+    def _expr_IncDec(self, expr: ast.IncDec, scope) -> ast.Expr:
+        operand = self._check_expr(expr.operand, scope)
+        self._require_lvalue(operand)
+        if not is_scalar(operand.ctype):
+            raise _err(expr, f"{expr.op} on non-scalar {operand.ctype}")
+        expr.operand = operand
+        expr.ctype = operand.ctype
+        return expr
+
+    # -- helpers ---------------------------------------------------------------
+    @staticmethod
+    def _require_lvalue(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Name):
+            if expr.symbol.kind in ("func", "lib"):
+                raise _err(expr, "a function is not an lvalue")
+            return
+        if isinstance(expr, (ast.Index, ast.Member)):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        raise _err(expr, "expression is not an lvalue")
+
+
+def analyze(unit: ast.TranslationUnit) -> Dict[str, FunctionInfo]:
+    """Run sema over a parsed unit; returns the function table."""
+    return Analyzer().run(unit)

@@ -1,0 +1,203 @@
+"""The mini-C type system.
+
+The front end substitutes for lcc (see DESIGN.md): a C subset rich enough
+to write realistic training corpora — integers of three widths and two
+signednesses, float/double, pointers, arrays, functions.  Type sizes match
+the 32-bit model the bytecode assumes (pointers are 4-byte words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "Type", "CHAR", "UCHAR", "SHORT", "USHORT", "INT", "UINT",
+    "FLOAT", "DOUBLE", "VOID", "Pointer", "Array", "FuncType", "Struct",
+    "is_integer", "is_arith", "is_scalar", "usual_arith", "promote",
+    "align_of",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class Type:
+    """A basic type.
+
+    Equality and hashing go by (class, name): type names are canonical
+    (``int``, ``double*``, ``struct node``), and — unlike the generated
+    field-wise comparison — name hashing terminates for self-referential
+    struct types.
+    """
+
+    name: str
+    size: int
+    signed: bool = True
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Type) and type(self) is type(other)
+                and self.name == other.name)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+CHAR = Type("char", 1, True)
+UCHAR = Type("unsigned char", 1, False)
+SHORT = Type("short", 2, True)
+USHORT = Type("unsigned short", 2, False)
+INT = Type("int", 4, True)
+UINT = Type("unsigned", 4, False)
+FLOAT = Type("float", 4)
+DOUBLE = Type("double", 8)
+VOID = Type("void", 0)
+
+
+@dataclass(frozen=True, eq=False)
+class Pointer(Type):
+    """Pointer to ``pointee`` (4-byte word)."""
+
+    pointee: Optional[object] = None
+
+    def __init__(self, pointee) -> None:
+        object.__setattr__(self, "name", f"{pointee}*")
+        object.__setattr__(self, "size", 4)
+        object.__setattr__(self, "signed", False)
+        object.__setattr__(self, "pointee", pointee)
+
+
+@dataclass(frozen=True, eq=False)
+class Array(Type):
+    """Array of ``count`` elements of ``element``."""
+
+    element: Optional[object] = None
+    count: int = 0
+
+    def __init__(self, element, count: int) -> None:
+        object.__setattr__(self, "name", f"{element}[{count}]")
+        object.__setattr__(self, "size", element.size * count)
+        object.__setattr__(self, "signed", False)
+        object.__setattr__(self, "element", element)
+        object.__setattr__(self, "count", count)
+
+
+@dataclass(frozen=True, eq=False)
+class FuncType(Type):
+    """Function type: return type plus parameter types."""
+
+    ret: Optional[object] = None
+    params: Tuple = ()
+
+    def __init__(self, ret, params) -> None:
+        object.__setattr__(
+            self, "name",
+            f"{ret}({', '.join(str(p) for p in params)})"
+        )
+        object.__setattr__(self, "size", 4)  # function designators decay
+        object.__setattr__(self, "signed", False)
+        object.__setattr__(self, "ret", ret)
+        object.__setattr__(self, "params", tuple(params))
+
+
+@dataclass(frozen=True, eq=False)
+class Struct(Type):
+    """A struct type: named fields laid out with natural alignment.
+
+    Created *incomplete* (no members) so self-referential structures
+    (``struct node { struct node *next; }``) can register the tag before
+    the member list is parsed; :meth:`define` lays out the fields.
+    """
+
+    tag: str = ""
+    fields: Tuple = ()  # of (name, type, offset)
+
+    def __init__(self, tag: str, members=None) -> None:
+        object.__setattr__(self, "name", f"struct {tag}")
+        object.__setattr__(self, "size", 1)
+        object.__setattr__(self, "signed", False)
+        object.__setattr__(self, "tag", tag)
+        object.__setattr__(self, "fields", ())
+        if members is not None:
+            self.define(members)
+
+    @property
+    def is_complete(self) -> bool:
+        return bool(self.fields)
+
+    def define(self, members) -> None:
+        """Lay out (name, type) members with C's natural alignment."""
+        if self.is_complete:
+            raise ValueError(f"{self.name} defined twice")
+        offset = 0
+        max_align = 1
+        laid = []
+        for fname, ftype in members:
+            align = align_of(ftype)
+            max_align = max(max_align, align)
+            offset = (offset + align - 1) & ~(align - 1)
+            laid.append((fname, ftype, offset))
+            offset += max(ftype.size, 1)
+        size = (offset + max_align - 1) & ~(max_align - 1) if laid else 0
+        object.__setattr__(self, "size", max(size, 1))
+        object.__setattr__(self, "fields", tuple(laid))
+
+    def field(self, name: str):
+        """(type, offset) of a member, or None."""
+        for fname, ftype, offset in self.fields:
+            if fname == name:
+                return ftype, offset
+        return None
+
+
+def align_of(t: Type) -> int:
+    """Natural alignment of a type."""
+    if isinstance(t, Array):
+        return align_of(t.element)
+    if isinstance(t, Struct):
+        return max((align_of(ft) for _, ft, _ in t.fields), default=1)
+    if t == DOUBLE:
+        return 8
+    return max(min(t.size, 4), 1)
+
+
+_INTEGERS = {CHAR, UCHAR, SHORT, USHORT, INT, UINT}
+_FLOATS = {FLOAT, DOUBLE}
+
+
+def is_integer(t: Type) -> bool:
+    return t in _INTEGERS
+
+
+def is_float(t: Type) -> bool:
+    return t in _FLOATS
+
+
+def is_arith(t: Type) -> bool:
+    return is_integer(t) or t in _FLOATS
+
+
+def is_scalar(t: Type) -> bool:
+    return is_arith(t) or isinstance(t, Pointer)
+
+
+def promote(t: Type) -> Type:
+    """Integral promotion: sub-int integers promote to int."""
+    if t in (CHAR, SHORT):
+        return INT
+    if t in (UCHAR, USHORT):
+        return INT  # both fit in int, per C
+    return t
+
+
+def usual_arith(a: Type, b: Type) -> Type:
+    """Usual arithmetic conversions for a binary operator."""
+    if DOUBLE in (a, b):
+        return DOUBLE
+    if FLOAT in (a, b):
+        return FLOAT
+    a, b = promote(a), promote(b)
+    if UINT in (a, b):
+        return UINT
+    return INT

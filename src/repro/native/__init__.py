@@ -1,0 +1,5 @@
+"""Native (x86) code-size model for the Table-2 comparison."""
+
+from .x86 import NativeSize, module_native_size, procedure_native_size
+
+__all__ = ["NativeSize", "module_native_size", "procedure_native_size"]

@@ -1,0 +1,207 @@
+"""Native code-size model: the "lcc-compiled x86 executable" row of the
+paper's Table 2 (Section 6).
+
+The paper compares the bytecoded executables against a conventional x86
+binary of the same program.  We cannot run lcc's x86 backend, so this
+module is the documented substitute (DESIGN.md): a straightforward x86-32
+instruction selector over the same bytecode, in the style of a simple
+one-pass compiler — evaluation-stack slots live in registers (six of them,
+then real pushes), floats use the x87 stack, comparisons fuse with a
+following ``BrTrue``.  Every emitted instruction is counted with its real
+IA-32 encoding length, so the total is a faithful size estimate of
+non-optimizing compiler output, which is what lcc produces.
+
+Only *sizes* come out of this model; it never executes anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bytecode.instructions import iter_decode
+from ..bytecode.module import Module, Procedure
+
+__all__ = ["NativeSize", "procedure_native_size", "module_native_size"]
+
+_CMP_GENERICS = {"EQ", "NE", "GE", "GT", "LE", "LT"}
+
+# Registers available for evaluation-stack slots before spilling.
+_NUM_REGS = 6
+
+#: crt0 + program entry glue in the conventional executable
+STARTUP_BYTES = 96
+
+
+def _disp_len(offset: int) -> int:
+    """Extra bytes for a [reg+disp] memory operand."""
+    return 1 if -128 <= offset <= 127 else 4
+
+
+@dataclass
+class NativeSize:
+    """Byte totals for one module's conventional compilation."""
+
+    code: int
+    data: int
+    bss: int
+
+    @property
+    def total(self) -> int:
+        return self.code + self.data + self.bss
+
+
+_LOAD_FUSED_FRAME = {"U": 2, "C": 3, "S": 4, "F": 2, "D": 2}
+_LOAD_FUSED_ABS = {"U": 5, "C": 6, "S": 7, "F": 6, "D": 6}
+
+
+def _fused_cost(first, second) -> int:
+    """Byte cost of a fusible instruction pair, or -1.
+
+    A real selector tiles trees: an address computation feeding a load
+    becomes one mov with a memory operand, and a literal feeding integer
+    arithmetic becomes an immediate operand.  Charging the pair as one
+    instruction keeps the model honest about compiler output density.
+    """
+    g1, g2 = first.op.generic, second.op.generic
+    s2 = second.op.suffix
+    if g2 == "INDIR":
+        if g1 in ("ADDRL", "ADDRF"):
+            disp = first.literal() + (4 if g1 == "ADDRL" else 8)
+            return _LOAD_FUSED_FRAME[s2] + _disp_len(disp)
+        if g1 == "ADDRG":
+            return _LOAD_FUSED_ABS[s2]
+    if g1 == "LIT":
+        imm = 1 if first.literal() <= 127 else 4
+        if g2 in ("ADD", "SUB", "BAND", "BOR", "BXOR") and s2 in ("U", "I"):
+            return 2 + imm               # op r, imm
+        if g2 == "MUL" and s2 in ("U", "I"):
+            return 2 + imm               # imul r, r, imm
+        if g2 in ("LSH", "RSH"):
+            return 3                     # shift r, imm8
+    return -1
+
+
+def procedure_native_size(proc: Procedure) -> int:
+    """Estimated x86 code bytes for one procedure."""
+    size = 0
+    # prologue: push ebp; mov ebp,esp; sub esp, imm
+    size += 1 + 2 + (3 if proc.framesize <= 127 else 6)
+    depth = 0           # virtual evaluation-stack depth
+    prev_was_cmp = False
+
+    instructions = [ins for _, ins in iter_decode(proc.code)]
+    skip_next = False
+    index = -1
+    for ins in instructions:
+        index += 1
+        g, s = ins.op.generic, ins.op.suffix
+        klass = ins.op.klass
+        pops = {"v0": 0, "v1": 1, "v2": 2,
+                "x0": 0, "x1": 1, "x2": 2, "pseudo": 0}[klass]
+        pushes = 1 if klass.startswith("v") else 0
+        if skip_next:
+            # second half of a fused pair: stack effect only
+            skip_next = False
+            depth += pushes - pops
+            prev_was_cmp = False
+            continue
+        spill = 1 if depth > _NUM_REGS else 0  # push/pop around the op
+        cost = 0
+        is_cmp = False
+        if index + 1 < len(instructions):
+            fused = _fused_cost(ins, instructions[index + 1])
+            if fused >= 0:
+                if prev_was_cmp:
+                    size += 6   # unfused comparison materializes its flag
+                prev_was_cmp = False
+                size += fused + spill
+                depth += pushes - pops
+                skip_next = True
+                continue
+
+        if g == "LIT":
+            cost = 5                     # mov r, imm32
+        elif g == "ADDRL":
+            cost = 2 + _disp_len(-(ins.literal() + 4))   # lea r,[ebp-d]
+        elif g == "ADDRF":
+            cost = 2 + _disp_len(ins.literal() + 8)      # lea r,[ebp+d]
+        elif g == "ADDRG":
+            cost = 5                     # mov r, imm32 (relocated)
+        elif g == "INDIR":
+            cost = {"C": 3, "S": 4, "U": 2, "F": 2, "D": 2}[s]
+        elif g == "ASGN":
+            cost = {"C": 2, "S": 3, "U": 2, "F": 2, "D": 2, "B": 12}[s]
+        elif g in ("ADD", "SUB") and s in ("U", "I"):
+            cost = 2                     # op r1, r2
+        elif g in ("BAND", "BOR", "BXOR"):
+            cost = 2
+        elif g == "MUL" and s in ("U", "I"):
+            cost = 3                     # imul r1, r2
+        elif g in ("DIV", "MOD") and s in ("U", "I"):
+            cost = 6                     # xchg/cdq/idiv shuffle
+        elif g in ("LSH", "RSH"):
+            cost = 4                     # mov cl + shift
+        elif g in ("ADD", "SUB", "MUL", "DIV") and s in ("F", "D"):
+            cost = 2                     # x87 faddp etc.
+        elif g in _CMP_GENERICS:
+            if s in ("F", "D"):
+                cost = 6                 # fcompp + fnstsw + sahf
+            else:
+                cost = 2                 # cmp r1, r2
+            is_cmp = True
+        elif g == "NEG":
+            cost = 2
+        elif g == "BCOM":
+            cost = 2
+        elif g.startswith("CV"):
+            cost = {"CVI1I4": 3, "CVI2I4": 3, "CVU1U4": 3, "CVU2U4": 4,
+                    "CVIF": 5, "CVID": 5, "CVFI": 8, "CVDI": 8,
+                    "CVFD": 4, "CVDF": 4}.get(ins.op.name, 4)
+        elif g == "ARG":
+            cost = {"U": 1, "F": 6, "D": 9, "B": 12}[s]   # push r
+        elif g == "CALL":
+            cost = 2 + 3                 # call r; add esp, n
+        elif g == "LocalCALL":
+            cost = 5 + 3                 # call rel32; add esp, n
+        elif g == "RET":
+            cost = 2 + 2                 # mov eax, r; leave; ret
+        elif g == "POP":
+            cost = 0                     # discard a register
+        elif ins.op.name == "JUMPV":
+            cost = 5                     # jmp rel32
+        elif ins.op.name == "BrTrue":
+            if prev_was_cmp:
+                cost = 6                 # fused jcc rel32
+            else:
+                cost = 2 + 6             # test r,r; jnz rel32
+        elif ins.op.name == "LABELV":
+            cost = 0
+        else:  # pragma: no cover - exhaustive over the ISA
+            raise NotImplementedError(ins.op.name)
+
+        # Comparisons that did NOT fuse with a branch must materialize the
+        # flag: setcc al + movzx.
+        if prev_was_cmp and ins.op.name != "BrTrue":
+            size += 6
+        prev_was_cmp = is_cmp
+
+        size += cost + spill
+        depth += pushes - pops
+    if prev_was_cmp:
+        size += 6
+    return size
+
+
+def module_native_size(module: Module) -> NativeSize:
+    """Whole-module conventional sizes: code, data, bss.
+
+    The conventional executable needs no interpreter, no label tables
+    (branch targets become inline rel32 offsets, already counted in the
+    jump encodings), no descriptors, no trampolines, and no global table
+    (addresses are relocated inline, counted in the mov encodings).
+    """
+    code = STARTUP_BYTES + sum(
+        procedure_native_size(p) for p in module.procedures
+    )
+    return NativeSize(code=code, data=len(module.data),
+                      bss=module.bss_size)

@@ -1,0 +1,5 @@
+"""Bytecode optimization (the Section-6 "ambitious optimizer" experiment)."""
+
+from .fold import OptStats, optimize_module, optimize_procedure
+
+__all__ = ["OptStats", "optimize_module", "optimize_procedure"]

@@ -1,0 +1,17 @@
+"""Parsers: deterministic stack parser, Earley, shortest derivation."""
+
+from .forest import Forest, Node, preorder, terminal_yield, tree_size
+from .stackparser import (
+    ParseError,
+    ParsedBlock,
+    build_forest,
+    parse_blocks,
+    parse_module,
+    parse_procedure,
+)
+
+__all__ = [
+    "Forest", "Node", "preorder", "terminal_yield", "tree_size",
+    "ParseError", "ParsedBlock", "build_forest", "parse_blocks",
+    "parse_module", "parse_procedure",
+]

@@ -1,0 +1,147 @@
+"""Derivations: the compressed representation (paper Section 4).
+
+A program (block) is represented by its leftmost derivation: the list of
+rules used to expand the leftmost nonterminal of each sentential form, each
+rule written as its *index* within its nonterminal's rule list.  Because the
+expander keeps every nonterminal at or under 256 rules, one derivation step
+is exactly one byte; for the ``<byte>`` nonterminal the index *is* the
+literal byte value.
+
+The leftmost derivation of a parse tree is its preorder rule sequence, and
+conversely a preorder rule sequence rebuilds the tree by always expanding
+the leftmost pending nonterminal — both directions are implemented here and
+are the encoder/decoder the compressor and the generated interpreter share.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..grammar.cfg import Grammar
+from .forest import Node, preorder
+
+__all__ = [
+    "derivation_of_tree",
+    "tree_of_derivation",
+    "encode_tree",
+    "decode_tree",
+    "DerivationError",
+]
+
+
+class DerivationError(ValueError):
+    """Raised on a malformed encoded derivation."""
+
+
+def derivation_of_tree(root: Node) -> List[int]:
+    """Preorder rule ids = the leftmost derivation of the tree."""
+    return [node.rule_id for node in preorder(root)]
+
+
+def tree_of_derivation(grammar: Grammar, rule_ids: List[int],
+                       start: Optional[int] = None) -> Node:
+    """Rebuild the parse tree from a leftmost derivation (rule-id form)."""
+    if start is None:
+        start = grammar.start
+    if not rule_ids:
+        raise DerivationError("empty derivation")
+    # Explicit-stack leftmost expansion (the <start> spine is too deep for
+    # recursion).
+    root_rule = grammar.rules.get(rule_ids[0])
+    if root_rule is None or root_rule.lhs != start:
+        raise DerivationError("derivation does not start at the start symbol")
+    pos = 1
+    root = Node(rule_ids[0])
+    # Stack of (node, next_child_slot) still needing children.
+    work: List[Tuple[Node, int]] = []
+    if grammar.rules[root.rule_id].arity:
+        work.append((root, 0))
+    while work:
+        node, slot = work[-1]
+        rule = grammar.rules[node.rule_id]
+        if slot == rule.arity:
+            work.pop()
+            continue
+        expected = rule.rhs[rule.nt_positions[slot]]
+        if pos >= len(rule_ids):
+            raise DerivationError("derivation ends early")
+        rid = rule_ids[pos]
+        pos += 1
+        crule = grammar.rules.get(rid)
+        if crule is None or crule.lhs != expected:
+            raise DerivationError(
+                f"step {pos - 1}: rule {rid} does not expand "
+                f"<{grammar.nt_name(expected)}>"
+            )
+        child = Node(rid)
+        node.children.append(child)
+        child.parent = node
+        child.pindex = slot
+        work[-1] = (node, slot + 1)
+        if crule.arity:
+            work.append((child, 0))
+    if pos != len(rule_ids):
+        raise DerivationError(
+            f"{len(rule_ids) - pos} extra rules after complete derivation"
+        )
+    return root
+
+
+def encode_tree(grammar: Grammar, root: Node) -> bytes:
+    """Encode a parse tree as compressed bytes: one byte per derivation
+    step, each the rule's index within its nonterminal's rule list."""
+    out = bytearray()
+    for node in preorder(root):
+        idx = grammar.rule_index(node.rule_id)
+        if idx > 255:
+            raise DerivationError(
+                f"rule index {idx} does not fit in a byte"
+            )
+        out.append(idx)
+    return bytes(out)
+
+
+def decode_tree(grammar: Grammar, data: bytes, pos: int = 0,
+                start: Optional[int] = None) -> Tuple[Node, int]:
+    """Decode one derivation starting at ``data[pos]``.
+
+    Returns the parse tree and the position just past the derivation —
+    which is how the generated interpreter advances block by block.
+    """
+    if start is None:
+        start = grammar.start
+    by_lhs = grammar.by_lhs
+
+    def read_rule(nt: int) -> int:
+        nonlocal pos
+        if pos >= len(data):
+            raise DerivationError("compressed stream ends early")
+        idx = data[pos]
+        pos += 1
+        rids = by_lhs[nt]
+        if idx >= len(rids):
+            raise DerivationError(
+                f"byte {idx} is not a rule index for "
+                f"<{grammar.nt_name(nt)}> ({len(rids)} rules)"
+            )
+        return rids[idx]
+
+    root = Node(read_rule(start))
+    work: List[Tuple[Node, int]] = []
+    if grammar.rules[root.rule_id].arity:
+        work.append((root, 0))
+    while work:
+        node, slot = work[-1]
+        rule = grammar.rules[node.rule_id]
+        if slot == rule.arity:
+            work.pop()
+            continue
+        expected = rule.rhs[rule.nt_positions[slot]]
+        child = Node(read_rule(expected))
+        node.children.append(child)
+        child.parent = node
+        child.pindex = slot
+        work[-1] = (node, slot + 1)
+        if grammar.rules[child.rule_id].arity:
+            work.append((child, 0))
+    return root, pos

@@ -1,0 +1,200 @@
+"""Earley parsing, including the paper's modified shortest-derivation
+variant (Section 4.1: "We use Earley's parsing algorithm, slightly modified,
+to obtain a shortest derivation for a given sequence").
+
+The expanded grammar is deliberately ambiguous (the original rules stay in),
+so the compressor needs not *a* parse but a parse whose derivation — the
+preorder list of rules — is as short as possible, because the compressed
+form spends one byte per derivation step.  We annotate every Earley item
+with the minimum number of rules needed to derive its span and relax items
+to a fixpoint within each state set; completions propagate cost
+``1 + sum(children costs)``.
+
+This module is the reference implementation: it works for *any* CFG and is
+cross-checked in tests against the production path (tree-tiling DP in
+:mod:`repro.compress.tiling`), which exploits the structure of inlined
+grammars and is much faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..grammar.cfg import Grammar, is_nonterminal
+from .forest import Node
+
+__all__ = ["EarleyError", "recognize", "shortest_derivation_tree",
+           "shortest_derivation"]
+
+INF = float("inf")
+
+
+class EarleyError(ValueError):
+    """Raised when the input does not derive from the start symbol."""
+
+
+# An item key is (rule_id, dot, origin).  Chart[j] maps item keys to
+# (cost, backpointer).  Backpointers:
+#   None                      -- initial (dot == 0)
+#   ("scan", prev_key)        -- advanced over a terminal at j-1
+#   ("complete", prev_key, child_nt_key, child_j)
+# where child_nt_key identifies the completed child item (rule, 0-dot-at,
+# origin) in chart[j].
+_Key = Tuple[int, int, int]
+
+
+@dataclass
+class _Chart:
+    sets: List[Dict[_Key, Tuple[int, Optional[tuple]]]]
+
+
+def _parse_chart(grammar: Grammar, symbols: Sequence[int],
+                 start: Optional[int] = None) -> _Chart:
+    """Run cost-annotated Earley; returns the full chart."""
+    if start is None:
+        start = grammar.start
+    n = len(symbols)
+    rules = grammar.rules
+    by_lhs = grammar.by_lhs
+
+    sets: List[Dict[_Key, Tuple[int, Optional[tuple]]]] = [
+        {} for _ in range(n + 1)
+    ]
+
+    def add(j: int, key: _Key, cost: int, back: Optional[tuple],
+            worklist: List[_Key]) -> None:
+        cur = sets[j].get(key)
+        if cur is None or cost < cur[0]:
+            sets[j][key] = (cost, back)
+            worklist.append(key)
+
+    # Seed S[0] with predictions for the start symbol.
+    worklist: List[_Key] = []
+    for rid in by_lhs[start]:
+        add(0, (rid, 0, 0), 0, None, worklist)
+
+    for j in range(n + 1):
+        if j > 0:
+            worklist = list(sets[j].keys())
+        # Fixpoint over predictor/completer within S[j].
+        while worklist:
+            key = worklist.pop()
+            entry = sets[j].get(key)
+            if entry is None:
+                continue
+            cost, _ = entry
+            rid, dot, origin = key
+            rhs = rules[rid].rhs
+            if dot < len(rhs):
+                sym = rhs[dot]
+                if is_nonterminal(sym):
+                    # Predict.
+                    for rid2 in by_lhs[sym]:
+                        add(j, (rid2, 0, j), 0, None, worklist)
+                    # Complete against already-finished children at j
+                    # (handles epsilon and same-position completions).
+                    for ckey, (ccost, _cb) in list(sets[j].items()):
+                        crid, cdot, corigin = ckey
+                        if corigin == j and cdot == len(rules[crid].rhs) \
+                                and rules[crid].lhs == sym:
+                            add(j, (rid, dot + 1, origin),
+                                cost + ccost + 1,
+                                ("complete", key, ckey, j), worklist)
+            else:
+                # Completer: advance every item waiting on this LHS.
+                lhs = rules[rid].lhs
+                for pkey, (pcost, _pb) in list(sets[origin].items()):
+                    prid, pdot, porigin = pkey
+                    prhs = rules[prid].rhs
+                    if pdot < len(prhs) and prhs[pdot] == lhs:
+                        add(j, (prid, pdot + 1, porigin),
+                            pcost + cost + 1,
+                            ("complete", pkey, key, j), worklist)
+        # Scanner: move items over symbols[j] into S[j+1].
+        if j < n:
+            sym = symbols[j]
+            nextlist: List[_Key] = []
+            for key, (cost, _) in sets[j].items():
+                rid, dot, origin = key
+                rhs = rules[rid].rhs
+                if dot < len(rhs) and rhs[dot] == sym:
+                    nkey = (rid, dot + 1, origin)
+                    cur = sets[j + 1].get(nkey)
+                    if cur is None or cost < cur[0]:
+                        sets[j + 1][nkey] = (cost, ("scan", key))
+    return _Chart(sets)
+
+
+def recognize(grammar: Grammar, symbols: Sequence[int],
+              start: Optional[int] = None) -> bool:
+    """Does ``symbols`` derive from ``start``?"""
+    if start is None:
+        start = grammar.start
+    chart = _parse_chart(grammar, symbols, start)
+    n = len(symbols)
+    for (rid, dot, origin), _ in chart.sets[n].items():
+        rule = grammar.rules[rid]
+        if rule.lhs == start and origin == 0 and dot == len(rule.rhs):
+            return True
+    return False
+
+
+def _build_tree(grammar: Grammar, chart: _Chart, key: _Key, j: int) -> Node:
+    """Reconstruct the parse tree for a completed item via backpointers."""
+    rules = grammar.rules
+    # Walk backpointers right-to-left collecting completed children.
+    children_rev: List[Node] = []
+    while True:
+        back = chart.sets[j][key][1]
+        if back is None:
+            break
+        if back[0] == "scan":
+            key = back[1]
+            j -= 1
+        else:
+            # The child completed its span (child_origin .. cj); the parent
+            # item was sitting in the set where the child started.
+            _, pkey, ckey, cj = back
+            children_rev.append(_build_tree(grammar, chart, ckey, cj))
+            key = pkey
+            j = ckey[2]
+    rid = key[0]
+    children = list(reversed(children_rev))
+    node = Node(rid, children)
+    assert len(children) == rules[rid].arity
+    return node
+
+
+def shortest_derivation_tree(grammar: Grammar, symbols: Sequence[int],
+                             start: Optional[int] = None) -> Node:
+    """Parse tree of a minimum-length derivation of ``symbols``."""
+    if start is None:
+        start = grammar.start
+    chart = _parse_chart(grammar, symbols, start)
+    n = len(symbols)
+    best_key = None
+    best_cost = INF
+    for key, (cost, _) in chart.sets[n].items():
+        rid, dot, origin = key
+        rule = grammar.rules[rid]
+        if rule.lhs == start and origin == 0 and dot == len(rule.rhs):
+            if cost + 1 < best_cost:
+                best_cost = cost + 1
+                best_key = key
+    if best_key is None:
+        raise EarleyError(
+            f"input of length {n} does not derive from "
+            f"<{grammar.nt_name(start)}>"
+        )
+    return _build_tree(grammar, chart, best_key, n)
+
+
+def shortest_derivation(grammar: Grammar, symbols: Sequence[int],
+                        start: Optional[int] = None) -> List[int]:
+    """Minimum-length derivation (preorder rule ids) of ``symbols``."""
+    from .derivation import derivation_of_tree
+
+    return derivation_of_tree(
+        shortest_derivation_tree(grammar, symbols, start)
+    )

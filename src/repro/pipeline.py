@@ -1,0 +1,87 @@
+"""High-level pipeline: the one-stop public API (Figure 1 of the paper).
+
+    train_grammar(corpus)            # training phase: expanded grammar
+    compress_module(grammar, prog)   # compression phase: derivation bytes
+    run / run_compressed             # the two interpreters
+
+Example::
+
+    from repro import compile_source, train_grammar, compress_module
+    from repro import run, run_compressed
+
+    training = [compile_source(src) for src in corpus_sources]
+    grammar, report = train_grammar(training)
+    program = compile_source(app_source)
+    compressed = compress_module(grammar, program)
+    assert run(program) == run_compressed(compressed)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from .bytecode.module import Module
+from .compress.compressor import Compressor
+from .compress.container import CompressedModule
+from .grammar.cfg import Grammar
+from .grammar.initial import initial_grammar
+from .interp.interp1 import Interpreter1
+from .interp.interp2 import Interpreter2
+from .interp.runtime import run_program
+from .parsing.stackparser import build_forest
+from .training.expander import TrainingReport, expand_grammar
+
+__all__ = [
+    "train_grammar", "compress_module", "run", "run_compressed",
+    "compression_ratio",
+]
+
+
+def train_grammar(corpus: Iterable[Module], *,
+                  grammar: Optional[Grammar] = None,
+                  max_rules_per_nt: int = 256,
+                  min_count: int = 2,
+                  remove_subsumed: bool = True,
+                  max_iterations: Optional[int] = None,
+                  ) -> Tuple[Grammar, TrainingReport]:
+    """The training phase (paper Sections 2 and 4.1).
+
+    Parses the corpus with the initial grammar and greedily expands it.
+    Returns the expanded grammar and a :class:`TrainingReport`.
+    """
+    if grammar is None:
+        grammar = initial_grammar(max_rules_per_nt=max_rules_per_nt)
+    forest = build_forest(grammar, corpus)
+    report = expand_grammar(
+        grammar, forest,
+        min_count=min_count,
+        remove_subsumed=remove_subsumed,
+        max_iterations=max_iterations,
+    )
+    return grammar, report
+
+
+def compress_module(grammar: Grammar, module: Module,
+                    engine: str = "tiling") -> CompressedModule:
+    """The compression phase: shortest derivations, one byte per step."""
+    return Compressor(grammar, engine).compress_module(module)
+
+
+def run(module: Module, *args: int,
+        input_data: bytes = b"") -> Tuple[int, bytes]:
+    """Run uncompressed bytecode on the initial interpreter."""
+    return run_program(module, Interpreter1(module), *args,
+                       input_data=input_data)
+
+
+def run_compressed(cmodule: CompressedModule, *args: int,
+                   input_data: bytes = b"") -> Tuple[int, bytes]:
+    """Run compressed bytecode on the generated interpreter."""
+    return run_program(cmodule, Interpreter2(cmodule), *args,
+                       input_data=input_data)
+
+
+def compression_ratio(grammar: Grammar, module: Module) -> float:
+    """compressed code bytes / original code bytes (paper Section 6)."""
+    compressed = compress_module(grammar, module)
+    return compressed.code_bytes / module.code_bytes

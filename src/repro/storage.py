@@ -1,0 +1,335 @@
+"""Binary file formats for modules, compressed modules and grammars.
+
+Three self-describing formats, all little-endian:
+
+* ``RBC1`` — an uncompressed bytecode module (the compiler's output and
+  the decompressor's; what Section 3 calls the packaged bytecodes).
+* ``RCX1`` — a compressed module *with its grammar embedded* (the compact
+  encoding of :mod:`repro.grammar.serialize`), so a single file is enough
+  to interpret or decompress it — the shippable artifact.
+* ``RGR1`` — a stand-alone trained grammar, for the train-once /
+  compress-many workflow of the CLI.
+
+Strings are UTF-8 with a 2-byte length; offsets/sizes are u32.  Every
+loader validates magic and trailing bytes, and the module loader runs the
+bytecode validator, so a corrupted file fails loudly rather than
+misexecuting.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Union
+
+from .bytecode.module import GlobalEntry, Module, Procedure
+from .bytecode.validate import validate_module
+from .compress.container import CompressedModule, CompressedProcedure
+from .grammar.cfg import Grammar
+from .grammar.serialize import decode_grammar, encode_grammar_compact
+
+__all__ = [
+    "save_module", "load_module",
+    "save_compressed", "load_compressed",
+    "save_grammar", "load_grammar",
+    "load_any", "StorageError",
+]
+
+_MAGIC_MODULE = b"RBC1"
+_MAGIC_COMPRESSED = b"RCX1"
+_MAGIC_GRAMMAR = b"RGR1"
+
+_KINDS = ["data", "proc", "lib"]
+
+
+class StorageError(ValueError):
+    """Malformed or mismatched file content."""
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.out = bytearray()
+
+    def u8(self, v: int) -> None:
+        self.out.append(v & 0xFF)
+
+    def u16(self, v: int) -> None:
+        self.out.extend(struct.pack("<H", v))
+
+    def u32(self, v: int) -> None:
+        self.out.extend(struct.pack("<I", v))
+
+    def text(self, s: str) -> None:
+        data = s.encode("utf-8")
+        self.u16(len(data))
+        self.out.extend(data)
+
+    def blob(self, data: bytes) -> None:
+        self.u32(len(data))
+        self.out.extend(data)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise StorageError("truncated file")
+        piece = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return piece
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def text(self) -> str:
+        return self._take(self.u16()).decode("utf-8")
+
+    def blob(self) -> bytes:
+        return self._take(self.u32())
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise StorageError(
+                f"{len(self.data) - self.pos} trailing bytes"
+            )
+
+
+def _write_shared(w: _Writer, module) -> None:
+    """globals / data / bss / entry, common to both module kinds."""
+    w.u16(len(module.globals))
+    for g in module.globals:
+        w.u8(_KINDS.index(g.kind))
+        w.text(g.name)
+        w.u32(g.value)
+    w.blob(module.data)
+    w.u32(module.bss_size)
+    w.u32(module.entry + 1 if module.entry is not None else 0)
+
+
+def _read_shared(r: _Reader) -> dict:
+    globals_: List[GlobalEntry] = []
+    for _ in range(r.u16()):
+        kind = _KINDS[r.u8()]
+        name = r.text()
+        value = r.u32()
+        globals_.append(GlobalEntry(kind, name, value))
+    data = r.blob()
+    bss = r.u32()
+    entry_raw = r.u32()
+    return {
+        "globals": globals_, "data": data, "bss_size": bss,
+        "entry": entry_raw - 1 if entry_raw else None,
+    }
+
+
+def _write_proc_common(w: _Writer, proc) -> None:
+    w.text(proc.name)
+    w.u32(proc.framesize)
+    w.u32(proc.argsize)
+    w.u8(1 if proc.needs_trampoline else 0)
+    w.u16(len(proc.labels))
+    for off in proc.labels:
+        w.u32(off)
+    w.blob(proc.code)
+
+
+def _read_proc_common(r: _Reader) -> dict:
+    name = r.text()
+    framesize = r.u32()
+    argsize = r.u32()
+    tramp = bool(r.u8())
+    labels = [r.u32() for _ in range(r.u16())]
+    code = r.blob()
+    return {
+        "name": name, "framesize": framesize, "argsize": argsize,
+        "needs_trampoline": tramp, "labels": labels, "code": code,
+    }
+
+
+# -- modules ------------------------------------------------------------------
+
+def save_module(module: Module) -> bytes:
+    w = _Writer()
+    w.out.extend(_MAGIC_MODULE)
+    _write_shared(w, module)
+    w.u16(len(module.procedures))
+    for proc in module.procedures:
+        _write_proc_common(w, proc)
+    return bytes(w.out)
+
+
+def load_module(data: bytes) -> Module:
+    if data[:4] != _MAGIC_MODULE:
+        raise StorageError("not an RBC1 module file")
+    r = _Reader(data[4:])
+    shared = _read_shared(r)
+    procs = [Procedure(**_read_proc_common(r)) for _ in range(r.u16())]
+    r.done()
+    module = Module(procedures=procs, **shared)
+    validate_module(module)
+    return module
+
+
+# -- compressed modules ---------------------------------------------------------
+
+def _write_nt_names(w: _Writer, grammar: Grammar) -> None:
+    w.u8(len(grammar.nt_names))
+    for name in grammar.nt_names:
+        w.text(name)
+
+
+def _read_nt_names(r: _Reader) -> List[str]:
+    return [r.text() for _ in range(r.u8())]
+
+
+def save_compressed(cmod: CompressedModule) -> bytes:
+    w = _Writer()
+    w.out.extend(_MAGIC_COMPRESSED)
+    _write_nt_names(w, cmod.grammar)
+    w.blob(encode_grammar_compact(cmod.grammar))
+    _write_shared(w, cmod)
+    w.u16(len(cmod.procedures))
+    for proc in cmod.procedures:
+        _write_proc_common(w, proc)
+        w.u16(len(proc.block_starts))
+        for off in proc.block_starts:
+            w.u32(off)
+    return bytes(w.out)
+
+
+def load_compressed(data: bytes) -> CompressedModule:
+    if data[:4] != _MAGIC_COMPRESSED:
+        raise StorageError("not an RCX1 compressed-module file")
+    r = _Reader(data[4:])
+    names = _read_nt_names(r)
+    grammar = decode_grammar(r.blob(), nt_names=names)
+    shared = _read_shared(r)
+    procs = []
+    for _ in range(r.u16()):
+        common = _read_proc_common(r)
+        block_starts = [r.u32() for _ in range(r.u16())]
+        procs.append(CompressedProcedure(block_starts=block_starts,
+                                         **common))
+    r.done()
+    return CompressedModule(grammar=grammar, procedures=procs, **shared)
+
+
+# -- grammars ---------------------------------------------------------------------
+#
+# The nameless, fragment-less compact encoding is what ships inside an
+# interpreter (and what the size experiments measure).  The RGR1 *tool*
+# format additionally stores nonterminal names and each rule's provenance
+# fragment, because the tiling compressor matches fragments against
+# original-grammar parse trees.  Fragments are serialized over *canonical
+# ordinals*: the position of each original rule in its nonterminal's rule
+# list, which training never disturbs (only inlined rules are appended or
+# removed).
+
+def _rule_ordinals(grammar: Grammar):
+    """Maps rule id <-> (nonterminal index, position) for original rules."""
+    to_ordinal = {}
+    from_ordinal = {}
+    for nt_index, nt in enumerate(grammar.nonterminals):
+        for position, rule in enumerate(grammar.rules_for(nt)):
+            if rule.origin == "original":
+                to_ordinal[rule.id] = (nt_index, position)
+                from_ordinal[(nt_index, position)] = rule.id
+    return to_ordinal, from_ordinal
+
+
+def _write_fragment(w: _Writer, fragment, to_ordinal) -> None:
+    rule_id, children = fragment
+    if rule_id not in to_ordinal:
+        raise StorageError(
+            "fragment references a non-original rule (corrupt grammar)"
+        )
+    nt_index, position = to_ordinal[rule_id]
+    w.u8(nt_index)
+    w.u16(position)
+    w.u8(len(children))
+    for child in children:
+        if child is None:
+            w.u8(0)
+        else:
+            w.u8(1)
+            _write_fragment(w, child, to_ordinal)
+
+
+def _read_fragment(r: _Reader, from_ordinal):
+    nt_index = r.u8()
+    position = r.u16()
+    key = (nt_index, position)
+    if key not in from_ordinal:
+        raise StorageError("fragment ordinal out of range")
+    children = []
+    for _ in range(r.u8()):
+        if r.u8():
+            children.append(_read_fragment(r, from_ordinal))
+        else:
+            children.append(None)
+    return (from_ordinal[key], tuple(children))
+
+
+def save_grammar(grammar: Grammar) -> bytes:
+    w = _Writer()
+    w.out.extend(_MAGIC_GRAMMAR)
+    _write_nt_names(w, grammar)
+    w.blob(encode_grammar_compact(grammar))
+    # Provenance: per nonterminal (byte excluded), per rule in codeword
+    # order: origin flag, and for inlined rules the fragment tree.
+    to_ordinal, _ = _rule_ordinals(grammar)
+    byte = grammar.nonterminal("byte")
+    for nt in grammar.nonterminals:
+        if nt == byte:
+            continue
+        for rule in grammar.rules_for(nt):
+            if rule.origin == "original":
+                w.u8(0)
+            else:
+                w.u8(1)
+                _write_fragment(w, rule.fragment, to_ordinal)
+    return bytes(w.out)
+
+
+def load_grammar(data: bytes) -> Grammar:
+    if data[:4] != _MAGIC_GRAMMAR:
+        raise StorageError("not an RGR1 grammar file")
+    r = _Reader(data[4:])
+    names = _read_nt_names(r)
+    grammar = decode_grammar(r.blob(), nt_names=names)
+    # Re-attach provenance.  decode_grammar marked every rule original;
+    # rebuild each rule with its true origin and fragment so the tiling
+    # compressor works on loaded grammars.
+    to_ordinal, from_ordinal = _rule_ordinals(grammar)
+    byte = grammar.nonterminal("byte")
+    for nt in grammar.nonterminals:
+        if nt == byte:
+            continue
+        for rule in grammar.rules_for(nt):
+            if r.u8():
+                fragment = _read_fragment(r, from_ordinal)
+                rule.origin = "inlined"
+                rule.fragment = fragment
+                from .grammar.cfg import fragment_hole_count
+                if fragment_hole_count(fragment) != rule.arity:
+                    raise StorageError("fragment does not match rule arity")
+    r.done()
+    grammar.check()
+    return grammar
+
+
+def load_any(data: bytes) -> Union[Module, CompressedModule]:
+    """Dispatch on magic: module or compressed module."""
+    if data[:4] == _MAGIC_MODULE:
+        return load_module(data)
+    if data[:4] == _MAGIC_COMPRESSED:
+        return load_compressed(data)
+    raise StorageError("unrecognized file magic")

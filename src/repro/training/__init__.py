@@ -1,0 +1,11 @@
+"""Grammar training: edge counting, inlining, greedy expansion."""
+
+from .edges import EdgeIndex, EdgeKey, count_edges
+from .inline import contract_occurrence, inline_rule
+from .expander import TrainingReport, expand_grammar
+
+__all__ = [
+    "EdgeIndex", "EdgeKey", "count_edges",
+    "contract_occurrence", "inline_rule",
+    "TrainingReport", "expand_grammar",
+]

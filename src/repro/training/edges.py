@@ -1,0 +1,151 @@
+"""Edge counting over parse forests (paper Section 4.1, Figure 2).
+
+An *edge* is a pair of rules, one used to expand a nonterminal on the
+right-hand side of the other, identified by
+
+    ``(parent_rule_id, slot, child_rule_id)``
+
+where ``slot`` is the index of the nonterminal occurrence (0-based, counting
+only nonterminals) in the parent rule's right-hand side.  Inlining the most
+frequent edge and contracting all its occurrences shortens the derivation by
+(roughly) the edge's count, so the expander needs fast "what is the most
+frequent edge" queries while the forest is being rewritten in place.
+
+:class:`EdgeIndex` keeps exact counts plus the set of occurrence sites
+(parent nodes), updated incrementally by local deltas around each
+contraction, with a lazy max-heap for the argmax.  Occurrence sets are
+insertion-ordered dicts so training is deterministic run to run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from ..grammar.cfg import Grammar
+from ..parsing.forest import Forest, Node
+
+__all__ = ["EdgeKey", "EdgeIndex", "count_edges"]
+
+EdgeKey = Tuple[int, int, int]  # (parent_rule_id, slot, child_rule_id)
+
+
+def count_edges(forest: Forest) -> Dict[EdgeKey, int]:
+    """One-shot full recount (the slow reference the tests check the
+    incremental index against)."""
+    counts: Dict[EdgeKey, int] = {}
+    for node in forest.nodes():
+        for slot, child in enumerate(node.children):
+            key = (node.rule_id, slot, child.rule_id)
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class EdgeIndex:
+    """Incrementally-maintained edge counts and occurrence sets."""
+
+    def __init__(self, grammar: Grammar,
+                 forest: Optional[Forest] = None) -> None:
+        self.grammar = grammar
+        self.counts: Dict[EdgeKey, int] = {}
+        self.occs: Dict[EdgeKey, Dict[Node, None]] = {}
+        self._heap: list = []  # (-count, key), lazily invalidated
+        if forest is not None:
+            self.index_forest(forest)
+
+    # -- bulk -------------------------------------------------------------
+    def index_forest(self, forest: Forest) -> None:
+        for node in forest.nodes():
+            self.add_outgoing(node)
+
+    # -- single-edge updates ----------------------------------------------
+    def _add(self, parent: Node, slot: int) -> None:
+        key = (parent.rule_id, slot, parent.children[slot].rule_id)
+        n = self.counts.get(key, 0) + 1
+        self.counts[key] = n
+        self.occs.setdefault(key, {})[parent] = None
+        heapq.heappush(self._heap, (-n, key))
+
+    def _remove(self, parent: Node, slot: int) -> None:
+        key = (parent.rule_id, slot, parent.children[slot].rule_id)
+        n = self.counts[key] - 1
+        occ = self.occs[key]
+        del occ[parent]
+        if n == 0:
+            del self.counts[key]
+            del self.occs[key]
+        else:
+            self.counts[key] = n
+            # Stale heap entries are discarded on pop; pushing the lowered
+            # count keeps the heap an upper bound on every live count.
+            heapq.heappush(self._heap, (-n, key))
+
+    # -- node-level updates -------------------------------------------------
+    def add_outgoing(self, node: Node) -> None:
+        for slot in range(len(node.children)):
+            self._add(node, slot)
+
+    def remove_outgoing(self, node: Node) -> None:
+        for slot in range(len(node.children)):
+            self._remove(node, slot)
+
+    def add_parent_edge(self, node: Node) -> None:
+        if node.parent is not None:
+            self._add(node.parent, node.pindex)
+
+    def remove_parent_edge(self, node: Node) -> None:
+        if node.parent is not None:
+            self._remove(node.parent, node.pindex)
+
+    # -- queries -------------------------------------------------------------
+    def count(self, key: EdgeKey) -> int:
+        return self.counts.get(key, 0)
+
+    def occurrences(self, key: EdgeKey) -> Iterable[Node]:
+        """Live occurrence sites (parent nodes) of an edge, in a stable
+        order.  The returned object reflects ongoing mutation; callers
+        snapshot or re-query as appropriate."""
+        return self.occs.get(key, {})
+
+    def best(self, selectable: Callable[[EdgeKey], bool],
+             min_count: int = 2) -> Optional[Tuple[EdgeKey, int]]:
+        """Most frequent edge with count >= min_count passing ``selectable``.
+
+        Non-selectable keys are dropped from the heap permanently; if a
+        nonterminal later regains capacity (subsumed-rule removal from a
+        full nonterminal), call :meth:`repush_lhs` to restore its keys.
+        """
+        while self._heap:
+            negcount, key = self._heap[0]
+            live = self.counts.get(key, 0)
+            if live != -negcount:
+                # Stale: every live count was pushed when it changed, so a
+                # fresher entry for this key is already in the heap.
+                heapq.heappop(self._heap)
+                continue
+            if live < min_count:
+                return None  # heap max is below threshold: nothing better
+            if not selectable(key):
+                heapq.heappop(self._heap)
+                continue
+            return key, live
+        return None
+
+    def repush_lhs(self, lhs: int) -> None:
+        """Re-enter every live key whose parent rule belongs to ``lhs``
+        (used after a full nonterminal regains capacity)."""
+        rules = self.grammar.rules
+        for key, n in self.counts.items():
+            rule = rules.get(key[0])
+            if rule is not None and rule.lhs == lhs:
+                heapq.heappush(self._heap, (-n, key))
+
+    # -- verification ---------------------------------------------------------
+    def verify_against(self, forest: Forest) -> None:
+        """Assert the incremental state matches a full recount."""
+        expected = count_edges(forest)
+        assert self.counts == expected, (
+            "incremental edge counts diverged from recount"
+        )
+        for key, occ in self.occs.items():
+            assert len(occ) == expected[key]

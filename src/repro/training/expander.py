@@ -1,0 +1,137 @@
+"""The greedy grammar expander (paper Section 4.1).
+
+Starting from the forest of parse trees for the training corpus, repeatedly:
+
+1. find the most frequent edge (rule pair) whose parent nonterminal still
+   has room (fewer than 256 rules);
+2. add the inlined rule to the grammar;
+3. contract every occurrence of the edge in the forest (Figure 2) — the
+   derivation shrinks by one rule per contraction;
+4. remove inlined rules that the new rule *subsumed* (no longer used in the
+   derivation); original rules are never removed.
+
+This is a heuristic — finding the optimal rule set is NP-hard (Section 4.1)
+— but each step is exact: the forest always represents a valid derivation
+of the training corpus under the current grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..grammar.cfg import Grammar
+from ..parsing.forest import Forest
+from .edges import EdgeIndex, EdgeKey
+from .inline import contract_occurrence, inline_rule
+
+__all__ = ["TrainingReport", "expand_grammar"]
+
+
+@dataclass
+class TrainingReport:
+    """What one training run did."""
+
+    iterations: int = 0
+    rules_added: int = 0
+    rules_removed: int = 0
+    contractions: int = 0
+    initial_size: int = 0
+    final_size: int = 0
+    #: per-iteration (edge count, new rule id) — compact trace for analysis
+    history: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def size_ratio(self) -> float:
+        """Training-forest derivation length, final / initial."""
+        if self.initial_size == 0:
+            return 1.0
+        return self.final_size / self.initial_size
+
+
+def expand_grammar(grammar: Grammar, forest: Forest, *,
+                   min_count: int = 2,
+                   max_iterations: Optional[int] = None,
+                   remove_subsumed: bool = True,
+                   keep_history: bool = False,
+                   verify_every: int = 0,
+                   edge_filter: Optional[Callable[[EdgeKey], bool]] = None,
+                   ) -> TrainingReport:
+    """Expand ``grammar`` in place against ``forest`` (also mutated).
+
+    Args:
+        min_count: only inline edges occurring at least this often
+            (2 by default: a single-occurrence inline trades one derivation
+            step for a whole new rule).
+        max_iterations: optional hard cap on inlining steps.
+        remove_subsumed: drop inlined rules that fall out of use
+            (Section 4.1; original rules are always kept).
+        keep_history: record (edge count, new rule id) per iteration.
+        verify_every: if > 0, cross-check the incremental edge counts
+            against a full recount every N iterations (slow; for tests).
+        edge_filter: optional predicate over edge keys; edges it rejects
+            are never inlined (used by the superoperator baseline and the
+            ablation benches to restrict the pattern language).
+
+    Returns a :class:`TrainingReport`.
+    """
+    index = EdgeIndex(grammar, forest)
+    use_count: Dict[int, int] = {}
+    size = 0
+    for node in forest.nodes():
+        use_count[node.rule_id] = use_count.get(node.rule_id, 0) + 1
+        size += 1
+
+    report = TrainingReport(initial_size=size)
+    rules = grammar.rules
+
+    def selectable(key: EdgeKey) -> bool:
+        if edge_filter is not None and not edge_filter(key):
+            return False
+        return grammar.can_grow(rules[key[0]].lhs)
+
+    while max_iterations is None or report.iterations < max_iterations:
+        found = index.best(selectable, min_count=min_count)
+        if found is None:
+            break
+        key, count = found
+        parent_id, slot, child_id = key
+        new_rule = inline_rule(grammar, rules[parent_id], slot,
+                               rules[child_id])
+        report.rules_added += 1
+        report.iterations += 1
+        if keep_history:
+            report.history.append((count, new_rule.id))
+
+        # Contract every live occurrence.  The occurrence set only shrinks
+        # while we work on this key (contractions relabel parents to the
+        # fresh rule id), so draining the live view terminates.
+        occ = index.occurrences(key)
+        while occ:
+            node = next(iter(occ))
+            contract_occurrence(node, slot, new_rule.id, index)
+            use_count[parent_id] -= 1
+            use_count[child_id] -= 1
+            use_count[new_rule.id] = use_count.get(new_rule.id, 0) + 1
+            size -= 1
+            report.contractions += 1
+            occ = index.occurrences(key)
+
+        if remove_subsumed:
+            for rid in (parent_id, child_id):
+                if use_count.get(rid) == 0 and rules[rid].origin == "inlined":
+                    lhs = rules[rid].lhs
+                    was_full = not grammar.can_grow(lhs)
+                    grammar.remove_rule(rid)
+                    del use_count[rid]
+                    report.rules_removed += 1
+                    if was_full:
+                        # The nonterminal regained capacity: restore its
+                        # previously filtered-out heap entries.
+                        index.repush_lhs(lhs)
+
+        if verify_every and report.iterations % verify_every == 0:
+            index.verify_against(forest)
+
+    report.final_size = size
+    return report

@@ -1,0 +1,62 @@
+"""Rule inlining and edge contraction (paper Section 4.1, Figure 2).
+
+Inlining takes two rules ``A -> alpha B beta`` and ``B -> gamma`` and adds
+``A -> alpha gamma beta``.  It never changes the language.  Contracting an
+occurrence of the corresponding edge in the forest makes the child's
+children the parent's children and relabels the parent with the new rule —
+the derivation shrinks by one step per contraction.
+"""
+
+from __future__ import annotations
+
+from ..grammar.cfg import Grammar, Rule, fragment_graft
+from ..parsing.forest import Node
+from .edges import EdgeIndex
+
+__all__ = ["inline_rule", "contract_occurrence"]
+
+
+def inline_rule(grammar: Grammar, parent: Rule, slot: int,
+                child: Rule) -> Rule:
+    """Add the inlined rule for edge (parent, slot, child) to the grammar.
+
+    ``slot`` indexes the nonterminal occurrences of ``parent.rhs`` (0-based,
+    nonterminals only) and must name an occurrence of ``child.lhs``.
+    """
+    pos = parent.nt_positions[slot]
+    if parent.rhs[pos] != child.lhs:
+        raise ValueError(
+            f"slot {slot} of rule {parent.id} is "
+            f"<{grammar.nt_name(parent.rhs[pos])}>, not "
+            f"<{grammar.nt_name(child.lhs)}>"
+        )
+    rhs = parent.rhs[:pos] + child.rhs + parent.rhs[pos + 1:]
+    fragment = fragment_graft(parent.fragment, slot, child.fragment)
+    return grammar.add_rule(parent.lhs, rhs, origin="inlined",
+                            fragment=fragment)
+
+
+def contract_occurrence(node: Node, slot: int, new_rule_id: int,
+                        index: EdgeIndex = None) -> Node:
+    """Contract the edge at ``node.children[slot]`` (Figure 2).
+
+    The child node is removed from the tree: its children are spliced into
+    the parent's child list at ``slot`` and the parent is relabeled with the
+    inlined rule.  If an :class:`EdgeIndex` is given, its counts are kept
+    consistent by local deltas.  Returns the removed child node.
+    """
+    child = node.children[slot]
+    if index is not None:
+        index.remove_parent_edge(node)
+        index.remove_outgoing(node)
+        index.remove_outgoing(child)
+    node.rule_id = new_rule_id
+    node.replace_children(
+        node.children[:slot] + child.children + node.children[slot + 1:]
+    )
+    child.parent = None
+    child.pindex = -1
+    if index is not None:
+        index.add_outgoing(node)
+        index.add_parent_edge(node)
+    return child

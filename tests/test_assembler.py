@@ -1,0 +1,199 @@
+"""Tests for the textual assembler, module packaging, and the validator."""
+
+import pytest
+
+from repro.bytecode import (
+    AssemblyError,
+    ProcedureBuilder,
+    ValidationError,
+    assemble,
+    disassemble,
+    validate_module,
+)
+from repro.bytecode.instructions import iter_decode
+from repro.bytecode.module import (
+    DESCRIPTOR_BYTES,
+    GLOBAL_ENTRY_BYTES,
+    LABEL_ENTRY_BYTES,
+    TRAMPOLINE_BYTES,
+)
+
+# The paper's running example (Section 4): void check(int flag) { if
+# (flag == 0) exit(0); }  -- encoded as in the text.
+CHECK_ASM = """
+.entry check
+.global exit lib
+.proc check framesize=0 trampoline
+    ADDRFP 0 0
+    INDIRU
+    LIT1 0
+    NEU
+    BrTrue @done
+    LIT1 0
+    ARGU
+    ADDRGP $exit
+    CALLU
+    POPU
+done:
+    RETV
+.endproc
+"""
+
+
+def test_assemble_paper_example():
+    module = assemble(CHECK_ASM)
+    validate_module(module)
+    proc = module.proc_by_name("check")
+    names = [ins.op.name for _, ins in iter_decode(proc.code)]
+    assert names == [
+        "ADDRFP", "INDIRU", "LIT1", "NEU", "BrTrue", "LIT1", "ARGU",
+        "ADDRGP", "CALLU", "POPU", "LABELV", "RETV",
+    ]
+    # One label, pointing at the LABELV byte.
+    assert len(proc.labels) == 1
+    labelv_off = proc.labels[0]
+    assert proc.code[labelv_off] == [
+        ins.op.code for _, ins in iter_decode(proc.code)
+        if ins.op.name == "LABELV"
+    ][0]
+    assert module.entry == 0
+    assert proc.needs_trampoline
+
+
+def test_disassemble_reassemble_roundtrip():
+    module = assemble(CHECK_ASM)
+    text = disassemble(module)
+    module2 = assemble(text)
+    assert [p.code for p in module2.procedures] == [
+        p.code for p in module.procedures
+    ]
+    assert [p.labels for p in module2.procedures] == [
+        p.labels for p in module.procedures
+    ]
+
+
+def test_forward_and_backward_branches():
+    module = assemble("""
+.proc loop framesize=4
+top:
+    ADDRLP 0 0
+    INDIRU
+    BrTrue @body
+    RETV
+body:
+    JUMPV @top
+.endproc
+""")
+    validate_module(module)
+    proc = module.procedures[0]
+    assert len(proc.labels) == 2
+    assert proc.labels[0] == 0  # 'top' at the very start
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblyError, match="undefined label"):
+        assemble(".proc f\n    JUMPV @nowhere\n.endproc\n")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError, match="defined twice"):
+        assemble(".proc f\na:\na:\n    RETV\n.endproc\n")
+
+
+def test_global_and_proc_operands():
+    module = assemble("""
+.global counter data 0
+.bss 4
+.proc inc framesize=0
+    ADDRGP $counter
+    ADDRGP $counter
+    INDIRU
+    LIT1 1
+    ADDU
+    ASGNU
+    RETV
+.endproc
+.proc main framesize=0 trampoline
+    LocalCALLV %inc
+    RETV
+.endproc
+""")
+    validate_module(module)
+    inc = module.proc_by_name("inc")
+    ins = next(i for _, i in iter_decode(inc.code) if i.op.name == "ADDRGP")
+    assert ins.literal() == 0
+    main = module.proc_by_name("main")
+    call = next(i for _, i in iter_decode(main.code)
+                if i.op.name == "LocalCALLV")
+    assert call.literal() == module.proc_index("inc")
+
+
+def test_builder_rejects_wrong_arity():
+    b = ProcedureBuilder("f")
+    with pytest.raises(AssemblyError):
+        b.emit("LIT2", 1)
+    with pytest.raises(AssemblyError):
+        b.emit("ADDU", 1)
+
+
+def test_size_accounting():
+    module = assemble(CHECK_ASM)
+    proc = module.procedures[0]
+    breakdown = module.size_breakdown()
+    assert breakdown["bytecode"] == len(proc.code)
+    assert breakdown["label_tables"] == LABEL_ENTRY_BYTES
+    assert breakdown["descriptors"] == DESCRIPTOR_BYTES
+    assert breakdown["global_table"] == GLOBAL_ENTRY_BYTES
+    assert breakdown["trampolines"] == TRAMPOLINE_BYTES
+
+
+# -- validator ------------------------------------------------------------
+
+def test_validator_catches_underflow():
+    module = assemble(".proc f\n    ADDU\n    POPU\n    RETV\n.endproc\n")
+    with pytest.raises(ValidationError, match="pops from empty stack"):
+        validate_module(module)
+
+
+def test_validator_catches_nonempty_stack_at_label():
+    module = assemble("""
+.proc f
+    LIT1 1
+l:
+    POPU
+    RETV
+.endproc
+""")
+    with pytest.raises(ValidationError, match="at LABELV"):
+        validate_module(module)
+
+
+def test_validator_catches_nonempty_stack_at_end():
+    module = assemble(".proc f\n    LIT1 1\n.endproc\n")
+    with pytest.raises(ValidationError, match="at end of code"):
+        validate_module(module)
+
+
+def test_validator_catches_bad_label_index():
+    module = assemble(".proc f\n    RETV\n.endproc\n")
+    proc = module.procedures[0]
+    from repro.bytecode.opcodes import opcode
+    bad = bytes([opcode("JUMPV"), 5, 0]) + proc.code
+    module.procedures[0] = type(proc)(
+        proc.name, bad, proc.labels, proc.framesize, proc.needs_trampoline
+    )
+    with pytest.raises(ValidationError, match="label index"):
+        validate_module(module)
+
+
+def test_validator_catches_bad_global_index():
+    module = assemble(
+        ".proc f\n    ADDRGP 9 0\n    POPU\n    RETV\n.endproc\n"
+    )
+    with pytest.raises(ValidationError, match="global index"):
+        validate_module(module)
+
+
+def test_validator_accepts_empty_blocks():
+    module = assemble(".proc f\na:\nb:\n    RETV\n.endproc\n")
+    validate_module(module)

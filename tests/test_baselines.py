@@ -1,0 +1,168 @@
+"""Unit tests for the baseline compressors."""
+
+import pytest
+
+from repro.baselines.gzipref import (
+    gzip_ratio,
+    gzip_size,
+    gzip_size_per_block,
+    split_blocks,
+)
+from repro.baselines.huffman import build_code, compressed_size
+from repro.baselines.superop import train_superoperators
+from repro.baselines.tunstall import build_code as build_tunstall
+from repro.baselines.tunstall import compressed_size_blocks
+from repro.bytecode import assemble
+from repro.grammar.cfg import is_nonterminal
+from repro.minic import compile_source
+
+
+# -- Huffman -----------------------------------------------------------------
+
+def test_huffman_roundtrip():
+    data = b"abracadabra" * 20 + bytes(range(30))
+    code = build_code(data)
+    encoded = code.encode(data)
+    assert code.decode(encoded, len(data)) == data
+
+
+def test_huffman_beats_raw_on_skewed_data():
+    data = b"\x00" * 900 + bytes(range(100))
+    assert compressed_size(data, include_table=False) < len(data)
+
+
+def test_huffman_kraft_inequality():
+    data = bytes(range(256)) * 3 + b"aaa" * 100
+    code = build_code(data)
+    assert sum(2.0 ** -length for length in code.lengths.values()) <= 1.0
+
+
+def test_huffman_frequent_symbols_get_short_codes():
+    data = b"a" * 1000 + b"bcdefgh"
+    code = build_code(data)
+    assert code.lengths[ord("a")] <= min(
+        code.lengths[ord(c)] for c in "bcdefgh"
+    )
+
+
+def test_huffman_single_symbol():
+    code = build_code(b"xxxx")
+    assert code.decode(code.encode(b"xxxx"), 4) == b"xxxx"
+
+
+def test_huffman_empty():
+    assert compressed_size(b"", include_table=False) == 0
+
+
+# -- Tunstall ----------------------------------------------------------------
+
+def test_tunstall_dictionary_size():
+    code = build_tunstall([b"ababab" * 50], codeword_bits=8)
+    assert len(code.entries) <= 256
+    # With two symbols, the tree grows deep entries.
+    assert code.max_len > 1
+
+
+def test_tunstall_skewed_source_compresses():
+    blocks = [b"a" * 64] * 8
+    code = build_tunstall(blocks, codeword_bits=8)
+    total = sum(len(b) for b in blocks)
+    assert compressed_size_blocks(code, blocks,
+                                  include_table=False) < total
+
+
+def test_tunstall_block_restart_costs():
+    data = b"ab" * 256
+    code = build_tunstall([data], codeword_bits=8)
+    one = compressed_size_blocks(code, [data], include_table=False)
+    # Same bytes chopped into 64 blocks: restarts can only cost codewords.
+    many = compressed_size_blocks(
+        code, [data[i:i + 8] for i in range(0, len(data), 8)],
+        include_table=False,
+    )
+    assert many >= one
+
+
+def test_tunstall_unique_parse_covers_all_bytes():
+    blocks = [bytes(range(16)) * 4]
+    code = build_tunstall(blocks, codeword_bits=8)
+    used, _ = code.encode_block(blocks[0])
+    assert used >= 1
+
+
+# -- gzip reference -------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def module():
+    return compile_source("""
+int a[64];
+int main(void) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 64; i++) a[i] = i;
+    for (i = 0; i < 64; i++) s += a[i];
+    return s & 127;
+}
+""")
+
+
+def test_gzip_compresses(module):
+    assert gzip_size(module) < module.code_bytes
+    assert 0 < gzip_ratio(module) < 1
+
+
+def test_gzip_per_block_worse(module):
+    assert gzip_size_per_block(module) > gzip_size(module)
+
+
+def test_split_blocks_reconstructs(module):
+    from repro.bytecode.opcodes import opcode
+    labelv = bytes([opcode("LABELV")])
+    for proc in module.procedures:
+        blocks = split_blocks(proc.code)
+        assert labelv.join(blocks) == proc.code
+
+
+def test_split_blocks_ignores_labelv_valued_literals():
+    """A literal byte equal to the LABELV opcode must not split a block."""
+    from repro.bytecode.opcodes import opcode
+    lv = opcode("LABELV")
+    module = assemble(f"""
+.proc f framesize=0
+    LIT1 {lv}
+    ARGU
+    RETV
+.endproc
+""")
+    blocks = split_blocks(module.procedures[0].code)
+    assert len(blocks) == 1
+
+
+# -- superoperators ---------------------------------------------------------------
+
+def test_superoperators_never_span_statements(module):
+    grammar, report = train_superoperators([module])
+    start = grammar.nonterminal("start")
+    assert report.rules_added > 0
+    for rule in grammar:
+        if rule.origin == "inlined":
+            assert rule.lhs != start
+
+
+def test_superoperators_nolit_have_no_burned_bytes(module):
+    from repro.grammar.cfg import is_byte_terminal
+    grammar, _ = train_superoperators([module], allow_literals=False)
+    for rule in grammar:
+        if rule.origin == "inlined":
+            assert not any(is_byte_terminal(s) for s in rule.rhs)
+
+
+def test_superoperator_grammar_compresses_correctly(module):
+    from repro.compress.compressor import Compressor
+    from repro.compress.decompress import decompress_module
+
+    grammar, _ = train_superoperators([module])
+    cmod = Compressor(grammar).compress_module(module)
+    assert cmod.code_bytes < module.code_bytes
+    back = decompress_module(cmod)
+    assert back.procedures[0].code == module.procedures[0].code

@@ -1,0 +1,203 @@
+"""End-to-end compression tests: train, compress, decompress, verify."""
+
+import pytest
+
+from repro.bytecode import assemble, validate_module
+from repro.compress.compressor import Compressor, compress_module
+from repro.compress.decompress import decompress_module, decompress_procedure
+from repro.compress.tiling import Tiler
+from repro.grammar.initial import initial_grammar
+from repro.parsing.derivation import derivation_of_tree
+from repro.parsing.earley import shortest_derivation_tree
+from repro.parsing.forest import terminal_yield, tree_size
+from repro.parsing.stackparser import build_forest, parse_blocks
+from repro.training.expander import expand_grammar
+
+TRAIN_ASM = """
+.global buf data 0
+.global exit lib
+.bss 64
+.proc fill framesize=8
+    ADDRLP 0 0
+    LIT1 0
+    ASGNU
+top:
+    ADDRLP 0 0
+    INDIRU
+    LIT1 16
+    LTU
+    BrTrue @body
+    RETV
+body:
+    ADDRGP $buf
+    ADDRLP 0 0
+    INDIRU
+    ADDU
+    LIT1 7
+    ASGNC
+    ADDRLP 0 0
+    ADDRLP 0 0
+    INDIRU
+    LIT1 1
+    ADDU
+    ASGNU
+    JUMPV @top
+.endproc
+.proc check framesize=0 trampoline
+    ADDRFP 0 0
+    INDIRU
+    LIT1 0
+    NEU
+    BrTrue @done
+    LIT1 0
+    ARGU
+    ADDRGP $exit
+    CALLU
+    POPU
+done:
+    RETV
+.endproc
+"""
+
+TEST_ASM = """
+.global buf data 0
+.bss 64
+.proc g framesize=8
+    ADDRLP 4 0
+    LIT1 3
+    ASGNU
+loop:
+    ADDRLP 4 0
+    INDIRU
+    LIT1 0
+    NEU
+    BrTrue @more
+    RETV
+more:
+    ADDRLP 4 0
+    ADDRLP 4 0
+    INDIRU
+    LIT1 1
+    SUBU
+    ASGNU
+    JUMPV @loop
+.endproc
+"""
+
+
+@pytest.fixture(scope="module")
+def trained():
+    g = initial_grammar()
+    module = assemble(TRAIN_ASM)
+    validate_module(module)
+    forest = build_forest(g, [module])
+    expand_grammar(g, forest)
+    return g, module
+
+
+def test_compression_shrinks_code(trained):
+    g, module = trained
+    cmod = compress_module(g, module)
+    assert cmod.code_bytes < module.code_bytes
+
+
+def test_roundtrip_training_module(trained):
+    g, module = trained
+    cmod = compress_module(g, module)
+    back = decompress_module(cmod)
+    for orig, rec in zip(module.procedures, back.procedures):
+        assert rec.code == orig.code
+        assert rec.labels == orig.labels
+        assert rec.framesize == orig.framesize
+        assert rec.needs_trampoline == orig.needs_trampoline
+
+
+def test_roundtrip_unseen_module(trained):
+    """A program outside the training set still compresses and round-trips:
+    the expanded grammar keeps the original rules, so the language is
+    unchanged."""
+    g, _ = trained
+    module = assemble(TEST_ASM)
+    validate_module(module)
+    cmod = compress_module(g, module)
+    back = decompress_module(cmod)
+    assert back.procedures[0].code == module.procedures[0].code
+    assert back.procedures[0].labels == module.procedures[0].labels
+
+
+def test_label_table_rewritten_to_block_starts(trained):
+    g, module = trained
+    cmod = compress_module(g, module)
+    fill = cmod.proc_by_name("fill")
+    for off in fill.labels:
+        assert off in fill.block_starts
+    # Labels are decodable positions: decoding from each must succeed.
+    from repro.parsing.derivation import decode_tree
+    for off in fill.labels:
+        decode_tree(g, fill.code, off)
+
+
+def test_tiling_matches_earley_shortest(trained):
+    """The production tiling DP and the paper's modified-Earley search must
+    find equally short derivations."""
+    g, module = trained
+    tiler = Tiler(g)
+    for proc in module.procedures:
+        for block in parse_blocks(g, proc.code):
+            symbols = terminal_yield(block.tree, g)
+            earley_tree = shortest_derivation_tree(g, symbols)
+            assert tiler.tile_cost(block.tree) == tree_size(earley_tree)
+
+
+def test_tiling_never_longer_than_original_derivation(trained):
+    g, module = trained
+    tiler = Tiler(g)
+    for proc in module.procedures:
+        for block in parse_blocks(g, proc.code):
+            assert tiler.tile_cost(block.tree) <= tree_size(block.tree)
+
+
+def test_compressed_is_one_byte_per_step(trained):
+    g, module = trained
+    comp = Compressor(g)
+    for proc in module.procedures:
+        total_steps = sum(
+            tree_size(comp._tiler.tile(b.tree))
+            for b in parse_blocks(g, proc.code)
+        )
+        assert len(comp.compress_procedure(proc).code) == total_steps
+
+
+def test_earley_engine_produces_equal_sizes(trained):
+    g, module = trained
+    t = Compressor(g, engine="tiling")
+    e = Compressor(g, engine="earley")
+    proc = module.proc_by_name("check")
+    assert len(t.compress_procedure(proc).code) == \
+        len(e.compress_procedure(proc).code)
+
+
+def test_untrained_grammar_is_identity_cost():
+    """With no training, the shortest derivation is the original parse, so
+    'compression' under the initial grammar equals the derivation length."""
+    g = initial_grammar()
+    module = assemble(TEST_ASM)
+    comp = Compressor(g)
+    blocks = parse_blocks(g, module.procedures[0].code)
+    expect = sum(tree_size(b.tree) for b in blocks)
+    assert len(comp.compress_procedure(module.procedures[0]).code) == expect
+
+
+def test_compressor_rejects_bad_engine(trained):
+    g, _ = trained
+    with pytest.raises(ValueError):
+        Compressor(g, engine="magic")
+
+
+def test_compressed_module_size_breakdown(trained):
+    g, module = trained
+    cmod = compress_module(g, module)
+    b = cmod.size_breakdown()
+    assert b["bytecode"] == cmod.code_bytes
+    assert b["data"] == len(module.data)
+    assert b["trampolines"] == module.trampoline_bytes

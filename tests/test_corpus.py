@@ -1,0 +1,115 @@
+"""Corpus tests: the four benchmark programs compile, run, self-check, and
+behave identically after compression — the system's end-to-end contract."""
+
+import pytest
+
+from repro import (
+    compress_module,
+    decompress_module,
+    run,
+    run_compressed,
+    train_grammar,
+)
+from repro.corpus import corpus_sources, generate_program
+from repro.minic import compile_source
+
+SMALL_SCALE = 40  # keep test-time training fast; benchmarks use the full one
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return {name: compile_source(src)
+            for name, src in corpus_sources(SMALL_SCALE)}
+
+
+@pytest.fixture(scope="module")
+def grammar(corpus):
+    g, _ = train_grammar([corpus["gcc"], corpus["lcc"]])
+    return g
+
+
+def test_eightq_solves(corpus):
+    code, out = run(corpus["8q"])
+    assert code == 0
+    lines = out.split(b"\n")
+    board, count = lines[:8], lines[8]
+    assert count == b"92"
+    assert sum(row.count(b"Q") for row in board) == 8
+    assert all(len(row) == 8 for row in board)
+
+
+def test_gz_roundtrip_reports_ok(corpus):
+    code, out = run(corpus["gzip"])
+    assert code == 0
+    assert b"roundtrip ok" in out
+    # LZSS actually compressed the test data
+    packed = int(out.split(b"packed=")[1].split()[0])
+    assert packed < 1500
+
+
+def test_lcclike_computes(corpus):
+    code, out = run(corpus["lcc"])
+    assert code == 0
+    assert out == b"14\n99\n1\n5050\n-21\n23\n"
+
+
+def test_gcclike_selftest_passes(corpus):
+    code, out = run(corpus["gcc"])
+    assert code == 0
+    assert b"fails=0" in out
+
+
+def test_corpus_sizes_ordered(corpus):
+    # gcc-like must dominate, 8q must be tiny (matches the paper's table).
+    sizes = {name: m.code_bytes for name, m in corpus.items()}
+    assert sizes["gcc"] > sizes["lcc"] > sizes["8q"]
+    assert sizes["8q"] < 1000
+
+
+def test_generated_program_runs():
+    module = compile_source(generate_program(10, seed=3))
+    code, out = run(module)
+    assert out.endswith(b"\n")
+
+
+def test_compression_preserves_behaviour(corpus, grammar):
+    """The headline contract: every corpus program runs identically from
+    its compressed form."""
+    for name, module in corpus.items():
+        cmod = compress_module(grammar, module)
+        assert run_compressed(cmod) == run(module), name
+
+
+def test_compression_roundtrips_bytes(corpus, grammar):
+    for name, module in corpus.items():
+        cmod = compress_module(grammar, module)
+        back = decompress_module(cmod)
+        for orig, rec in zip(module.procedures, back.procedures):
+            assert rec.code == orig.code, f"{name}:{orig.name}"
+            assert rec.labels == orig.labels, f"{name}:{orig.name}"
+
+
+def test_compression_ratios_in_paper_band(corpus, grammar):
+    """Trained on gcc+lcc, every input compresses to well under 60% —
+    the paper's table reports 29-42%."""
+    for name, module in corpus.items():
+        cmod = compress_module(grammar, module)
+        ratio = cmod.code_bytes / module.code_bytes
+        assert ratio < 0.6, f"{name}: {ratio:.0%}"
+        assert ratio > 0.05, f"{name}: implausibly small {ratio:.0%}"
+
+
+def test_own_grammar_compresses_at_least_as_well(corpus):
+    """Each corpus compresses at least as well under its own grammar as
+    under the other's (the paper's own-vs-cross training observation)."""
+    g_gcc, _ = train_grammar([corpus["gcc"]])
+    g_lcc, _ = train_grammar([corpus["lcc"]])
+    for name in ("gcc", "lcc"):
+        own = g_gcc if name == "gcc" else g_lcc
+        other = g_lcc if name == "gcc" else g_gcc
+        module = corpus[name]
+        own_size = compress_module(own, module).code_bytes
+        other_size = compress_module(other, module).code_bytes
+        assert own_size <= other_size, (
+            f"{name}: own {own_size} vs cross {other_size}"
+        )

@@ -1,0 +1,181 @@
+"""Tests for the Earley parser, shortest derivations, and derivation
+encode/decode."""
+
+import pytest
+
+from repro.bytecode import assemble
+from repro.bytecode.instructions import encode, instr
+from repro.grammar.cfg import Grammar
+from repro.grammar.initial import initial_grammar
+from repro.parsing.derivation import (
+    DerivationError,
+    decode_tree,
+    derivation_of_tree,
+    encode_tree,
+    tree_of_derivation,
+)
+from repro.parsing.earley import (
+    EarleyError,
+    recognize,
+    shortest_derivation,
+    shortest_derivation_tree,
+)
+from repro.parsing.forest import terminal_yield, tree_size
+from repro.parsing.stackparser import parse_blocks
+
+
+def _toy_grammar():
+    """S -> a S b | eps  over terminals a=1, b=2."""
+    g = Grammar()
+    s = g.add_nonterminal("S")
+    g.start = s
+    g.add_rule(s, [])
+    g.add_rule(s, [1, s, 2])
+    return g
+
+
+def test_recognize_toy():
+    g = _toy_grammar()
+    assert recognize(g, [])
+    assert recognize(g, [1, 2])
+    assert recognize(g, [1, 1, 2, 2])
+    assert not recognize(g, [1, 2, 2])
+    assert not recognize(g, [2, 1])
+
+
+def test_shortest_derivation_toy():
+    g = _toy_grammar()
+    d = shortest_derivation(g, [1, 1, 2, 2])
+    assert len(d) == 3  # a S b / a S b / eps
+
+
+def test_shortest_picks_cheaper_ambiguous_parse():
+    # S -> A A | c ; A -> c ... string "c" has a 1-rule derivation (S->c)
+    # and "cc" must use S -> A A (3 rules).
+    g = Grammar()
+    s = g.add_nonterminal("S")
+    a = g.add_nonterminal("A")
+    g.start = s
+    g.add_rule(s, [a, a])
+    g.add_rule(s, [3])
+    g.add_rule(a, [3])
+    assert len(shortest_derivation(g, [3])) == 1
+    assert len(shortest_derivation(g, [3, 3])) == 3
+
+
+def test_shortest_prefers_inlined_rule():
+    # S -> A B; A -> a; B -> b; and an "inlined" S -> a B.
+    g = Grammar()
+    s = g.add_nonterminal("S")
+    a = g.add_nonterminal("A")
+    b = g.add_nonterminal("B")
+    g.start = s
+    r_s = g.add_rule(s, [a, b])
+    r_a = g.add_rule(a, [10])
+    r_b = g.add_rule(b, [11])
+    from repro.grammar.cfg import fragment_graft
+    frag = fragment_graft(r_s.fragment, 0, r_a.fragment)
+    inlined = g.add_rule(s, [10, b], origin="inlined", fragment=frag)
+    d = shortest_derivation(g, [10, 11])
+    assert len(d) == 2
+    assert d[0] == inlined.id
+
+
+def test_earley_error_on_unparseable():
+    g = _toy_grammar()
+    with pytest.raises(EarleyError):
+        shortest_derivation(g, [2])
+
+
+def test_earley_agrees_with_stackparser_on_bytecode():
+    g = initial_grammar()
+    code = encode([
+        instr("ADDRFP", 0, 0), instr("INDIRU"), instr("LIT1", 0),
+        instr("NEU"), instr("BrTrue", 0, 0), instr("LIT1", 0),
+        instr("ARGU"), instr("ADDRGP", 0, 0), instr("CALLU"),
+        instr("POPU"),
+    ])
+    blocks = parse_blocks(g, code)
+    assert len(blocks) == 1
+    symbols = terminal_yield(blocks[0].tree, g)
+    tree = shortest_derivation_tree(g, symbols)
+    # The initial grammar is unambiguous on valid bytecode: both parsers
+    # must produce the identical derivation.
+    assert derivation_of_tree(tree) == derivation_of_tree(blocks[0].tree)
+
+
+def test_earley_on_empty_block():
+    g = initial_grammar()
+    tree = shortest_derivation_tree(g, [])
+    assert tree_size(tree) == 1
+
+
+# -- derivation encode/decode ----------------------------------------------
+
+@pytest.fixture(scope="module")
+def parsed_block():
+    g = initial_grammar()
+    module = assemble("""
+.proc f framesize=8
+    ADDRLP 0 0
+    LIT2 57 4
+    ASGNU
+    ADDRLP 4 0
+    ADDRLP 0 0
+    INDIRU
+    LIT1 3
+    MULU
+    ASGNU
+    RETV
+.endproc
+""")
+    return g, parse_blocks(g, module.procedures[0].code)[0].tree
+
+
+def test_derivation_tree_roundtrip(parsed_block):
+    g, tree = parsed_block
+    rules = derivation_of_tree(tree)
+    rebuilt = tree_of_derivation(g, rules)
+    assert derivation_of_tree(rebuilt) == rules
+    assert terminal_yield(rebuilt, g) == terminal_yield(tree, g)
+
+
+def test_encode_decode_roundtrip(parsed_block):
+    g, tree = parsed_block
+    data = encode_tree(g, tree)
+    assert len(data) == tree_size(tree)  # one byte per derivation step
+    rebuilt, end = decode_tree(g, data)
+    assert end == len(data)
+    assert derivation_of_tree(rebuilt) == derivation_of_tree(tree)
+
+
+def test_byte_rule_index_equals_byte_value():
+    # The codeword for <byte> -> v must be v itself, so literals pass
+    # through the encoding unchanged.
+    g = initial_grammar()
+    byte = g.nonterminal("byte")
+    for v in (0, 1, 57, 255):
+        rule = g.rules_for(byte)[v]
+        assert rule.rhs == (256 + v,)
+        assert g.rule_index(rule.id) == v
+
+
+def test_decode_rejects_bad_index():
+    g = initial_grammar()
+    with pytest.raises(DerivationError):
+        decode_tree(g, bytes([200]))  # <start> has only 2 rules
+
+
+def test_decode_rejects_truncated():
+    g = initial_grammar()
+    start = g.nonterminal("start")
+    chain_idx = 1  # start -> start x
+    with pytest.raises(DerivationError):
+        decode_tree(g, bytes([chain_idx]))
+
+
+def test_tree_of_derivation_rejects_extra_rules(parsed_block):
+    g, tree = parsed_block
+    rules = derivation_of_tree(tree)
+    with pytest.raises(DerivationError, match="extra"):
+        tree_of_derivation(g, rules + [rules[0]])

@@ -1,0 +1,41 @@
+"""Smoke tests: the shipped examples run to completion and make their
+claims (each example asserts its own invariants internally)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_example(capsys):
+    out = _run_example("quickstart.py", capsys)
+    assert "round-trip OK" in out
+    assert "longest Collatz chain" in out
+
+
+def test_inspect_isa_example(capsys):
+    out = _run_example("inspect_isa.py", capsys)
+    assert "top learned instructions" in out
+    assert "specialized literals" in out
+    assert "spanning several statements" in out
+    assert "dynamic profile" in out
+
+
+@pytest.mark.slow
+def test_cross_training_example(capsys):
+    out = _run_example("cross_training.py", capsys)
+    assert "own grammar" in out
+
+
+@pytest.mark.slow
+def test_embedded_rom_example(capsys):
+    out = _run_example("embedded_rom.py", capsys)
+    assert "features fit" in out

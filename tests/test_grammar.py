@@ -1,0 +1,188 @@
+"""Unit tests for the CFG machinery and the initial grammars."""
+
+import pytest
+
+from repro.bytecode.opcodes import OPS, opcode
+from repro.grammar.cfg import (
+    Grammar,
+    byte_terminal,
+    byte_value,
+    fragment_graft,
+    fragment_hole_count,
+    fragment_rules,
+    fragment_size,
+    is_byte_terminal,
+    is_nonterminal,
+    is_terminal,
+)
+from repro.grammar.initial import initial_grammar, typed_grammar
+
+
+def test_symbol_encoding():
+    assert is_nonterminal(-1)
+    assert is_terminal(0)
+    assert is_byte_terminal(byte_terminal(0))
+    assert not is_byte_terminal(5)
+    assert byte_value(byte_terminal(200)) == 200
+    with pytest.raises(ValueError):
+        byte_terminal(256)
+    with pytest.raises(ValueError):
+        byte_value(10)
+
+
+def test_grammar_basics():
+    g = Grammar()
+    a = g.add_nonterminal("a")
+    b = g.add_nonterminal("b")
+    r1 = g.add_rule(a, [b, 5])
+    r2 = g.add_rule(b, [7])
+    assert g.nonterminal("a") == a
+    assert g.nt_name(b) == "b"
+    assert g.rule_index(r1.id) == 0
+    assert g.rules_for(a) == [r1]
+    assert r1.arity == 1
+    assert r1.nts() == (b,)
+    assert r2.arity == 0
+    g.check()
+
+
+def test_rule_cap_enforced():
+    g = Grammar(max_rules_per_nt=2)
+    a = g.add_nonterminal("a")
+    g.add_rule(a, [1])
+    g.add_rule(a, [2])
+    assert not g.can_grow(a)
+    with pytest.raises(ValueError, match="already has"):
+        g.add_rule(a, [3], origin="inlined")
+    # original rules are admitted regardless of the growth cap
+    g.add_rule(a, [3])
+
+
+def test_original_rules_cannot_be_removed():
+    g = Grammar()
+    a = g.add_nonterminal("a")
+    r = g.add_rule(a, [1])
+    with pytest.raises(ValueError, match="original"):
+        g.remove_rule(r.id)
+    r2 = g.add_rule(a, [2], origin="inlined")
+    g.remove_rule(r2.id)
+    assert g.num_rules(a) == 1
+
+
+def test_initial_grammar_shape():
+    g = initial_grammar()
+    assert g.nt_names == ["start", "x", "v", "v0", "v1", "v2",
+                          "x0", "x1", "x2", "byte"]
+    # Appendix-2 alternative counts.
+    assert g.num_rules(g.nonterminal("start")) == 2
+    assert g.num_rules(g.nonterminal("v")) == 3
+    assert g.num_rules(g.nonterminal("x")) == 3
+    assert g.num_rules(g.nonterminal("v2")) == 45
+    assert g.num_rules(g.nonterminal("v1")) == 22
+    assert g.num_rules(g.nonterminal("v0")) == 10
+    assert g.num_rules(g.nonterminal("x0")) == 3
+    assert g.num_rules(g.nonterminal("x1")) == 12
+    assert g.num_rules(g.nonterminal("x2")) == 6
+    assert g.num_rules(g.nonterminal("byte")) == 256
+
+
+def test_initial_grammar_covers_every_operator_once():
+    g = initial_grammar()
+    seen = {}
+    for rule in g:
+        for sym in rule.rhs:
+            if is_terminal(sym) and not is_byte_terminal(sym):
+                seen[sym] = seen.get(sym, 0) + 1
+    for op in OPS:
+        if op.klass == "pseudo":
+            continue
+        assert seen.get(op.code) == 1, op.name
+    assert opcode("LABELV") not in seen
+
+
+def test_initial_grammar_literal_bytes_match_oplits():
+    g = initial_grammar()
+    byte = g.nonterminal("byte")
+    for rule in g:
+        if rule.lhs in (g.nonterminal("v0"), g.nonterminal("x0"),
+                        g.nonterminal("x1")):
+            if rule.rhs and is_terminal(rule.rhs[0]):
+                from repro.bytecode.opcodes import OP_BY_CODE
+                op = OP_BY_CODE[rule.rhs[0]]
+                nbytes = sum(1 for s in rule.rhs if s == byte)
+                assert nbytes == op.nlit, op.name
+
+
+def test_typed_grammar_builds_and_checks():
+    g = typed_grammar()
+    assert set(g.nt_names) == {"start", "x", "vw", "vf", "vd", "byte"}
+    g.check()
+    # Every operator has exactly one rule.
+    op_rules = [r for r in g if any(
+        is_terminal(s) and not is_byte_terminal(s) for s in r.rhs)]
+    assert len(op_rules) == len([op for op in OPS if op.klass != "pseudo"])
+
+
+def test_typed_grammar_typing_spotchecks():
+    g = typed_grammar()
+    vd, vf, vw = (g.nonterminal(n) for n in ("vd", "vf", "vw"))
+
+    def rule_for(name):
+        code = opcode(name)
+        return next(r for r in g if code in r.rhs)
+
+    # ADDD: double + double -> double
+    r = rule_for("ADDD")
+    assert r.lhs == vd and r.nts() == (vd, vd)
+    # CVFD: float -> double
+    r = rule_for("CVFD")
+    assert r.lhs == vd and r.nts() == (vf,)
+    # CVDI: double -> word
+    r = rule_for("CVDI")
+    assert r.lhs == vw and r.nts() == (vd,)
+    # EQD compares doubles but pushes a word flag
+    r = rule_for("EQD")
+    assert r.lhs == vw and r.nts() == (vd, vd)
+    # ASGND: address (word), value (double)
+    r = rule_for("ASGND")
+    assert r.lhs == g.nonterminal("x") and r.nts() == (vw, vd)
+    # LSHD does not exist; LSHI shifts words
+    r = rule_for("LSHI")
+    assert r.lhs == vw and r.nts() == (vw, vw)
+
+
+# -- fragments -------------------------------------------------------------
+
+def test_fresh_rule_fragment_is_all_holes():
+    g = Grammar()
+    a = g.add_nonterminal("a")
+    b = g.add_nonterminal("b")
+    r = g.add_rule(a, [b, 3, b])
+    assert r.fragment == (r.id, (None, None))
+    assert fragment_hole_count(r.fragment) == 2
+
+
+def test_fragment_graft_first_hole():
+    frag = (0, (None, None))
+    sub = (1, ())
+    assert fragment_graft(frag, 0, sub) == (0, ((1, ()), None))
+    assert fragment_graft(frag, 1, sub) == (0, (None, (1, ())))
+
+
+def test_fragment_graft_nested_hole_order():
+    # f = r0( r1(hole, hole), hole )  -- holes in frontier order:
+    #   0: first hole of r1, 1: second hole of r1, 2: hole of r0
+    frag = (0, ((1, (None, None)), None))
+    sub = (9, ())
+    assert fragment_graft(frag, 0, sub) == (0, ((1, ((9, ()), None)), None))
+    assert fragment_graft(frag, 1, sub) == (0, ((1, (None, (9, ()))), None))
+    assert fragment_graft(frag, 2, sub) == (0, ((1, (None, None)), (9, ())))
+    with pytest.raises(IndexError):
+        fragment_graft(frag, 3, sub)
+
+
+def test_fragment_rules_and_size():
+    frag = (0, ((1, (None,)), (2, ())))
+    assert fragment_rules(frag) == [0, 1, 2]
+    assert fragment_size(frag) == 3
+    assert fragment_hole_count(frag) == 1

@@ -1,0 +1,74 @@
+"""Unit tests for instruction encode/decode."""
+
+import pytest
+
+from repro.bytecode.instructions import (
+    Instruction,
+    code_points,
+    decode,
+    encode,
+    instr,
+    iter_decode,
+)
+from repro.bytecode.opcodes import OP_BY_NAME
+
+
+def test_roundtrip_simple():
+    seq = [
+        instr("ADDRFP", 0, 0),
+        instr("INDIRU"),
+        instr("LIT1", 0),
+        instr("NEU"),
+        instr("BrTrue", 0, 0),
+        instr("RETV"),
+    ]
+    code = encode(seq)
+    assert decode(code) == seq
+
+
+def test_encoded_size_matches_instruction_sizes():
+    seq = [instr("LIT4", 1, 2, 3, 4), instr("ARGU"), instr("RETV")]
+    code = encode(seq)
+    assert len(code) == sum(i.size for i in seq) == 5 + 1 + 1
+
+
+def test_literal_is_little_endian():
+    assert instr("ADDRFP", 0x34, 0x12).literal() == 0x1234
+    assert instr("LIT4", 1, 0, 0, 0).literal() == 1
+    assert instr("LIT4", 0, 0, 0, 0x80).literal() == 0x80000000
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(ValueError):
+        Instruction(OP_BY_NAME["LIT2"], (1,))
+    with pytest.raises(ValueError):
+        Instruction(OP_BY_NAME["ADDU"], (1,))
+
+
+def test_operand_byte_range_checked():
+    with pytest.raises(ValueError):
+        instr("LIT1", 256)
+    with pytest.raises(ValueError):
+        instr("LIT1", -1)
+
+
+def test_decode_rejects_unknown_opcode():
+    with pytest.raises(ValueError, match="unknown opcode"):
+        decode(bytes([250]))
+
+
+def test_decode_rejects_truncated_literal():
+    code = bytes([OP_BY_NAME["LIT4"].code, 1, 2])
+    with pytest.raises(ValueError, match="truncated"):
+        decode(code)
+
+
+def test_iter_decode_offsets():
+    seq = [instr("LIT2", 5, 0), instr("ARGU"), instr("RETV")]
+    offsets = [off for off, _ in iter_decode(encode(seq))]
+    assert offsets == [0, 3, 4]
+
+
+def test_code_points():
+    seq = [instr("ADDRLP", 0, 0), instr("INDIRU"), instr("POPU")]
+    assert code_points(encode(seq)) == [0, 3, 4]

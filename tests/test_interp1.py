@@ -1,0 +1,471 @@
+"""Tests for the uncompressed interpreter: operator semantics, control
+flow, calls, intrinsics."""
+
+import pytest
+
+from repro.bytecode import assemble
+from repro.interp.interp1 import Interpreter1
+from repro.interp.memory import to_signed
+from repro.interp.runtime import Machine, run_program
+from repro.interp.state import Trap
+
+
+def run_asm(text, *args, input_data=b""):
+    module = assemble(text)
+    return run_program(module, Interpreter1(module), *args,
+                       input_data=input_data)
+
+
+def run_expr_proc(body, *args, argsize=0):
+    """Run a 'main' whose body is given; returns machine for inspection."""
+    module = assemble(f"""
+.entry main
+.proc main framesize=64 argsize={argsize} trampoline
+{body}
+.endproc
+""")
+    machine = Machine(module, Interpreter1(module))
+    code = machine.run(*args)
+    return code, machine
+
+
+def test_return_value():
+    code, _ = run_expr_proc("    LIT1 42\n    RETU")
+    assert code == 42
+
+
+def test_arithmetic_unsigned():
+    code, _ = run_expr_proc("""
+    LIT1 10
+    LIT1 3
+    MULU
+    LIT1 4
+    SUBU
+    RETU
+""")
+    assert code == 26
+
+
+def test_signed_division_truncates_toward_zero():
+    # -7 / 2 == -3 in C (not Python's floor -4)
+    code, _ = run_expr_proc("""
+    LIT1 7
+    NEGI
+    LIT1 2
+    DIVI
+    RETU
+""")
+    assert code == -3
+
+
+def test_signed_modulo_c_semantics():
+    # -7 % 2 == -1 in C
+    code, _ = run_expr_proc("""
+    LIT1 7
+    NEGI
+    LIT1 2
+    MODI
+    RETU
+""")
+    assert code == -1
+
+
+def test_division_by_zero_traps():
+    with pytest.raises(Trap, match="division by zero"):
+        run_expr_proc("    LIT1 1\n    LIT1 0\n    DIVU\n    RETU")
+
+
+def test_unsigned_vs_signed_compare():
+    # 0xFFFFFFFF: as unsigned it is > 1; as signed it is -1 < 1.
+    code, _ = run_expr_proc("""
+    LIT4 255 255 255 255
+    LIT1 1
+    GTU
+    RETU
+""")
+    assert code == 1
+    code, _ = run_expr_proc("""
+    LIT4 255 255 255 255
+    LIT1 1
+    GTI
+    RETU
+""")
+    assert code == 0
+
+
+def test_shifts():
+    code, _ = run_expr_proc("    LIT1 1\n    LIT1 5\n    LSHU\n    RETU")
+    assert code == 32
+    # Arithmetic right shift of a negative value keeps the sign.
+    code, _ = run_expr_proc("""
+    LIT1 8
+    NEGI
+    LIT1 2
+    RSHI
+    RETU
+""")
+    assert code == -2
+    # Logical right shift of the same pattern does not.
+    code, _ = run_expr_proc("""
+    LIT1 8
+    NEGI
+    LIT1 2
+    RSHU
+    RETU
+""")
+    assert code == to_signed((0xFFFFFFF8 >> 2))
+
+
+def test_bitwise():
+    code, _ = run_expr_proc(
+        "    LIT1 12\n    LIT1 10\n    BXORU\n    RETU")
+    assert code == 6
+    code, _ = run_expr_proc("    LIT1 0\n    BCOMU\n    RETU")
+    assert code == -1
+
+
+def test_sign_extension_ops():
+    code, _ = run_expr_proc("    LIT1 255\n    CVI1I4\n    RETU")
+    assert code == -1
+    code, _ = run_expr_proc("    LIT1 255\n    CVU1U4\n    RETU")
+    assert code == 255
+    code, _ = run_expr_proc("    LIT2 255 255\n    CVI2I4\n    RETU")
+    assert code == -1
+
+
+def test_locals_store_load():
+    code, _ = run_expr_proc("""
+    ADDRLP 0 0
+    LIT1 17
+    ASGNU
+    ADDRLP 0 0
+    INDIRU
+    RETU
+""")
+    assert code == 17
+
+
+def test_char_and_short_stores():
+    code, _ = run_expr_proc("""
+    ADDRLP 0 0
+    LIT4 120 86 52 18
+    ASGNU
+    ADDRLP 0 0
+    LIT1 255
+    ASGNC
+    ADDRLP 0 0
+    INDIRU
+    RETU
+""")
+    assert code == 0x123456FF
+
+
+def test_float_arithmetic():
+    code, machine = run_expr_proc("""
+    ADDRLP 0 0
+    LIT1 3
+    CVID
+    LIT1 2
+    CVID
+    DIVD
+    ASGND
+    ADDRLP 0 0
+    INDIRD
+    LIT1 1
+    CVID
+    GTD
+    RETU
+""")
+    assert code == 1  # 1.5 > 1.0
+
+
+def test_float_single_precision_rounding():
+    # 1/3 in float32 differs from 1/3 in float64.
+    code, _ = run_expr_proc("""
+    LIT1 1
+    CVIF
+    LIT1 3
+    CVIF
+    DIVF
+    CVFD
+    LIT1 1
+    CVID
+    LIT1 3
+    CVID
+    DIVD
+    EQD
+    RETU
+""")
+    assert code == 0
+
+
+def test_branch_loop():
+    # sum 1..5 via a loop
+    code, _ = run_expr_proc("""
+    ADDRLP 0 0
+    LIT1 0
+    ASGNU
+    ADDRLP 4 0
+    LIT1 1
+    ASGNU
+top:
+    ADDRLP 4 0
+    INDIRU
+    LIT1 5
+    LEU
+    BrTrue @body
+    ADDRLP 0 0
+    INDIRU
+    RETU
+body:
+    ADDRLP 0 0
+    ADDRLP 0 0
+    INDIRU
+    ADDRLP 4 0
+    INDIRU
+    ADDU
+    ASGNU
+    ADDRLP 4 0
+    ADDRLP 4 0
+    INDIRU
+    LIT1 1
+    ADDU
+    ASGNU
+    JUMPV @top
+""")
+    assert code == 15
+
+
+def test_local_call_and_args():
+    module_text = """
+.entry main
+.proc add framesize=0 argsize=8
+    ADDRFP 0 0
+    INDIRU
+    ADDRFP 4 0
+    INDIRU
+    ADDU
+    RETU
+.endproc
+.proc main framesize=0 trampoline
+    LIT1 30
+    ARGU
+    LIT1 12
+    ARGU
+    LocalCALLU %add
+    RETU
+.endproc
+"""
+    code, _ = run_asm(module_text)
+    assert code == 42
+
+
+def test_indirect_call_through_trampoline():
+    module_text = """
+.entry main
+.global twice proc 0
+.proc twice framesize=0 argsize=4 trampoline
+    ADDRFP 0 0
+    INDIRU
+    LIT1 2
+    MULU
+    RETU
+.endproc
+.proc main framesize=0 trampoline
+    LIT1 21
+    ARGU
+    ADDRGP $twice
+    CALLU
+    RETU
+.endproc
+"""
+    code, _ = run_asm(module_text)
+    assert code == 42
+
+
+def test_indirect_call_without_trampoline_traps():
+    module_text = """
+.entry main
+.global f proc 0
+.proc f framesize=0
+    RETV
+.endproc
+.proc main framesize=0 trampoline
+    ADDRGP $f
+    CALLV
+    RETV
+.endproc
+"""
+    with pytest.raises(Trap, match="no trampoline"):
+        run_asm(module_text)
+
+
+def test_recursion():
+    # factorial(10) via recursion
+    module_text = """
+.entry main
+.proc fact framesize=0 argsize=4
+    ADDRFP 0 0
+    INDIRU
+    LIT1 1
+    GTU
+    BrTrue @rec
+    LIT1 1
+    RETU
+rec:
+    ADDRFP 0 0
+    INDIRU
+    LIT1 1
+    SUBU
+    ARGU
+    LocalCALLU %fact
+    ADDRFP 0 0
+    INDIRU
+    MULU
+    RETU
+.endproc
+.proc main framesize=0 trampoline
+    LIT1 10
+    ARGU
+    LocalCALLU %fact
+    RETU
+.endproc
+"""
+    code, _ = run_asm(module_text)
+    assert code == 3628800
+
+
+def test_exit_intrinsic():
+    module_text = """
+.entry main
+.global exit lib
+.proc main framesize=0 trampoline
+    LIT1 7
+    ARGU
+    ADDRGP $exit
+    CALLU
+    POPU
+    RETV
+.endproc
+"""
+    code, _ = run_asm(module_text)
+    assert code == 7
+
+
+def test_putchar_and_output():
+    module_text = """
+.entry main
+.global putchar lib
+.proc main framesize=0 trampoline
+    LIT1 72
+    ARGU
+    ADDRGP $putchar
+    CALLU
+    POPU
+    LIT1 105
+    ARGU
+    ADDRGP $putchar
+    CALLU
+    POPU
+    RETV
+.endproc
+"""
+    code, out = run_asm(module_text)
+    assert out == b"Hi"
+
+
+def test_getchar_reads_input():
+    module_text = """
+.entry main
+.global getchar lib
+.proc main framesize=0 trampoline
+    ADDRGP $getchar
+    CALLU
+    RETU
+.endproc
+"""
+    code, _ = run_asm(module_text, input_data=b"A")
+    assert code == ord("A")
+    code, _ = run_asm(module_text, input_data=b"")
+    assert code == -1
+
+
+def test_globals_and_data():
+    module_text = """
+.entry main
+.global msg data 0
+.data 48 65 79 00
+.proc main framesize=0 trampoline
+    ADDRGP $msg
+    INDIRC
+    RETU
+.endproc
+"""
+    code, _ = run_asm(module_text)
+    assert code == 0x48
+
+
+def test_malloc_returns_distinct_blocks():
+    module_text = """
+.entry main
+.global malloc lib
+.proc main framesize=8 trampoline
+    LIT1 16
+    ARGU
+    ADDRGP $malloc
+    CALLU
+    ARGU
+    LIT1 16
+    ARGU
+    ADDRGP $malloc
+    CALLU
+    RETU
+.endproc
+"""
+    # second malloc returns a different address than the first (which was
+    # consumed as an arg; just check it is nonzero and aligned)
+    code, _ = run_asm(module_text)
+    assert code > 0
+    assert code % 8 == 0
+
+
+def test_entry_args():
+    module_text = """
+.entry main
+.proc main framesize=0 argsize=4 trampoline
+    ADDRFP 0 0
+    INDIRU
+    LIT1 1
+    ADDU
+    RETU
+.endproc
+"""
+    code, _ = run_asm(module_text, 41)
+    assert code == 42
+
+
+def test_fall_off_end_traps():
+    module_text = """
+.entry main
+.proc main framesize=0 trampoline
+    LIT1 1
+    POPU
+.endproc
+"""
+    with pytest.raises(Trap, match="fell off"):
+        run_asm(module_text)
+
+
+def test_asgnb_unsupported():
+    module_text = """
+.entry main
+.proc main framesize=8 trampoline
+    ADDRLP 0 0
+    ADDRLP 4 0
+    ASGNB
+    RETV
+.endproc
+"""
+    from repro.interp.base import UnsupportedOpcode
+    with pytest.raises(UnsupportedOpcode):
+        run_asm(module_text)

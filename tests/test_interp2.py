@@ -1,0 +1,206 @@
+"""Tests for the generated (compressed-bytecode) interpreter.
+
+The central property: for any program, running the compressed form on
+interpreter 2 is observationally identical to running the original on
+interpreter 1 — same return/exit code, same output, same executed-operator
+count (compression is a re-coding, not a re-optimization).
+"""
+
+import pytest
+
+from repro.bytecode import assemble, validate_module
+from repro.compress.compressor import compress_module
+from repro.grammar.initial import initial_grammar, typed_grammar
+from repro.interp.interp1 import Interpreter1
+from repro.interp.interp2 import Interpreter2
+from repro.interp.runtime import Machine
+from repro.interp.tables import InterpTables, TableError
+from repro.parsing.stackparser import build_forest
+from repro.training.expander import expand_grammar
+
+SUM_LOOP = """
+.entry main
+.global putint lib
+.global putchar lib
+.proc main framesize=8 trampoline
+    ADDRLP 0 0
+    LIT1 0
+    ASGNU
+    ADDRLP 4 0
+    LIT1 1
+    ASGNU
+top:
+    ADDRLP 4 0
+    INDIRU
+    LIT1 100
+    LEU
+    BrTrue @body
+    ADDRLP 0 0
+    INDIRU
+    ARGU
+    ADDRGP $putint
+    CALLU
+    POPU
+    LIT1 10
+    ARGU
+    ADDRGP $putchar
+    CALLU
+    POPU
+    ADDRLP 0 0
+    INDIRU
+    RETU
+body:
+    ADDRLP 0 0
+    ADDRLP 0 0
+    INDIRU
+    ADDRLP 4 0
+    INDIRU
+    ADDU
+    ASGNU
+    ADDRLP 4 0
+    ADDRLP 4 0
+    INDIRU
+    LIT1 1
+    ADDU
+    ASGNU
+    JUMPV @top
+.endproc
+"""
+
+FACT = """
+.entry main
+.proc fact framesize=0 argsize=4
+    ADDRFP 0 0
+    INDIRU
+    LIT1 1
+    GTU
+    BrTrue @rec
+    LIT1 1
+    RETU
+rec:
+    ADDRFP 0 0
+    INDIRU
+    LIT1 1
+    SUBU
+    ARGU
+    LocalCALLU %fact
+    ADDRFP 0 0
+    INDIRU
+    MULU
+    RETU
+.endproc
+.proc main framesize=0 trampoline
+    LIT1 9
+    ARGU
+    LocalCALLU %fact
+    RETU
+.endproc
+"""
+
+
+def _train_on(*texts, grammar=None):
+    g = grammar if grammar is not None else initial_grammar()
+    modules = [assemble(t) for t in texts]
+    for m in modules:
+        validate_module(m)
+    forest = build_forest(g, modules)
+    expand_grammar(g, forest)
+    return g
+
+
+def _run_both(text, grammar, *args):
+    module = assemble(text)
+    m1 = Machine(module, Interpreter1(module))
+    code1 = m1.run(*args)
+    cmod = compress_module(grammar, module)
+    m2 = Machine(cmod, Interpreter2(cmod))
+    code2 = m2.run(*args)
+    return (code1, bytes(m1.output), m1.instret), \
+           (code2, bytes(m2.output), m2.instret), cmod, module
+
+
+def test_loop_program_same_behaviour():
+    g = _train_on(SUM_LOOP)
+    r1, r2, cmod, module = _run_both(SUM_LOOP, g)
+    assert r1 == r2
+    assert r1[0] == 5050
+    assert r1[1] == b"5050\n"
+    assert cmod.code_bytes < module.code_bytes
+
+
+def test_recursive_program_same_behaviour():
+    g = _train_on(FACT)
+    r1, r2, _, _ = _run_both(FACT, g)
+    assert r1 == r2
+    assert r1[0] == 362880
+
+
+def test_cross_trained_grammar_still_correct():
+    """A grammar trained on one program correctly runs another."""
+    g = _train_on(SUM_LOOP)
+    r1, r2, _, _ = _run_both(FACT, g)
+    assert r1 == r2
+
+
+def test_untrained_grammar_interp2():
+    """interp2 over the *initial* grammar is just a slower encoding of the
+    same program."""
+    g = initial_grammar()
+    r1, r2, _, _ = _run_both(FACT, g)
+    assert r1 == r2
+
+
+def test_instret_identical():
+    """Compression must not change the executed instruction sequence."""
+    g = _train_on(SUM_LOOP, FACT)
+    for text in (SUM_LOOP, FACT):
+        r1, r2, _, _ = _run_both(text, g)
+        assert r1[2] == r2[2]
+
+
+def test_burned_literals_execute():
+    """Force literal inlining and check the burned/streamed split works."""
+    g = initial_grammar()
+    # Train on a program where ADDRLP 0 0 dominates, so <byte>=0 gets
+    # burned into v0 rules.
+    text = SUM_LOOP
+    module = assemble(text)
+    forest = build_forest(g, [module])
+    expand_grammar(g, forest, min_count=2)
+    # At least one inlined rule must contain a burned byte terminal.
+    from repro.grammar.cfg import is_byte_terminal
+    burned = [r for r in g if r.origin == "inlined"
+              and any(is_byte_terminal(s) for s in r.rhs)]
+    assert burned, "training never burned a literal byte into a rule"
+    r1, r2, _, _ = _run_both(text, g)
+    assert r1 == r2
+
+
+def test_typed_grammar_end_to_end():
+    tg = typed_grammar()
+    g = _train_on(SUM_LOOP, grammar=tg)
+    r1, r2, _, _ = _run_both(SUM_LOOP, g)
+    assert r1 == r2
+
+
+def test_tables_reject_detached_byte():
+    from repro.grammar.cfg import Grammar, byte_terminal
+    g = Grammar()
+    start = g.add_nonterminal("start")
+    byte = g.add_nonterminal("byte")
+    g.start = start
+    g.add_rule(start, [byte])  # <byte> with no operator attached
+    for v in range(256):
+        g.add_rule(byte, [byte_terminal(v)])
+    with pytest.raises(TableError):
+        InterpTables(g)
+
+
+def test_interp_tables_cover_trained_grammar():
+    g = _train_on(SUM_LOOP, FACT)
+    tables = InterpTables(g)
+    for nt in g.nonterminals:
+        if g.nt_name(nt) == "byte":
+            continue
+        assert len(tables.by_nt[nt]) == g.num_rules(nt)
+    assert tables.encoded_bytes() > 0

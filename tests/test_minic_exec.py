@@ -1,0 +1,587 @@
+"""Execution tests for compiled mini-C: compile with the front end, run on
+the uncompressed interpreter, check C semantics end to end."""
+
+import pytest
+
+from repro.minic import CodegenError, compile_and_run, compile_source
+
+
+def run(source, *args, input_data=b""):
+    return compile_and_run(source, *args, input_data=input_data)
+
+
+def test_return_constant():
+    assert run("int main(void) { return 42; }")[0] == 42
+
+
+def test_arithmetic_and_precedence():
+    assert run("int main(void) { return 2 + 3 * 4 - 6 / 2; }")[0] == 11
+
+
+def test_negative_division():
+    assert run("int main(void) { return -7 / 2; }")[0] == -3
+    assert run("int main(void) { return -7 % 2; }")[0] == -1
+
+
+def test_unsigned_arithmetic():
+    code, _ = run("int main(void) { unsigned x; x = 0; x = x - 1; "
+                  "return x > 1000 ? 1 : 0; }")
+    assert code == 1
+
+
+def test_while_loop_sum():
+    code, out = run("""
+int main(void) {
+    int i, sum;
+    i = 1; sum = 0;
+    while (i <= 10) { sum += i; i++; }
+    putint(sum);
+    return sum;
+}
+""")
+    assert code == 55
+    assert out == b"55"
+
+
+def test_for_break_continue():
+    code, _ = run("""
+int main(void) {
+    int i, n;
+    n = 0;
+    for (i = 0; i < 100; i++) {
+        if (i == 7) continue;
+        if (i == 10) break;
+        n += i;
+    }
+    return n;   /* 0+..+9 minus 7 = 45 - 7 = 38 */
+}
+""")
+    assert code == 38
+
+
+def test_do_while():
+    assert run("int main(void) { int i; i = 0; do i++; while (i < 5); "
+               "return i; }")[0] == 5
+
+
+def test_short_circuit_and_or():
+    code, out = run("""
+int hit;
+int bump(int v) { hit += 1; return v; }
+int main(void) {
+    int r;
+    hit = 0;
+    r = bump(0) && bump(1);
+    if (r != 0) return 1;
+    if (hit != 1) return 2;
+    hit = 0;
+    r = bump(3) || bump(4);
+    if (r != 1) return 3;
+    if (hit != 1) return 4;
+    return 0;
+}
+""")
+    assert code == 0
+
+
+def test_conditional_expression():
+    assert run("int main(void) { int a; a = 5; "
+               "return a > 3 ? 10 : 20; }")[0] == 10
+    assert run("int main(void) { int a; a = 1; "
+               "return (a ? 2 : 3) + (a ? 0 : 100); }")[0] == 2
+
+
+def test_nested_logical_in_expression():
+    code, _ = run("""
+int main(void) {
+    int a, b;
+    a = 1; b = 0;
+    return 10 + ((a && !b) ? 1 : 0) * 5;
+}
+""")
+    assert code == 15
+
+
+def test_recursion_fib():
+    code, _ = run("""
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main(void) { return fib(15); }
+""")
+    assert code == 610
+
+
+def test_mutual_recursion():
+    code, _ = run("""
+int is_odd(int n);
+int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }
+int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }
+int main(void) { return is_even(10) * 10 + is_odd(7); }
+""")
+    assert code == 11
+
+
+def test_pointers_and_addresses():
+    code, _ = run("""
+void set(int *p, int v) { *p = v; }
+int main(void) {
+    int x;
+    set(&x, 99);
+    return x;
+}
+""")
+    assert code == 99
+
+
+def test_arrays_and_indexing():
+    code, _ = run("""
+int a[10];
+int main(void) {
+    int i;
+    for (i = 0; i < 10; i++) a[i] = i * i;
+    return a[7];
+}
+""")
+    assert code == 49
+
+
+def test_local_arrays():
+    code, _ = run("""
+int main(void) {
+    int a[8];
+    int i, s;
+    for (i = 0; i < 8; i++) a[i] = i;
+    s = 0;
+    for (i = 0; i < 8; i++) s += a[i];
+    return s;
+}
+""")
+    assert code == 28
+
+
+def test_pointer_arithmetic():
+    code, _ = run("""
+int sum(int *p, int n) {
+    int s;
+    s = 0;
+    while (n--) s += *p++;
+    return s;
+}
+int data[5] = {1, 2, 3, 4, 5};
+int main(void) { return sum(data, 5); }
+""")
+    assert code == 15
+
+
+def test_pointer_difference():
+    code, _ = run("""
+int a[10];
+int main(void) {
+    int *p, *q;
+    p = a + 2;
+    q = a + 9;
+    return q - p;
+}
+""")
+    assert code == 7
+
+
+def test_char_semantics():
+    code, _ = run("""
+int main(void) {
+    char c;
+    c = 200;           /* wraps to -56 as signed char */
+    if (c >= 0) return 1;
+    return c + 256;    /* -56 + 256 = 200 */
+}
+""")
+    assert code == 200
+
+
+def test_unsigned_char():
+    assert run("int main(void) { unsigned char c; c = 200; "
+               "return c; }")[0] == 200
+
+
+def test_short_truncation():
+    assert run("int main(void) { short s; s = 70000; return s; }"
+               )[0] == 70000 - 65536
+
+
+def test_string_literals_and_puts():
+    code, out = run("""
+int main(void) {
+    puts("hello, world");
+    putstr("no newline");
+    return 0;
+}
+""")
+    assert out == b"hello, world\nno newline"
+
+
+def test_string_indexing():
+    assert run('int main(void) { char *s; s = "abc"; return s[1]; }'
+               )[0] == ord("b")
+
+
+def test_global_initializers():
+    code, _ = run("""
+int scalar = 7;
+int arr[4] = {10, 20, 30};
+char msg[8] = "hi";
+int main(void) { return scalar + arr[1] + arr[3] + msg[1]; }
+""")
+    assert code == 7 + 20 + 0 + ord("i")
+
+
+def test_double_arithmetic():
+    code, out = run("""
+int main(void) {
+    double x, y;
+    x = 1.5; y = 2.25;
+    putfloat(x * y + 0.375);
+    return (x * y) > 3.0 ? 1 : 0;
+}
+""")
+    assert code == 1
+    assert out == b"3.75"
+
+
+def test_float_vs_double_precision():
+    code, _ = run("""
+int main(void) {
+    float f;
+    double d;
+    f = 1.0f / 3.0f;
+    d = 1.0 / 3.0;
+    return f == d ? 1 : 0;   /* float32 1/3 != float64 1/3 */
+}
+""")
+    assert code == 0
+
+
+def test_int_double_conversions():
+    assert run("int main(void) { double d; d = 7.9; return (int)d; }"
+               )[0] == 7
+    assert run("int main(void) { int i; i = 3; "
+               "return (3.5 + i) > 6.4 ? 1 : 0; }")[0] == 1
+
+
+def test_casts_between_int_widths():
+    assert run("int main(void) { int x; x = 0x1234; "
+               "return (char)x; }")[0] == 0x34
+    assert run("int main(void) { int x; x = 0x12FF; "
+               "return (unsigned char)x; }")[0] == 0xFF
+
+
+def test_bitwise_and_shifts():
+    assert run("int main(void) { return (0xF0 | 0x0F) ^ 0xFF; }")[0] == 0
+    assert run("int main(void) { return 1 << 10; }")[0] == 1024
+    assert run("int main(void) { return -16 >> 2; }")[0] == -4
+    assert run("int main(void) { unsigned u; u = 0 - 16; "
+               "return (u >> 28) == 15; }")[0] == 1
+
+
+def test_incdec_semantics():
+    code, _ = run("""
+int main(void) {
+    int i, a, b;
+    i = 5;
+    a = i++;
+    b = ++i;
+    return a * 100 + b * 10 + i;  /* 5, 7, 7 -> 577 */
+}
+""")
+    assert code == 577
+
+
+def test_comma_operator():
+    assert run("int main(void) { int a, b; a = (b = 3, b + 1); "
+               "return a; }")[0] == 4
+
+
+def test_taking_function_address_compiles_and_runs():
+    # Function-pointer *types* are not in the mini-C declarator subset, but
+    # taking a function's address works and forces a trampoline.
+    code, _ = run("""
+int add(int a, int b) { return a + b; }
+int main(void) {
+    unsigned f;
+    f = (unsigned)&add;
+    return f != 0 ? 7 : 0;
+}
+""")
+    assert code == 7
+    module = compile_source("""
+int add(int a, int b) { return a + b; }
+int main(void) { return (unsigned)&add != 0; }
+""")
+    assert module.proc_by_name("add").needs_trampoline
+
+
+def test_malloc_memset_strlen():
+    code, _ = run("""
+int main(void) {
+    char *p;
+    p = malloc(16);
+    memset(p, 'x', 5);
+    p[5] = 0;
+    return strlen(p);
+}
+""")
+    assert code == 5
+
+
+def test_getchar_loop():
+    code, out = run("""
+int main(void) {
+    int c, n;
+    n = 0;
+    while ((c = getchar()) != -1) { putchar(c); n++; }
+    return n;
+}
+""", input_data=b"abc")
+    assert code == 3
+    assert out == b"abc"
+
+
+def test_exit_from_nested_call():
+    code, _ = run("""
+void die(int code) { exit(code); }
+int main(void) { die(3); return 9; }
+""")
+    assert code == 3
+
+
+def test_args_to_main():
+    assert run("int main(int n) { return n * 2; }", 21)[0] == 42
+
+
+def test_incdec_on_double_rejected():
+    with pytest.raises(CodegenError, match="floating"):
+        compile_source("int main(void) { double d; d = 0.0; d++; "
+                       "return 0; }")
+
+
+def test_deep_expression_stress():
+    # 50 chained additions with nested parens: exercises the eval stack.
+    expr = "+".join(f"({i} * 2)" for i in range(50))
+    assert run(f"int main(void) {{ return ({expr}) % 251; }}"
+               )[0] == (sum(i * 2 for i in range(50)) % 251)
+
+
+def test_assignment_as_value():
+    assert run("int main(void) { int a, b, c; a = b = c = 13; "
+               "return a + b + c; }")[0] == 39
+
+
+def test_assignment_value_is_converted_value():
+    # The value of (c = 300) is 300 truncated to char = 44.
+    assert run("int main(void) { char c; int x; x = (c = 300); "
+               "return x; }")[0] == 44
+
+
+def test_compound_assign_with_impure_target_single_eval():
+    code, _ = run("""
+int a[10];
+int main(void) {
+    int i;
+    i = 3;
+    a[3] = 40;
+    a[i++] += 2;        /* must evaluate i++ exactly once */
+    return a[3] * 10 + i;   /* 42, 4 -> 424 */
+}
+""")
+    assert code == 424
+
+
+def test_call_in_nested_expression():
+    code, _ = run("""
+int f(int x) { return x * 2; }
+int main(void) { return 1 + f(3) * f(4); }   /* 1 + 6*8 = 49 */
+""")
+    assert code == 49
+
+
+def test_call_under_pending_address():
+    # The original bug: a call's ARGs executing under a pending address.
+    code, _ = run("""
+int f(int x) { return x + 1; }
+int g;
+int main(void) { g = f(41) - 1; return g; }
+""")
+    assert code == 41
+
+
+def test_calls_in_both_operands():
+    code, out = run("""
+int n;
+int next(void) { n += 1; return n; }
+int f(int x) { return x * 10; }
+int main(void) {
+    n = 0;
+    return f(next()) + f(next());   /* 10 + 20 */
+}
+""")
+    assert code == 30
+
+
+def test_nested_call_args():
+    code, _ = run("""
+int add(int a, int b) { return a + b; }
+int main(void) { return add(add(1, 2), add(3, add(4, 5))); }
+""")
+    assert code == 15
+
+
+def test_call_as_condition():
+    code, _ = run("""
+int truthy(int x) { return x; }
+int main(void) {
+    if (truthy(0)) return 1;
+    if (!truthy(5)) return 2;
+    while (truthy(0)) return 3;
+    return truthy(4) && truthy(2) ? 42 : 9;
+}
+""")
+    assert code == 42
+
+
+def test_incdec_as_value_in_call():
+    code, _ = run("""
+int id(int x) { return x; }
+int main(void) {
+    int i;
+    i = 7;
+    return id(i++) * 100 + i;   /* 700 + 8 */
+}
+""")
+    assert code == 708
+
+
+def test_switch_dispatch_and_fallthrough():
+    code, out = run("""
+int classify(int c) {
+    switch (c) {
+    case 'a': case 'e': case 'i': case 'o': case 'u': return 1;
+    case '0': case '1': case '2': case '3': case '4':
+    case '5': case '6': case '7': case '8': case '9': return 2;
+    case ' ': case 10: return 3;
+    default: return 0;
+    }
+}
+int main(void) {
+    int total;
+    char *s;
+    s = "hello 42\\n";
+    total = 0;
+    while (*s) total = total * 4 + classify(*s++);
+    putint(total);
+    return 0;
+}
+""")
+    assert out == b"16875"
+
+
+def test_switch_fallthrough_and_break():
+    code, _ = run("""
+int main(void) {
+    int t;
+    t = 0;
+    switch (2) {
+    case 1: return 90;
+    case 2:
+    case 3: t += 1;      /* falls through */
+    case 4: t += 10; break;
+    case 5: return 91;
+    }
+    return t;            /* 11 */
+}
+""")
+    assert code == 11
+
+
+def test_switch_no_match_without_default():
+    assert run("int main(void) { switch (9) { case 1: return 1; } "
+               "return 42; }")[0] == 42
+
+
+def test_switch_negative_cases_signed():
+    code, _ = run("""
+int pick(int v) {
+    switch (v) {
+    case -5: return 1;
+    case -1: return 2;
+    case 0:  return 3;
+    case 7:  return 4;
+    default: return 9;
+    }
+}
+int main(void) {
+    return pick(-5) * 1000 + pick(-1) * 100 + pick(0) * 10 + pick(7);
+}
+""")
+    assert code == 1234
+
+
+def test_switch_many_cases_decision_tree():
+    # 16 cases forces nested binary-search splits.
+    cases = "\n".join(f"case {i}: return {i * 2};" for i in range(16))
+    code, _ = run(f"""
+int f(int v) {{
+    switch (v) {{
+    {cases}
+    default: return -1;
+    }}
+}}
+int main(void) {{
+    int i, bad;
+    bad = 0;
+    for (i = 0; i < 16; i++)
+        if (f(i) != i * 2) bad++;
+    if (f(99) != -1) bad++;
+    return bad;
+}}
+""")
+    assert code == 0
+
+
+def test_switch_in_loop_break_binding():
+    code, _ = run("""
+int main(void) {
+    int i, n;
+    n = 0;
+    for (i = 0; i < 10; i++) {
+        switch (i % 3) {
+        case 0: n += 1; break;   /* breaks the switch, not the loop */
+        case 1: continue;        /* continues the loop */
+        default: n += 100; break;
+        }
+        n += 1000;
+    }
+    return n > 0 ? n & 32767 : -1;
+}
+""")
+    # i%3==0 (4 times): n+=1+1000; i%3==1 (3): skip; i%3==2 (3): n+=100+1000
+    assert code == (4 * 1001 + 3 * 1100) & 32767
+
+
+def test_switch_errors():
+    from repro.minic.parser import ParseError, parse
+    from repro.minic.sema import SemaError, analyze
+
+    with pytest.raises(SemaError, match="duplicate case"):
+        analyze(parse(
+            "void f(int v) { switch (v) { case 1: case 1: break; } }"
+        ))
+    with pytest.raises(SemaError, match="multiple default"):
+        analyze(parse(
+            "void f(int v) { switch (v) { default: default: break; } }"
+        ))
+    with pytest.raises(SemaError, match="non-integer"):
+        analyze(parse(
+            "void f(double v) { switch (v) { case 1: break; } }"
+        ))
+    with pytest.raises(SemaError, match="no case"):
+        analyze(parse("void f(int v) { switch (v) { v = 1; } }"))
+    with pytest.raises(ParseError, match="outside a switch"):
+        parse("void f(void) { case 3: ; }")

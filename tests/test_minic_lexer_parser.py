@@ -1,0 +1,185 @@
+"""Unit tests for the mini-C lexer and parser."""
+
+import pytest
+
+from repro.minic import ast
+from repro.minic.lexer import LexError, tokenize
+from repro.minic.parser import ParseError, parse
+from repro.minic.types import (
+    Array, CHAR, DOUBLE, FLOAT, INT, Pointer, SHORT, UCHAR, UINT, VOID,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def test_tokenize_basics():
+    toks = tokenize("int x = 42;")
+    assert [(t.kind, t.text) for t in toks[:-1]] == [
+        ("kw", "int"), ("id", "x"), ("punct", "="), ("int", "42"),
+        ("punct", ";"),
+    ]
+    assert toks[-1].kind == "eof"
+
+
+def test_tokenize_numbers():
+    toks = tokenize("0x1F 10 3.5 1e3 2.5e-2 7f 1.0f 42u")
+    values = [t.value for t in toks[:-1]]
+    assert values[0] == 31
+    assert values[1] == 10
+    assert values[2] == (3.5, False)
+    assert values[3] == (1000.0, False)
+    assert values[4] == (0.025, False)
+    # "7f" lexes as int 7 then identifier f; only float literals take 'f'
+    assert values[5] == 7
+    assert values[7] == (1.0, True)
+    assert values[8] == 42
+
+
+def test_tokenize_char_and_string():
+    toks = tokenize(r"'a' '\n' '\0' "
+                    '"hi\\n"')
+    assert toks[0].value == 97
+    assert toks[1].value == 10
+    assert toks[2].value == 0
+    assert toks[3].value == b"hi\n"
+
+
+def test_tokenize_comments():
+    toks = tokenize("a // comment\n b /* multi\nline */ c")
+    assert [t.text for t in toks[:-1]] == ["a", "b", "c"]
+
+
+def test_tokenize_multichar_punct():
+    toks = tokenize("a <<= b >> c == d && e ++")
+    texts = [t.text for t in toks[:-1]]
+    assert "<<=" in texts and ">>" in texts and "==" in texts
+    assert "&&" in texts and "++" in texts
+
+
+def test_lex_errors():
+    with pytest.raises(LexError):
+        tokenize('"unterminated')
+    with pytest.raises(LexError):
+        tokenize("'x")
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+    with pytest.raises(LexError):
+        tokenize("@")
+
+
+def test_parse_function_and_params():
+    unit = parse("int add(int a, int b) { return a + b; }")
+    (f,) = unit.items
+    assert isinstance(f, ast.FuncDef)
+    assert f.name == "add"
+    assert f.ret == INT
+    assert [p.ctype for p in f.params] == [INT, INT]
+    (ret,) = f.body.body
+    assert isinstance(ret, ast.Return)
+    assert isinstance(ret.value, ast.Binary)
+
+
+def test_parse_void_params():
+    unit = parse("void f(void) { }")
+    (f,) = unit.items
+    assert f.params == []
+    assert f.ret == VOID
+
+
+def test_parse_pointers_and_arrays():
+    unit = parse("int *p; char buf[64]; double **q;")
+    p, buf, q = unit.items
+    assert p.ctype == Pointer(INT)
+    assert isinstance(buf.ctype, Array) and buf.ctype.count == 64
+    assert q.ctype == Pointer(Pointer(DOUBLE))
+
+
+def test_parse_global_initializers():
+    unit = parse('int x = 5; int a[3] = {1, 2, 3}; char s[6] = "hello"; '
+                 'int neg = -4;')
+    x, a, s, neg = unit.items
+    assert x.init == 5
+    assert a.init == [1, 2, 3]
+    assert s.init == b"hello"
+    assert neg.init == -4
+
+
+def test_parse_comma_declarators():
+    unit = parse("int a, b, *c;")
+    a, b, c = unit.items
+    assert a.ctype == INT and b.ctype == INT
+    assert c.ctype == Pointer(INT)
+
+
+def test_parse_precedence():
+    unit = parse("int f(void) { return 1 + 2 * 3; }")
+    ret = unit.items[0].body.body[0]
+    assert ret.value.op == "+"
+    assert ret.value.right.op == "*"
+
+
+def test_parse_assoc_assignment():
+    unit = parse("void f(int a, int b) { a = b = 1; }")
+    stmt = unit.items[0].body.body[0]
+    assert isinstance(stmt.expr, ast.Assign)
+    assert isinstance(stmt.expr.value, ast.Assign)
+
+
+def test_parse_conditional():
+    unit = parse("int f(int a) { return a ? 1 : 2; }")
+    ret = unit.items[0].body.body[0]
+    assert isinstance(ret.value, ast.Cond)
+
+
+def test_parse_cast_vs_parens():
+    unit = parse("int f(double d, int x) { return (int)d + (x); }")
+    ret = unit.items[0].body.body[0]
+    assert isinstance(ret.value.left, ast.Cast)
+    assert isinstance(ret.value.right, ast.Name)
+
+
+def test_parse_sizeof():
+    unit = parse("int f(void) { return sizeof(double) + sizeof(int[4]); }")
+    ret = unit.items[0].body.body[0]
+    assert isinstance(ret.value.left, ast.SizeOf)
+    assert ret.value.right.target_type.size == 16
+
+
+def test_parse_statements():
+    unit = parse("""
+void f(int n) {
+    int i;
+    if (n) { n = 1; } else n = 2;
+    while (n) n--;
+    do n++; while (n < 3);
+    for (i = 0; i < 4; i++) { if (i == 2) break; else continue; }
+    ;
+    return;
+}
+""")
+    body = unit.items[0].body.body
+    assert isinstance(body[1], ast.If)
+    assert isinstance(body[2], ast.While)
+    assert isinstance(body[3], ast.DoWhile)
+    assert isinstance(body[4], ast.For)
+
+
+def test_parse_postfix_chain():
+    unit = parse("int g(int *a) { return a[1]++; }")
+    ret = unit.items[0].body.body[0]
+    assert isinstance(ret.value, ast.IncDec)
+    assert ret.value.postfix
+    assert isinstance(ret.value.operand, ast.Index)
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse("int f( { }")
+    with pytest.raises(ParseError):
+        parse("int f(void) { return 1 }")
+    with pytest.raises(ParseError):
+        parse("int a[x];")
+    with pytest.raises(ParseError):
+        parse("= 3;")

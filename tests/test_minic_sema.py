@@ -1,0 +1,177 @@
+"""Unit tests for mini-C semantic analysis."""
+
+import pytest
+
+from repro.minic import ast
+from repro.minic.parser import parse
+from repro.minic.sema import SemaError, analyze
+from repro.minic.types import DOUBLE, INT, Pointer, UINT
+
+
+def check(source):
+    unit = parse(source)
+    return unit, analyze(unit)
+
+
+def test_undeclared_name():
+    with pytest.raises(SemaError, match="undeclared"):
+        check("int f(void) { return x; }")
+
+
+def test_redeclaration_rejected():
+    with pytest.raises(SemaError, match="redeclared"):
+        check("int x; int x;")
+    with pytest.raises(SemaError, match="defined twice"):
+        check("int f(void) { return 1; } int f(void) { return 2; }")
+
+
+def test_conflicting_prototypes():
+    with pytest.raises(SemaError, match="conflicting"):
+        check("int f(int a); double f(int a) { return 1.0; }")
+
+
+def test_call_arity_checked():
+    with pytest.raises(SemaError, match="arguments"):
+        check("int f(int a) { return a; } int g(void) { return f(); }")
+
+
+def test_call_arg_conversion_inserted():
+    unit, funcs = check(
+        "double f(double d) { return d; }"
+        "double g(void) { return f(3); }"
+    )
+    ret = unit.items[1].body.body[0]
+    arg = ret.value.args[0]
+    assert isinstance(arg, ast.Cast)
+    assert arg.ctype == DOUBLE
+
+
+def test_usual_arith_conversions():
+    unit, _ = check("double f(int i, double d) { return i + d; }")
+    ret = unit.items[0].body.body[0]
+    assert ret.value.ctype == DOUBLE
+    assert isinstance(ret.value.left, ast.Cast)
+
+
+def test_unsigned_wins_over_int():
+    unit, _ = check("unsigned f(int i, unsigned u) { return i + u; }")
+    ret = unit.items[0].body.body[0]
+    assert ret.value.ctype == UINT
+
+
+def test_comparison_type_is_int():
+    unit, _ = check("int f(double a, double b) { return a < b; }")
+    ret = unit.items[0].body.body[0]
+    assert ret.value.ctype == INT
+
+
+def test_pointer_arith_types():
+    unit, _ = check("""
+int f(int *p, int *q) { return q - p; }
+int *g(int *p, int n) { return p + n; }
+""")
+    sub = unit.items[0].body.body[0].value
+    assert sub.ctype == INT
+    add = unit.items[1].body.body[0].value
+    assert isinstance(add.ctype, Pointer)
+
+
+def test_array_decays_in_expressions():
+    unit, _ = check("int a[10]; int f(void) { return *(a + 1); }")
+    deref = unit.items[1].body.body[0].value
+    operand = deref.operand
+    assert isinstance(operand.ctype, Pointer)
+
+
+def test_lvalue_required():
+    with pytest.raises(SemaError, match="lvalue"):
+        check("void f(void) { 1 = 2; }")
+    with pytest.raises(SemaError, match="lvalue"):
+        check("void f(int a, int b) { (a + b) = 2; }")
+    with pytest.raises(SemaError, match="lvalue"):
+        check("void f(int a) { &(a + 1); }")
+
+
+def test_assign_to_array_rejected():
+    with pytest.raises(SemaError, match="array"):
+        check("int a[4]; int b[4]; void f(void) { a = b; }")
+
+
+def test_void_variable_rejected():
+    with pytest.raises(SemaError, match="void"):
+        check("void x;")
+    with pytest.raises(SemaError, match="void"):
+        check("void f(void) { void y; }")
+
+
+def test_break_outside_loop():
+    with pytest.raises(SemaError, match="outside"):
+        check("void f(void) { break; }")
+
+
+def test_return_type_checked():
+    with pytest.raises(SemaError, match="without a value"):
+        check("int f(void) { return; }")
+    with pytest.raises(SemaError, match="void function"):
+        check("void f(void) { return 3; }")
+
+
+def test_compound_assign_with_side_effecting_target_accepted():
+    # The code generator hoists side effects out of the target, so these
+    # are legal (exec tests verify single evaluation).
+    check("void f(int *a, int i) { a[i++] += 1; }")
+    check("int g(void); void f(int *a) { a[g()]--; }")
+
+
+def test_frame_layout():
+    _, funcs = check("""
+int f(int a, double d, int b) {
+    int x;
+    double y;
+    char c;
+    return a + b;
+}
+""")
+    info = funcs["f"]
+    assert [p.offset for p in info.params] == [0, 4, 12]
+    assert info.argsize == 16
+    x, y, c = info.locals
+    assert x.offset == 0
+    assert y.offset == 8  # aligned for double
+    assert c.offset == 16
+    assert info.framesize >= 17
+
+
+def test_address_taken_marks_trampoline():
+    _, funcs = check("""
+int h(int x) { return x; }
+unsigned main(void) { return (unsigned)&h; }
+""")
+    assert funcs["h"].address_taken
+    assert not funcs["main"].address_taken
+
+
+def test_direct_call_does_not_take_address():
+    _, funcs = check("int h(int x) { return x; } int main(void) "
+                     "{ return h(3); }")
+    assert not funcs["h"].address_taken
+
+
+def test_scopes_shadow():
+    unit, funcs = check("""
+int x;
+int f(void) {
+    int x;
+    x = 1;
+    { int x; x = 2; }
+    return x;
+}
+""")
+    assert len(funcs["f"].locals) == 2
+
+
+def test_sizeof_folds_to_uint_literal():
+    unit, _ = check("unsigned f(void) { return sizeof(double); }")
+    ret = unit.items[0].body.body[0]
+    assert isinstance(ret.value, ast.IntLit)
+    assert ret.value.value == 8

@@ -1,0 +1,220 @@
+"""Execution and semantic tests for mini-C struct support."""
+
+import pytest
+
+from repro.minic import compile_and_run, compile_source
+from repro.minic.parser import ParseError, parse
+from repro.minic.sema import SemaError, analyze
+
+
+def run(source, *args):
+    return compile_and_run(source, *args)
+
+
+def test_struct_layout_and_sizeof():
+    code, _ = run("""
+struct mixed { char c; int i; char d; double x; short s; };
+int main(void) {
+    /* c@0, i@4, d@8, x@16, s@24 -> size 32 (8-aligned) */
+    return sizeof(struct mixed);
+}
+""")
+    assert code == 32
+
+
+def test_member_read_write_global():
+    code, _ = run("""
+struct point { int x; int y; };
+struct point p;
+int main(void) {
+    p.x = 3;
+    p.y = p.x * 10 + 9;
+    return p.y;
+}
+""")
+    assert code == 39
+
+
+def test_member_read_write_local():
+    code, _ = run("""
+struct point { int x; int y; };
+int main(void) {
+    struct point p;
+    p.x = 7;
+    p.y = 2;
+    return p.x * p.y;
+}
+""")
+    assert code == 14
+
+
+def test_arrow_through_pointer():
+    code, _ = run("""
+struct counter { int n; };
+void bump(struct counter *c) { c->n += 1; }
+int main(void) {
+    struct counter c;
+    int i;
+    c.n = 0;
+    for (i = 0; i < 5; i++) bump(&c);
+    return c.n;
+}
+""")
+    assert code == 5
+
+
+def test_nested_structs():
+    code, _ = run("""
+struct point { int x; int y; };
+struct rect { struct point lo; struct point hi; };
+int main(void) {
+    struct rect r;
+    r.lo.x = 1; r.lo.y = 2; r.hi.x = 4; r.hi.y = 6;
+    return (r.hi.x - r.lo.x) * (r.hi.y - r.lo.y);
+}
+""")
+    assert code == 12
+
+
+def test_array_of_structs():
+    code, _ = run("""
+struct item { int key; int value; };
+struct item table[8];
+int main(void) {
+    int i, s;
+    for (i = 0; i < 8; i++) { table[i].key = i; table[i].value = i * 3; }
+    s = 0;
+    for (i = 0; i < 8; i++)
+        if (table[i].key % 2 == 0) s += table[i].value;
+    return s;  /* (0+2+4+6)*3 = 36 */
+}
+""")
+    assert code == 36
+
+
+def test_struct_array_member():
+    code, _ = run("""
+struct buf { int len; char data[12]; };
+struct buf b;
+int main(void) {
+    b.len = 3;
+    b.data[0] = 'a'; b.data[1] = 'b'; b.data[2] = 'c';
+    putstr("len="); putint(b.len); putchar(' ');
+    putchar(b.data[1]); putchar('\\n');
+    return b.data[2];
+}
+""")
+    assert code == ord("c")
+
+
+def test_pointer_member_linked_list():
+    code, _ = run("""
+struct node { int value; struct node *next; };
+struct node nodes[5];
+int main(void) {
+    int i, s;
+    struct node *p;
+    for (i = 0; i < 5; i++) {
+        nodes[i].value = i + 1;
+        nodes[i].next = i < 4 ? &nodes[i + 1] : (struct node *)0;
+    }
+    s = 0;
+    for (p = &nodes[0]; p != (struct node *)0; p = p->next)
+        s += p->value;
+    return s;  /* 15 */
+}
+""")
+    assert code == 15
+
+
+def test_mixed_field_types():
+    code, out = run("""
+struct rec { char tag; short count; double weight; };
+struct rec r;
+int main(void) {
+    r.tag = 'x';
+    r.count = 1000;
+    r.weight = 2.5;
+    putfloat(r.weight * r.count);
+    return r.tag;
+}
+""")
+    assert out == b"2500"
+    assert code == ord("x")
+
+
+def test_member_of_call_result_rejected():
+    # foo().x would need struct returns; both are rejected.
+    with pytest.raises(SemaError, match="structs by value"):
+        analyze(parse("struct s { int a; }; struct s f(void) { }"))
+
+
+def test_struct_params_rejected():
+    with pytest.raises(SemaError, match="pointers"):
+        analyze(parse(
+            "struct s { int a; }; int f(struct s v) { return v.a; }"
+        ))
+
+
+def test_whole_struct_assignment_rejected():
+    with pytest.raises(SemaError, match="whole-struct"):
+        analyze(parse("""
+struct s { int a; };
+struct s x, y;
+void f(void) { x = y; }
+"""))
+
+
+def test_unknown_member_rejected():
+    with pytest.raises(SemaError, match="no member"):
+        analyze(parse("""
+struct s { int a; };
+struct s x;
+int f(void) { return x.b; }
+"""))
+
+
+def test_dot_on_non_struct_rejected():
+    with pytest.raises(SemaError, match="non-struct"):
+        analyze(parse("int f(int v) { return v.a; }"))
+
+
+def test_arrow_on_non_pointer_rejected():
+    with pytest.raises(SemaError, match="non-struct-pointer"):
+        analyze(parse("""
+struct s { int a; };
+struct s x;
+int f(void) { return x->a; }
+"""))
+
+
+def test_unknown_struct_tag_rejected():
+    with pytest.raises(ParseError, match="unknown struct"):
+        parse("struct nope *p;")
+
+
+def test_duplicate_member_rejected():
+    with pytest.raises(ParseError, match="duplicate member"):
+        parse("struct s { int a; int a; };")
+
+
+def test_struct_compresses_and_runs():
+    from repro import compress_module, run as run_m, run_compressed, \
+        train_grammar
+
+    source = """
+struct acc { int lo; int hi; };
+struct acc totals[4];
+int main(void) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        totals[i % 4].lo += i;
+        totals[i % 4].hi += i * i;
+    }
+    return totals[1].lo + totals[2].hi;
+}
+"""
+    module = compile_source(source)
+    grammar, _ = train_grammar([module])
+    cmod = compress_module(grammar, module)
+    assert run_compressed(cmod) == run_m(module)

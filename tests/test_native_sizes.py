@@ -1,0 +1,172 @@
+"""Tests for the native code-size model and the interpreter size
+measurement."""
+
+import pytest
+
+from repro.bytecode import assemble
+from repro.grammar.initial import initial_grammar
+from repro.interp.cgen import emit_interp1, emit_interp2
+from repro.interp.sizes import compiler_available, measure_sizes
+from repro.minic import compile_source
+from repro.native.x86 import (
+    STARTUP_BYTES,
+    module_native_size,
+    procedure_native_size,
+)
+from repro.parsing.stackparser import build_forest
+from repro.training.expander import expand_grammar
+
+
+def _module(src):
+    return compile_source(src)
+
+
+def test_native_size_positive_and_scales():
+    small = _module("int main(void) { return 1; }")
+    big = _module("""
+int a[32];
+int main(void) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 32; i++) a[i] = i * i;
+    for (i = 0; i < 32; i++) s += a[i];
+    return s & 127;
+}
+""")
+    ns, nb = module_native_size(small), module_native_size(big)
+    assert 0 < ns.code < nb.code
+    assert ns.code > STARTUP_BYTES
+
+
+def test_native_size_in_realistic_band():
+    """Native x86 output of a naive selector lands between 1x and 3x the
+    stack bytecode for ordinary code."""
+    module = _module("""
+int work[64];
+int f(int n) {
+    int i, acc;
+    acc = 0;
+    for (i = 0; i < n; i++) {
+        work[i] = work[i] * 3 + 1;
+        acc += work[i] >> 2;
+    }
+    return acc;
+}
+int main(void) { return f(64) & 63; }
+""")
+    ratio = module_native_size(module).code / module.code_bytes
+    assert 1.0 < ratio < 3.0
+
+
+def test_native_fusion_reduces_size():
+    """ADDR+INDIR pairs must be charged as one fused instruction: code
+    dominated by loads should cost closer to 1 byte-ratio than code built
+    from unfusible operator soup."""
+    loads = _module("""
+int g1;
+int main(void) { int x; x = g1; x = g1; x = g1; x = g1; return x; }
+""")
+    # same op count, but division (never fused, 6 bytes) everywhere
+    math = _module("""
+int main(void) { int x; x = 9; x = x / (x - 2) / (x + 1) / 3 / 2;
+                 return x; }
+""")
+    r_loads = module_native_size(loads).code / loads.code_bytes
+    r_math = module_native_size(math).code / math.code_bytes
+    assert r_loads < r_math
+
+
+def test_native_data_and_bss_counted():
+    module = _module("""
+int blob[100];
+char msg[8] = "hihi";
+int main(void) { return blob[0] + msg[0]; }
+""")
+    n = module_native_size(module)
+    assert n.bss >= 400
+    assert n.data >= 8
+    assert n.total == n.code + n.data + n.bss
+
+
+def test_procedure_size_covers_all_operators():
+    """The model must price every operator the compiler can emit."""
+    module = _module("""
+double d;
+float fl;
+int main(void) {
+    int i;
+    unsigned u;
+    char c;
+    short s;
+    i = -5; u = 3u;
+    c = (char)i; s = (short)i;
+    d = i + 0.5; fl = (float)d;
+    d = d * 2.0 - 1.0 / (d + 3.0);
+    i = (int)d << 2 >> 1;
+    u = (u | 5) & 6 ^ 3;
+    u = u % 7;
+    i = i / -2;
+    i = ~i;
+    return (i < 0) + (u > 2) + (d >= 0.0) + (fl != 0.0f);
+}
+""")
+    for proc in module.procedures:
+        assert procedure_native_size(proc) > 0
+
+
+# -- interpreter sizes ---------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def trained_grammar():
+    g = initial_grammar()
+    module = compile_source("""
+int main(void) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 9; i++) s += i * i;
+    return s;
+}
+""")
+    expand_grammar(g, build_forest(g, [module]))
+    return g
+
+
+def test_emitted_c_mentions_every_operator(trained_grammar):
+    from repro.bytecode.opcodes import OPS
+    src1 = emit_interp1()
+    src2 = emit_interp2(trained_grammar)
+    for op in OPS:
+        assert f"/* {op.name} */" in src1
+        assert f"/* {op.name} */" in src2
+
+
+@pytest.mark.skipif(compiler_available() is None,
+                    reason="no C compiler on this host")
+def test_emitted_c_compiles(trained_grammar, tmp_path):
+    import subprocess
+    for name, src in (("i1", emit_interp1()),
+                      ("i2", emit_interp2(trained_grammar))):
+        path = tmp_path / f"{name}.c"
+        path.write_text(src)
+        subprocess.run(
+            [compiler_available(), "-Os", "-w", "-c", str(path),
+             "-o", str(tmp_path / f"{name}.o")],
+            check=True, capture_output=True,
+        )
+
+
+def test_measure_sizes_shapes(trained_grammar):
+    sizes = measure_sizes(trained_grammar)
+    assert sizes.interp1 > 0
+    assert sizes.interp2 > sizes.interp1
+    assert sizes.grammar > 0
+    assert sizes.growth == sizes.interp2 - sizes.interp1
+
+
+def test_interp2_grows_with_grammar(trained_grammar):
+    """A bigger grammar yields a bigger generated interpreter."""
+    small = initial_grammar()
+    s_small = measure_sizes(small)
+    s_big = measure_sizes(trained_grammar)
+    assert s_big.interp2 >= s_small.interp2
+    assert s_big.grammar > s_small.grammar

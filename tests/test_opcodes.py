@@ -1,0 +1,98 @@
+"""Unit tests for the instruction-set tables (Appendix 1/2)."""
+
+import pytest
+
+from repro.bytecode.opcodes import (
+    CLASSES,
+    LABELV,
+    OPS,
+    OP_BY_CODE,
+    OP_BY_NAME,
+    opcode,
+    opname,
+)
+
+
+def test_all_codes_unique_and_dense():
+    codes = [op.code for op in OPS]
+    assert codes == list(range(len(OPS)))
+    assert len(OP_BY_CODE) == len(OPS)
+    assert len(OP_BY_NAME) == len(OPS)
+
+
+def test_codes_fit_in_a_byte():
+    assert all(0 <= op.code <= 255 for op in OPS)
+
+
+def test_class_membership_counts():
+    by_class = {}
+    for op in OPS:
+        by_class.setdefault(op.klass, []).append(op)
+    # Appendix 2 alternative counts per class nonterminal.
+    assert len(by_class["v2"]) == 45
+    assert len(by_class["v1"]) == 22
+    assert len(by_class["v0"]) == 10
+    assert len(by_class["x2"]) == 6
+    assert len(by_class["x1"]) == 12
+    assert len(by_class["x0"]) == 3
+    assert len(by_class["pseudo"]) == 1
+
+
+def test_classes_cover_all_ops():
+    assert {op.klass for op in OPS} <= set(CLASSES)
+
+
+def test_prefix_operators_take_literal_bytes():
+    # Section 3: LIT[1234], ADDR[FGL]P, LocalCALL, JUMP, BrTrue are prefix.
+    assert OP_BY_NAME["LIT1"].nlit == 1
+    assert OP_BY_NAME["LIT2"].nlit == 2
+    assert OP_BY_NAME["LIT3"].nlit == 3
+    assert OP_BY_NAME["LIT4"].nlit == 4
+    for name in ("ADDRFP", "ADDRGP", "ADDRLP", "BrTrue", "JUMPV",
+                 "LocalCALLD", "LocalCALLF", "LocalCALLU", "LocalCALLV"):
+        assert OP_BY_NAME[name].nlit == 2, name
+
+
+def test_postfix_operators_take_no_literal_bytes():
+    for name in ("ADDU", "INDIRU", "ASGNU", "RETV", "CALLU", "NEU"):
+        assert OP_BY_NAME[name].nlit == 0
+
+
+def test_generic_suffix_split():
+    assert OP_BY_NAME["ADDU"].generic == "ADD"
+    assert OP_BY_NAME["ADDU"].suffix == "U"
+    assert OP_BY_NAME["LocalCALLV"].generic == "LocalCALL"
+    assert OP_BY_NAME["LocalCALLV"].suffix == "V"
+    assert OP_BY_NAME["ADDRFP"].generic == "ADDRF"
+    assert OP_BY_NAME["BrTrue"].generic == "BrTrue"
+    assert OP_BY_NAME["CVI1I4"].generic == "CVI"
+    assert OP_BY_NAME["LIT3"].generic == "LIT"
+
+
+def test_opcode_opname_roundtrip():
+    for op in OPS:
+        assert opname(opcode(op.name)) == op.name
+
+
+def test_labelv_is_pseudo():
+    assert LABELV.klass == "pseudo"
+    assert LABELV.nlit == 0
+
+
+def test_appendix_operator_spotchecks():
+    # Signed arithmetic exists only where signedness matters.
+    assert "ADDI" not in OP_BY_NAME  # folded into ADDU
+    assert "DIVI" in OP_BY_NAME
+    assert "MODI" in OP_BY_NAME
+    assert "EQI" not in OP_BY_NAME  # folded into EQU
+    assert "GEI" in OP_BY_NAME
+    assert "RSHI" in OP_BY_NAME  # arithmetic shift right
+    # Conversions from Appendix 2.
+    for name in ("CVDF", "CVDI", "CVFD", "CVFI", "CVID", "CVIF",
+                 "CVI1I4", "CVI2I4", "CVU1U4", "CVU2U4"):
+        assert name in OP_BY_NAME, name
+
+
+def test_unknown_names_raise():
+    with pytest.raises(KeyError):
+        opcode("NOSUCH")

@@ -1,0 +1,244 @@
+"""Tests for the bytecode optimizer (constant folding & friends)."""
+
+import pytest
+
+from repro import run
+from repro.bytecode import assemble, validate_module
+from repro.bytecode.instructions import iter_decode
+from repro.minic import compile_source
+from repro.opt import optimize_module
+
+
+def _names(proc):
+    return [ins.op.name for _, ins in iter_decode(proc.code)]
+
+
+def _opt_asm(text):
+    module = assemble(text)
+    validate_module(module)
+    new, stats = optimize_module(module)
+    validate_module(new)
+    return module, new, stats
+
+
+def test_folds_constant_arithmetic():
+    _, new, stats = _opt_asm("""
+.proc f framesize=0
+    LIT1 6
+    LIT1 7
+    MULU
+    ARGU
+    RETV
+.endproc
+""")
+    assert stats.folded == 1
+    names = _names(new.procedures[0])
+    assert names == ["LIT1", "ARGU", "RETV"]
+    ins = next(i for _, i in iter_decode(new.procedures[0].code)
+               if i.op.name == "LIT1")
+    assert ins.operands == (42,)
+
+
+def test_folds_nested_constants():
+    _, new, stats = _opt_asm("""
+.proc f framesize=0
+    LIT1 2
+    LIT1 3
+    ADDU
+    LIT1 4
+    MULU
+    ARGU
+    RETV
+.endproc
+""")
+    assert stats.folded == 2
+    ins = next(i for _, i in iter_decode(new.procedures[0].code)
+               if i.op.generic == "LIT")
+    assert ins.literal() == 20
+
+
+def test_folding_uses_c_semantics():
+    # -7 / 2 must fold to -3, not Python's floor.
+    _, new, stats = _opt_asm("""
+.proc f framesize=0
+    LIT1 7
+    NEGI
+    LIT1 2
+    DIVI
+    ARGU
+    RETV
+.endproc
+""")
+    assert stats.folded >= 1
+    ins = next(i for _, i in iter_decode(new.procedures[0].code)
+               if i.op.name == "LIT4")
+    assert ins.literal() == (-3) & 0xFFFFFFFF
+
+
+def test_division_by_zero_not_folded():
+    old, new, stats = _opt_asm("""
+.proc f framesize=0
+    LIT1 1
+    LIT1 0
+    DIVU
+    ARGU
+    RETV
+.endproc
+""")
+    assert stats.folded == 0
+    assert "DIVU" in _names(new.procedures[0])
+
+
+def test_identities():
+    _, new, stats = _opt_asm("""
+.proc f framesize=8
+    ADDRLP 0 0
+    INDIRU
+    LIT1 0
+    ADDU
+    ARGU
+    ADDRLP 0 0
+    INDIRU
+    LIT1 1
+    MULU
+    ARGU
+    RETV
+.endproc
+""")
+    assert stats.identities == 2
+    names = _names(new.procedures[0])
+    assert "ADDU" not in names and "MULU" not in names
+
+
+def test_times_zero_requires_pure_operand():
+    # f()*0 must NOT fold away the call.
+    old, new, stats = _opt_asm("""
+.proc g framesize=0
+    LIT1 9
+    RETU
+.endproc
+.proc f framesize=0
+    LocalCALLU %g
+    LIT1 0
+    MULU
+    ARGU
+    RETV
+.endproc
+""")
+    assert "LocalCALLU" in _names(new.proc_by_name("f"))
+    # ...but a pure operand does fold.
+    _, new2, stats2 = _opt_asm("""
+.proc f framesize=8
+    ADDRLP 0 0
+    LIT1 0
+    MULU
+    ARGU
+    RETV
+.endproc
+""")
+    assert stats2.identities == 1
+
+
+def test_branch_folding_taken_and_not_taken():
+    old, new, stats = _opt_asm("""
+.proc f framesize=0
+    LIT1 1
+    BrTrue @yes
+    RETV
+yes:
+    LIT1 0
+    BrTrue @yes
+    RETV
+.endproc
+""")
+    assert stats.branches_folded == 2
+    names = _names(new.procedures[0])
+    assert "BrTrue" not in names
+    assert names.count("JUMPV") == 1  # taken one became a jump
+    # Labels still resolve to LABELV positions.
+    validate_module(new)
+
+
+def test_pure_pop_statement_removed():
+    _, new, stats = _opt_asm("""
+.proc f framesize=8
+    ADDRLP 0 0
+    POPU
+    RETV
+.endproc
+""")
+    assert stats.statements_removed == 1
+    assert _names(new.procedures[0]) == ["RETV"]
+
+
+def test_impure_pop_statement_kept():
+    _, new, stats = _opt_asm("""
+.proc g framesize=0
+    LIT1 9
+    RETU
+.endproc
+.proc f framesize=0
+    LocalCALLU %g
+    POPU
+    RETV
+.endproc
+""")
+    assert stats.statements_removed == 0
+    assert "LocalCALLU" in _names(new.proc_by_name("f"))
+
+
+def test_label_tables_recomputed():
+    module = assemble("""
+.proc f framesize=0
+    LIT1 2
+    LIT1 2
+    ADDU
+    ARGU
+top:
+    LIT1 1
+    BrTrue @top
+.endproc
+""")
+    new, _ = optimize_module(module)
+    proc = new.procedures[0]
+    from repro.bytecode.opcodes import opcode
+    assert proc.code[proc.labels[0]] == opcode("LABELV")
+
+
+def test_behaviour_preserved_on_programs():
+    source = """
+int main(void) {
+    int x;
+    x = (3 * 4 + 2) << 1;          /* folds to 28 */
+    x += 5 * 0;                    /* identity */
+    if (1 == 1) x += 2;            /* comparisons stay (vars absent) */
+    putint(x);
+    return x & 127;
+}
+"""
+    module = compile_source(source)
+    new, stats = optimize_module(module)
+    assert stats.folded > 0
+    assert new.code_bytes < module.code_bytes
+    assert run(new) == run(module)
+
+
+def test_optimizer_idempotent():
+    module = compile_source("""
+int main(void) { return (2 + 3) * (4 + 5) - 1; }
+""")
+    once, _ = optimize_module(module)
+    twice, stats2 = optimize_module(once)
+    assert [p.code for p in twice.procedures] == \
+        [p.code for p in once.procedures]
+
+
+def test_optimized_code_still_compresses_and_runs():
+    from repro import compress_module, run_compressed, train_grammar
+    from repro.corpus import LCCLIKE
+
+    module = compile_source(LCCLIKE)
+    optimized, _ = optimize_module(module)
+    grammar, _ = train_grammar([optimized])
+    cmod = compress_module(grammar, optimized)
+    assert run_compressed(cmod) == run(optimized) == run(module)

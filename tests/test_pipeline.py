@@ -1,0 +1,142 @@
+"""Tests for the high-level pipeline API and the experiments harness."""
+
+import pytest
+
+import repro
+from repro.experiments import (
+    ablation_cap_rows,
+    baseline_rows,
+    gzip_rows,
+    overhead_rows,
+    render_table,
+    table1_rows,
+    table2_rows,
+)
+
+SRC_TRAIN = """
+int main(void) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 50; i++) {
+        if (i % 3 == 0) s += i;
+        else s -= i;
+    }
+    putint(s);
+    return s & 255;
+}
+"""
+
+SRC_APP = """
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main(void) { putint(fib(12)); return 0; }
+"""
+
+SMOKE_SCALE = 10  # tiny corpus: harness smoke tests only
+
+
+def test_quickstart_flow():
+    """The README's five-line flow, verbatim.  The training corpus must
+    "represent statistically the population of the programs to be coded"
+    (Section 2), so it includes a program like the one being shipped."""
+    training = [repro.compile_source(SRC_TRAIN),
+                repro.compile_source(SRC_APP)]
+    grammar, report = repro.train_grammar(training)
+    program = repro.compile_source(SRC_APP)
+    compressed = repro.compress_module(grammar, program)
+    assert compressed.code_bytes < program.code_bytes
+    assert repro.run(program) == repro.run_compressed(compressed)
+
+
+def test_tiny_unrepresentative_corpus_can_expand():
+    """The flip side of Section 2's corpus assumption: a grammar trained
+    on a tiny, unrelated program may *expand* an unseen input (derivations
+    under the nearly-initial grammar cost ~2-3 steps per instruction).
+    The result still round-trips and runs; it is just not smaller."""
+    training = [repro.compile_source(SRC_TRAIN)]
+    grammar, _ = repro.train_grammar(training)
+    program = repro.compile_source(SRC_APP)
+    compressed = repro.compress_module(grammar, program)
+    assert repro.run(program) == repro.run_compressed(compressed)
+
+
+def test_train_grammar_options():
+    training = [repro.compile_source(SRC_TRAIN)]
+    g64, r64 = repro.train_grammar(training, max_rules_per_nt=64)
+    assert r64.rules_added >= 0
+    for nt in g64.nonterminals:
+        pass
+    g_cap, _ = repro.train_grammar(training, max_iterations=2)
+    assert sum(1 for r in g_cap if r.origin == "inlined") <= 2
+
+
+def test_compression_ratio_helper():
+    training = [repro.compile_source(SRC_TRAIN)]
+    grammar, _ = repro.train_grammar(training)
+    ratio = repro.compression_ratio(grammar, training[0])
+    assert 0 < ratio < 1
+
+
+def test_decompress_module_roundtrip():
+    training = [repro.compile_source(SRC_TRAIN)]
+    grammar, _ = repro.train_grammar(training)
+    program = repro.compile_source(SRC_APP)
+    compressed = repro.compress_module(grammar, program)
+    back = repro.decompress_module(compressed)
+    assert [p.code for p in back.procedures] == \
+        [p.code for p in program.procedures]
+
+
+def test_earley_engine_through_pipeline():
+    training = [repro.compile_source(SRC_TRAIN)]
+    grammar, _ = repro.train_grammar(training)
+    program = repro.compile_source("int main(void) { return 5; }")
+    t = repro.compress_module(grammar, program, engine="tiling")
+    e = repro.compress_module(grammar, program, engine="earley")
+    assert t.code_bytes == e.code_bytes
+
+
+# -- experiments harness (smoke scale) ------------------------------------------
+
+def test_table1_harness_smoke():
+    rows = table1_rows(SMOKE_SCALE)
+    assert [r.input for r in rows] == ["gcc", "lcc", "gzip", "8q"]
+    for r in rows:
+        assert 0 < r.gcc_ratio < 1
+        assert 0 < r.lcc_ratio < 1
+
+
+def test_table2_harness_smoke():
+    rows = table2_rows("lcc", SMOKE_SCALE)
+    assert len(rows) == 3
+    assert rows[1].breakdown["bytecode"] < rows[0].breakdown["bytecode"]
+
+
+def test_gzip_rows_smoke():
+    rows = gzip_rows(SMOKE_SCALE)
+    for r in rows:
+        assert r.gzip_bytes > 0
+
+
+def test_baseline_rows_smoke():
+    rows = baseline_rows(SMOKE_SCALE)
+    for r in rows:
+        assert r.grammar_m <= r.superop <= r.superop_nolit
+
+
+def test_overhead_rows_smoke():
+    rows = overhead_rows("lcc", SMOKE_SCALE)
+    names = [r.component for r in rows]
+    assert "label tables" in names
+    assert "grammar (recoded)" in names
+
+
+def test_ablation_rows_smoke():
+    rows = ablation_cap_rows("8q", SMOKE_SCALE, caps=(32, 256))
+    assert rows[1].compressed <= rows[0].compressed
+
+
+def test_render_table_alignment():
+    text = render_table("T", ["a", "bb"], [("x", 1), ("longer", 22)])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert all(len(line) == len(lines[1]) for line in lines[1:])

@@ -1,0 +1,78 @@
+"""Tests for the execution profiler."""
+
+import pytest
+
+from repro import compress_module, run, run_compressed, train_grammar
+from repro.bytecode.opcodes import opcode
+from repro.interp.profile import profile_run
+from repro.minic import compile_source
+
+SOURCE = """
+int main(void) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 20; i++) s += i * i;
+    putint(s);
+    return s & 127;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def programs():
+    module = compile_source(SOURCE)
+    grammar, _ = train_grammar([module])
+    cmod = compress_module(grammar, module)
+    return module, cmod, grammar
+
+
+def test_profile_matches_plain_run(programs):
+    module, cmod, _ = programs
+    code, out, prof = profile_run(module)
+    assert (code, out) == run(module)
+    code2, out2, prof2 = profile_run(cmod)
+    assert (code2, out2) == run_compressed(cmod)
+    assert (code, out) == (code2, out2)
+
+
+def test_operator_counts_identical_across_interpreters(programs):
+    module, cmod, _ = programs
+    _, _, p1 = profile_run(module)
+    _, _, p2 = profile_run(cmod)
+    assert p1.operators == p2.operators
+    assert p1.total_operators == p2.total_operators
+
+
+def test_operator_counts_plausible(programs):
+    module, _, _ = programs
+    _, _, prof = profile_run(module)
+    # The loop multiplies 20 times and compares 21 times.
+    assert prof.operators[opcode("MULI")] == 20
+    assert prof.operators[opcode("LTI")] == 21
+    assert prof.branches_taken >= 20
+    assert prof.returns >= 1
+    names = dict(prof.top_operators(50))
+    assert "ASGNU" in names
+
+
+def test_rule_dispatches_only_for_interp2(programs):
+    module, cmod, _ = programs
+    _, _, p1 = profile_run(module)
+    _, _, p2 = profile_run(cmod)
+    assert not p1.rules
+    assert p2.rules
+    assert p2.blocks_entered > 0
+    # Every dispatched (nt, codeword) must exist in the grammar.
+    grammar = cmod.grammar
+    for (nt, codeword), _n in p2.rules.items():
+        assert codeword < grammar.num_rules(nt)
+
+
+def test_dynamic_vs_static_usage_relation(programs):
+    """Hot loop rules are fetched more often at run time than their
+    single static occurrence — the static/dynamic distinction the paper's
+    design glosses over."""
+    module, cmod, _ = programs
+    _, _, prof = profile_run(cmod)
+    hottest = prof.top_rules(1)[0][1]
+    assert hottest > 10  # the loop body re-walks its rules per iteration

@@ -1,0 +1,157 @@
+"""Fault-injection tests: the machine fails loudly and precisely."""
+
+import pytest
+
+from repro.bytecode import assemble
+from repro.interp.interp1 import Interpreter1
+from repro.interp.memory import Memory, MemoryError_
+from repro.interp.runtime import INTRINSIC_BASE, Machine, TRAMPOLINE_BASE
+from repro.interp.state import Trap
+
+
+def machine_for(text, **kwargs):
+    module = assemble(text)
+    return Machine(module, Interpreter1(module), **kwargs)
+
+
+def test_call_stack_overflow():
+    m = machine_for("""
+.entry main
+.proc main framesize=16 trampoline
+    LocalCALLV %main
+    RETV
+.endproc
+""")
+    with pytest.raises(Trap, match="call stack overflow"):
+        m.run()
+
+
+def test_out_of_heap():
+    m = machine_for("""
+.entry main
+.global malloc lib
+.proc main framesize=0 trampoline
+top:
+    LIT4 0 0 16 0
+    ARGU
+    ADDRGP $malloc
+    CALLU
+    POPU
+    JUMPV @top
+.endproc
+""", heap_size=1 << 16)
+    with pytest.raises(Trap, match="out of heap"):
+        m.run()
+
+
+def test_unresolved_library_symbol():
+    module = assemble("""
+.entry main
+.global no_such_fn lib
+.proc main framesize=0 trampoline
+    RETV
+.endproc
+""")
+    with pytest.raises(Trap, match="unresolved library symbol"):
+        Machine(module, Interpreter1(module))
+
+
+def test_call_to_data_address():
+    m = machine_for("""
+.entry main
+.global blob data 0
+.bss 16
+.proc main framesize=0 trampoline
+    ADDRGP $blob
+    CALLV
+    RETV
+.endproc
+""")
+    with pytest.raises(Trap, match="non-function"):
+        m.run()
+
+
+def test_wild_load_faults():
+    m = machine_for("""
+.entry main
+.proc main framesize=0 trampoline
+    LIT4 255 255 255 127
+    INDIRU
+    RETU
+.endproc
+""")
+    with pytest.raises(MemoryError_, match="out of range"):
+        m.run()
+
+
+def test_null_write_faults():
+    # Address 0 is below DATA_BASE... the guard page is unmapped only in
+    # the sense that nothing lives there; stores to [0,64) are in-bounds
+    # bytes.  The real guarantee is negative/oob faults:
+    m = machine_for("""
+.entry main
+.proc main framesize=0 trampoline
+    LIT1 0
+    LIT1 1
+    ASGNU
+    RETV
+.endproc
+""")
+    # writing at address 0 succeeds (flat memory) -- the documented model
+    assert m.run() == 0
+
+
+def test_memory_bounds_checks():
+    mem = Memory(64)
+    with pytest.raises(MemoryError_):
+        mem.load_u32(62)
+    with pytest.raises(MemoryError_):
+        mem.store_f64(60, 1.0)
+    with pytest.raises(MemoryError_):
+        mem.read_bytes(0, 65)
+    with pytest.raises(MemoryError_, match="unterminated"):
+        mem.read_cstring(0) if mem.write_bytes(0, b"\x01" * 64) or True \
+            else None
+
+
+def test_branch_label_out_of_range():
+    from repro.bytecode.module import Module, Procedure
+    from repro.bytecode.opcodes import opcode
+    code = bytes([opcode("JUMPV"), 7, 0])
+    module = Module(
+        procedures=[Procedure("f", code, [0], 0, True)], entry=0
+    )
+    m = Machine(module, Interpreter1(module))
+    with pytest.raises(Trap, match="label 7 out of range"):
+        m.run()
+
+
+def test_trampoline_addresses_are_stable():
+    module = assemble("""
+.entry main
+.global f proc 1
+.proc main framesize=0 trampoline
+    RETV
+.endproc
+.proc f framesize=0 trampoline
+    RETV
+.endproc
+""")
+    m = Machine(module, Interpreter1(module))
+    assert m.global_address(0) == TRAMPOLINE_BASE + 1
+
+
+def test_intrinsic_addresses_distinct_from_trampolines():
+    assert INTRINSIC_BASE > TRAMPOLINE_BASE
+    module = assemble("""
+.entry main
+.global putchar lib
+.global exit lib
+.proc main framesize=0 trampoline
+    RETV
+.endproc
+""")
+    m = Machine(module, Interpreter1(module))
+    a, b = m.global_address(0), m.global_address(1)
+    assert a != b
+    assert a >= INTRINSIC_BASE and b >= INTRINSIC_BASE

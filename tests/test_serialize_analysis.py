@@ -1,0 +1,159 @@
+"""Tests for grammar serialization and grammar analyses."""
+
+import pytest
+
+from repro.bytecode import assemble
+from repro.grammar.analysis import (
+    check_language_preserved,
+    derives_under_originals,
+    productive_nonterminals,
+    reachable_nonterminals,
+)
+from repro.grammar.initial import initial_grammar, typed_grammar
+from repro.grammar.serialize import (
+    decode_grammar,
+    encode_grammar_compact,
+    encode_grammar_plain,
+    grammar_bytes,
+)
+from repro.parsing.stackparser import build_forest
+from repro.training.expander import expand_grammar
+
+TRAIN = """
+.global buf data 0
+.bss 64
+.proc f framesize=8
+    ADDRLP 0 0
+    LIT1 0
+    ASGNU
+top:
+    ADDRLP 0 0
+    INDIRU
+    LIT1 16
+    LTU
+    BrTrue @body
+    RETV
+body:
+    ADDRGP $buf
+    ADDRLP 0 0
+    INDIRU
+    ADDU
+    LIT1 7
+    ASGNC
+    ADDRLP 0 0
+    ADDRLP 0 0
+    INDIRU
+    LIT1 1
+    ADDU
+    ASGNU
+    JUMPV @top
+.endproc
+"""
+
+
+@pytest.fixture(scope="module")
+def expanded():
+    g = initial_grammar()
+    expand_grammar(g, build_forest(g, [assemble(TRAIN)]))
+    return g
+
+
+def _shapes(grammar):
+    return [(r.lhs, r.rhs) for r in grammar]
+
+
+def test_plain_roundtrip(expanded):
+    data = encode_grammar_plain(expanded)
+    back = decode_grammar(data)
+    assert _shapes(back) == _shapes(expanded)
+
+
+def test_compact_roundtrip(expanded):
+    data = encode_grammar_compact(expanded)
+    back = decode_grammar(data)
+    assert _shapes(back) == _shapes(expanded)
+
+
+def test_compact_smaller_than_plain(expanded):
+    plain = grammar_bytes(expanded, compact=False)
+    compact = grammar_bytes(expanded, compact=True)
+    assert compact < plain
+
+
+def test_initial_grammar_roundtrips():
+    g = initial_grammar()
+    assert _shapes(decode_grammar(encode_grammar_plain(g))) == _shapes(g)
+    assert _shapes(decode_grammar(encode_grammar_compact(g))) == _shapes(g)
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ValueError, match="magic"):
+        decode_grammar(b"XXXX\x00")
+
+
+def test_decoded_grammar_decompresses(expanded):
+    """The decoded grammar (as shipped in an embedded interpreter) must
+    decode derivations identically: rule order is the codeword space."""
+    from repro.compress.compressor import Compressor
+    from repro.compress.decompress import decompress_procedure
+
+    module = assemble(TRAIN)
+    cproc = Compressor(expanded).compress_procedure(module.procedures[0])
+    back = decode_grammar(encode_grammar_compact(expanded))
+    rec = decompress_procedure(back, cproc)
+    assert rec.code == module.procedures[0].code
+
+
+def test_decoded_grammar_runs_interp2(expanded):
+    """interp2 over the decoded grammar executes correctly."""
+    from repro.compress.compressor import Compressor
+    from repro.interp.interp1 import Interpreter1
+    from repro.interp.interp2 import Interpreter2
+    from repro.interp.runtime import run_program
+
+    source = """
+.entry main
+.proc main framesize=8 trampoline
+    ADDRLP 0 0
+    LIT1 6
+    ASGNU
+    ADDRLP 0 0
+    INDIRU
+    LIT1 7
+    MULU
+    RETU
+.endproc
+"""
+    module = assemble(source)
+    r1 = run_program(module, Interpreter1(module))
+    cmod = Compressor(expanded).compress_module(module)
+    cmod.grammar = decode_grammar(encode_grammar_compact(expanded))
+    r2 = run_program(cmod, Interpreter2(cmod))
+    assert r1 == r2 == (42, b"")
+
+
+# -- analyses ---------------------------------------------------------------
+
+def test_reachable_and_productive_initial():
+    g = initial_grammar()
+    assert set(reachable_nonterminals(g)) == set(g.nonterminals)
+    assert set(productive_nonterminals(g)) == set(g.nonterminals)
+
+
+def test_language_preserved_after_training(expanded):
+    check_language_preserved(expanded)
+
+
+def test_language_preserved_typed():
+    g = typed_grammar()
+    expand_grammar(g, build_forest(g, [assemble(TRAIN)]))
+    check_language_preserved(g)
+
+
+def test_derives_under_originals_rejects_fake(expanded):
+    # Construct a rule whose fragment does not match its RHS.
+    inlined = next(r for r in expanded if r.origin == "inlined")
+    from repro.grammar.cfg import Rule
+    fake = Rule(99999, inlined.lhs, inlined.rhs + (5,), "inlined",
+                inlined.fragment)
+    assert not derives_under_originals(expanded, fake)

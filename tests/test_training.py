@@ -1,0 +1,212 @@
+"""Tests for edge counting, inlining, contraction, and the greedy expander."""
+
+import pytest
+
+from repro.bytecode import assemble
+from repro.grammar.cfg import fragment_size
+from repro.grammar.initial import initial_grammar
+from repro.parsing.forest import terminal_yield, tree_size
+from repro.parsing.stackparser import build_forest, parse_blocks
+from repro.training.edges import EdgeIndex, count_edges
+from repro.training.expander import expand_grammar
+from repro.training.inline import contract_occurrence, inline_rule
+
+LOOPY_ASM = """
+.global buf data 0
+.bss 64
+.proc f framesize=8
+    ADDRLP 0 0
+    LIT1 0
+    ASGNU
+top:
+    ADDRLP 0 0
+    INDIRU
+    LIT1 16
+    LTU
+    BrTrue @body
+    RETV
+body:
+    ADDRGP $buf
+    ADDRLP 0 0
+    INDIRU
+    ADDU
+    LIT1 7
+    ASGNC
+    ADDRLP 0 0
+    ADDRLP 0 0
+    INDIRU
+    LIT1 1
+    ADDU
+    ASGNU
+    JUMPV @top
+.endproc
+"""
+
+
+def _forest(grammar):
+    return build_forest(grammar, [assemble(LOOPY_ASM)])
+
+
+def test_count_edges_matches_manual():
+    g = initial_grammar()
+    module = assemble(".proc f\n    LIT1 3\n    ARGU\n    LIT1 3\n"
+                      "    ARGU\n    RETV\n.endproc\n")
+    forest = build_forest(g, [module])
+    counts = count_edges(forest)
+    # x -> <v> <x1> with v -> v0 under it happens twice.
+    v = g.nonterminal("v")
+    x = g.nonterminal("x")
+    v0 = g.nonterminal("v0")
+    chain_x1 = next(r for r in g.rules_for(x) if r.rhs == (v, g.nonterminal("x1")))
+    v_from_v0 = next(r for r in g.rules_for(v) if r.rhs == (v0,))
+    assert counts[(chain_x1.id, 0, v_from_v0.id)] == 2
+
+
+def test_edge_index_matches_recount_initially():
+    g = initial_grammar()
+    forest = _forest(g)
+    index = EdgeIndex(g, forest)
+    index.verify_against(forest)
+
+
+def test_contract_occurrence_updates_index():
+    g = initial_grammar()
+    forest = _forest(g)
+    index = EdgeIndex(g, forest)
+    found = index.best(lambda key: True, min_count=2)
+    assert found is not None
+    (pid, slot, cid), count = found
+    new_rule = inline_rule(g, g.rules[pid], slot, g.rules[cid])
+    occ = list(index.occurrences((pid, slot, cid)))
+    before = forest.size()
+    contract_occurrence(occ[0], slot, new_rule.id, index)
+    index.verify_against(forest)
+    assert forest.size() == before - 1
+
+
+def test_contraction_preserves_yield():
+    g = initial_grammar()
+    forest = _forest(g)
+    yields_before = [terminal_yield(b, g) for b in forest.blocks]
+    expand_grammar(g, forest)
+    yields_after = [terminal_yield(b, g) for b in forest.blocks]
+    assert yields_before == yields_after
+
+
+def test_expander_shrinks_forest():
+    g = initial_grammar()
+    forest = _forest(g)
+    report = expand_grammar(g, forest)
+    assert report.final_size < report.initial_size
+    assert report.final_size == forest.size()
+    assert report.rules_added > 0
+    assert report.contractions >= report.rules_added  # each inline fires >=2
+    g.check()
+
+
+def test_expander_incremental_counts_stay_exact():
+    g = initial_grammar()
+    forest = _forest(g)
+    expand_grammar(g, forest, verify_every=1)  # asserts internally
+
+
+def test_expander_history_counts_nonincreasing():
+    g = initial_grammar()
+    forest = _forest(g)
+    report = expand_grammar(g, forest, keep_history=True,
+                            remove_subsumed=False)
+    counts = [c for c, _ in report.history]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_expander_respects_rule_cap():
+    g = initial_grammar(max_rules_per_nt=12)
+    initial_counts = {nt: g.num_rules(nt) for nt in g.nonterminals}
+    forest = _forest(g)
+    expand_grammar(g, forest)
+    for nt in g.nonterminals:
+        # Growth stops at the cap; nonterminals that started over the cap
+        # (e.g. <v1> with 22 original rules) gain no rules at all.
+        assert g.num_rules(nt) <= max(12, initial_counts[nt])
+        if initial_counts[nt] >= 12:
+            assert g.num_rules(nt) == initial_counts[nt]
+
+
+def test_expander_min_count():
+    g = initial_grammar()
+    forest = _forest(g)
+    report = expand_grammar(g, forest, min_count=5)
+    for count, _ in report.history:
+        pass
+    # With a high threshold, fewer rules are added than default.
+    g2 = initial_grammar()
+    forest2 = _forest(g2)
+    report2 = expand_grammar(g2, forest2, min_count=2)
+    assert report.rules_added <= report2.rules_added
+
+
+def test_subsumed_rules_removed():
+    g = initial_grammar()
+    forest = _forest(g)
+    report = expand_grammar(g, forest, remove_subsumed=True)
+    # Every surviving inlined rule is either used in the final forest or
+    # subsumption removal is off; with removal on, unused inlined rules
+    # must be gone.
+    used = {node.rule_id for node in forest.nodes()}
+    for rule in g:
+        if rule.origin == "inlined":
+            assert rule.id in used
+    assert report.rules_removed >= 0
+
+
+def test_original_rules_survive_training():
+    g = initial_grammar()
+    n_original = g.total_rules()
+    forest = _forest(g)
+    expand_grammar(g, forest)
+    originals = [r for r in g if r.origin == "original"]
+    assert len(originals) == n_original
+
+
+def test_inlined_rule_fragments_grow():
+    g = initial_grammar()
+    forest = _forest(g)
+    expand_grammar(g, forest)
+    for rule in g:
+        if rule.origin == "inlined":
+            assert fragment_size(rule.fragment) >= 2
+            assert rule.arity == len([
+                s for i, s in enumerate(rule.rhs) if s < 0
+            ])
+
+
+def test_max_iterations_cap():
+    g = initial_grammar()
+    forest = _forest(g)
+    report = expand_grammar(g, forest, max_iterations=3)
+    assert report.iterations <= 3
+
+
+def test_inline_rule_validates_slot():
+    g = initial_grammar()
+    start = g.nonterminal("start")
+    chain = g.rules_for(start)[1]  # start -> start x
+    byte_rule = g.rules_for(g.nonterminal("byte"))[0]
+    with pytest.raises(ValueError):
+        inline_rule(g, chain, 0, byte_rule)  # slot 0 is <start>, not <byte>
+
+
+def test_inlining_byte_rules_burns_literals():
+    """Inlining a <byte> rule into a parent creates a partially-constrained
+    literal (paper Section 5)."""
+    g = initial_grammar()
+    v0 = g.nonterminal("v0")
+    byte = g.nonterminal("byte")
+    lit1 = next(r for r in g.rules_for(v0)
+                if r.rhs and r.rhs[0] == 6 or True)
+    # take ADDRFP <byte> <byte> (first v0 rule) and burn first byte = 0
+    addrfp = g.rules_for(v0)[0]
+    zero = g.rules_for(byte)[0]
+    new = inline_rule(g, addrfp, 0, zero)
+    assert new.rhs == (addrfp.rhs[0], 256 + 0, byte)
+    assert new.arity == 1
