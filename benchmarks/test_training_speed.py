@@ -1,0 +1,78 @@
+"""S2 — training speed: incremental edge index vs naive recount.
+
+The expander's inner loop asks "what is the most frequent edge?" once per
+added rule.  The naive implementation answers by rescanning the whole
+forest — O(forest) per iteration, the paper's literal greedy loop — while
+the production :class:`~repro.training.edges.EdgeIndex` maintains counts
+incrementally (O(degree) per contraction) under a lazy max-heap.  Both
+pick identical edges at every step (the oracle tests pin this; this bench
+re-checks it), so the only difference is time.
+
+The gap widens with corpus size: naive is O(iterations × forest) total,
+incremental is ~O(forest + iterations × degree).  The acceptance bar is a
+≥3× speedup on the largest synthetic corpus; see EXPERIMENTS.md for
+recorded numbers.
+"""
+
+from repro.experiments import render_table, training_speed_rows
+
+SIZES = (18, 54, 120)
+
+
+def test_training_speed(benchmark):
+    rows = training_speed_rows(sizes=SIZES)
+
+    print()
+    print(render_table(
+        "S2: training speed, naive recount vs incremental edge index",
+        ["corpus bytes", "forest nodes", "iterations", "naive",
+         "incremental", "speedup", "heap peak", "heap hit rate",
+         "identical"],
+        [(
+            row.corpus_bytes,
+            row.forest_nodes,
+            row.iterations,
+            f"{row.naive_seconds:.2f}s",
+            f"{row.incremental_seconds:.2f}s",
+            f"{row.speedup:.1f}x",
+            row.heap_peak,
+            f"{row.heap_hit_rate:.1%}",
+            "yes" if row.identical else "NO",
+        ) for row in rows],
+    ))
+
+    # Correctness first: the fast path must train the very same grammar.
+    for row in rows:
+        assert row.identical, "incremental and naive grammars diverged"
+
+    # The acceptance bar: >= 3x on the largest corpus (the gap grows with
+    # corpus size, so the largest row is the binding one).
+    largest = rows[-1]
+    assert largest.speedup >= 3.0, (
+        f"incremental index only {largest.speedup:.1f}x faster than the "
+        f"naive recount on the largest corpus"
+    )
+    # Asymptotically the gap grows with corpus size, but single-run wall
+    # times on a loaded box are too noisy to assert monotonicity; just
+    # require that the incremental index is never the slower one.
+    for row in rows:
+        assert row.speedup > 1.0, (
+            f"incremental index slower than naive at {row.corpus_bytes} bytes"
+        )
+
+    # Timed portion for pytest-benchmark: incremental training, mid scale.
+    from repro.grammar.initial import initial_grammar
+    from repro.corpus.synth import generate_program
+    from repro.minic import compile_source
+    from repro.parsing.stackparser import build_forest
+    from repro.training.expander import expand_grammar
+
+    module = compile_source(generate_program(54, seed=77))
+
+    def train_incremental():
+        grammar = initial_grammar()
+        forest = build_forest(grammar, [module])
+        expand_grammar(grammar, forest)
+        return grammar
+
+    benchmark.pedantic(train_incremental, rounds=1, iterations=1)

@@ -59,6 +59,9 @@ def _cmd_train(args) -> int:
         corpus,
         max_rules_per_nt=args.cap,
         min_count=args.min_count,
+        parser_workers=args.workers,
+        index_mode="naive" if args.naive_index else "incremental",
+        collect_stats=args.stats,
     )
     Path(args.output).write_bytes(save_grammar(grammar))
     print(f"{args.output}: {grammar.total_rules()} rules "
@@ -66,17 +69,24 @@ def _cmd_train(args) -> int:
           f"{report.initial_size} -> {report.final_size}, "
           f"{report.size_ratio:.0%}); "
           f"{grammar_bytes(grammar, compact=True)} encoded bytes")
+    if args.stats:
+        for line in report.summary_lines():
+            print(f"  {line}")
     return 0
 
 
 def _cmd_compress(args) -> int:
     module = load_module(Path(args.module).read_bytes())
     grammar = load_grammar(Path(args.grammar).read_bytes())
-    cmod = Compressor(grammar).compress_module(module)
+    compressor = Compressor(grammar,
+                            cache_size=0 if args.no_cache else 4096)
+    cmod = compressor.compress_module(module)
     Path(args.output).write_bytes(save_compressed(cmod))
     ratio = cmod.code_bytes / module.code_bytes if module.code_bytes else 1
     print(f"{args.output}: {module.code_bytes} -> {cmod.code_bytes} "
           f"bytes ({ratio:.0%})")
+    if args.stats:
+        print(f"  derivation cache: {compressor.cache_info()}")
     return 0
 
 
@@ -147,12 +157,25 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="rules per nonterminal (default 256)")
     p.add_argument("--min-count", type=int, default=2,
                    help="minimum pair frequency to inline (default 2)")
+    p.add_argument("-j", "--workers", type=int, default=None,
+                   help="parse the corpus on N parallel workers "
+                        "(deterministic: same grammar for any N)")
+    p.add_argument("--stats", action="store_true",
+                   help="print parse/expand timings and edge-index "
+                        "behaviour")
+    p.add_argument("--naive-index", action="store_true",
+                   help="use the full-recount edge index (the slow "
+                        "oracle; same grammar, for verification)")
     p.set_defaults(fn=_cmd_train)
 
     p = sub.add_parser("compress", help=".rbc + .rgr -> .rcx")
     p.add_argument("module")
     p.add_argument("-g", "--grammar", required=True)
     p.add_argument("-o", "--output", required=True)
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the shortest-derivation block cache")
+    p.add_argument("--stats", action="store_true",
+                   help="print derivation-cache statistics")
     p.set_defaults(fn=_cmd_compress)
 
     p = sub.add_parser("decompress", help=".rcx -> .rbc (verification)")

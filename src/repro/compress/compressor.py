@@ -22,7 +22,11 @@ from typing import Dict, List
 from ..bytecode.module import Module, Procedure
 from ..bytecode.opcodes import opcode
 from ..grammar.cfg import Grammar
-from ..parsing.derivation import encode_tree
+from ..parsing.derivation import (
+    DerivationCache,
+    derivation_of_tree,
+    encode_tree,
+)
 from ..parsing.earley import shortest_derivation_tree
 from ..parsing.forest import terminal_yield
 from ..parsing.stackparser import parse_blocks
@@ -35,24 +39,52 @@ _LABELV = opcode("LABELV")
 
 
 class Compressor:
-    """Compresses programs against one trained grammar."""
+    """Compresses programs against one trained grammar.
 
-    def __init__(self, grammar: Grammar, engine: str = "tiling") -> None:
+    ``cache_size`` bounds the shortest-derivation memo
+    (:class:`~repro.parsing.derivation.DerivationCache`): repeated basic
+    blocks — identical parse under the original rules, same start
+    nonterminal — reuse the previously computed derivation bytes instead
+    of re-running the tiling/Earley search.  Pass ``cache_size=0`` to
+    disable (every block is derived from scratch; output is identical
+    either way, which the property tests check).
+    """
+
+    def __init__(self, grammar: Grammar, engine: str = "tiling", *,
+                 cache_size: int = 4096) -> None:
         if engine not in ("tiling", "earley"):
             raise ValueError(f"unknown engine {engine!r}")
         self.grammar = grammar
         self.engine = engine
         self._tiler = Tiler(grammar) if engine == "tiling" else None
+        self.cache = DerivationCache(cache_size) if cache_size else None
 
     # -- block level ----------------------------------------------------------
     def compress_block_tree(self, tree) -> bytes:
         """Shortest-derivation bytes for one block's original parse tree."""
+        key = None
+        if self.cache is not None:
+            # A block's shortest derivation depends only on the nonterminal
+            # it derives from and its parse under the original rules.
+            key = (self.grammar.start, tuple(derivation_of_tree(tree)))
+            data = self.cache.get(key)
+            if data is not None:
+                return data
         if self.engine == "tiling":
             expanded = self._tiler.tile(tree)
         else:
             symbols = terminal_yield(tree, self.grammar)
             expanded = shortest_derivation_tree(self.grammar, symbols)
-        return encode_tree(self.grammar, expanded)
+        data = encode_tree(self.grammar, expanded)
+        if key is not None:
+            self.cache.put(key, data)
+        return data
+
+    def cache_info(self) -> str:
+        """Shortest-derivation cache statistics, for reports and the CLI."""
+        if self.cache is None:
+            return "disabled"
+        return self.cache.info()
 
     # -- procedure level ------------------------------------------------------
     def compress_procedure(self, proc: Procedure) -> CompressedProcedure:

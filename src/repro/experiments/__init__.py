@@ -16,6 +16,8 @@ from .harness import (
     table1_rows,
     table2_rows,
     trained,
+    training_speed_rows,
+    training_stats,
 )
 from .report import pct, render_table
 
@@ -24,5 +26,6 @@ __all__ = [
     "ablation_cap_rows", "ablation_grammar_rows", "baseline_rows",
     "compressed_code_bytes", "corpus", "gzip_rows",
     "interpreter_size_row", "overhead_rows", "table1_rows", "table2_rows",
-    "trained", "pct", "render_table",
+    "trained", "training_speed_rows", "training_stats",
+    "pct", "render_table",
 ]

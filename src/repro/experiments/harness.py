@@ -26,13 +26,18 @@ from ..grammar.serialize import grammar_bytes
 from ..interp.sizes import InterpreterSizes, measure_sizes
 from ..native.x86 import module_native_size
 from ..parsing.stackparser import build_forest
-from ..training.expander import TrainingReport, expand_grammar
+from ..training.expander import (
+    TrainingReport,
+    TrainingStats,
+    expand_grammar,
+)
 
 __all__ = [
     "INPUT_ORDER", "corpus", "trained", "compressed_code_bytes",
     "table1_rows", "table2_rows", "interpreter_size_row",
     "gzip_rows", "baseline_rows", "overhead_rows",
     "ablation_cap_rows", "ablation_grammar_rows",
+    "training_stats", "training_speed_rows",
     "PAPER_TABLE1", "PAPER_TABLE2", "PAPER_INTERP_SIZES",
 ]
 
@@ -259,6 +264,76 @@ def overhead_rows(program: str = "lcc",
         OverheadRow("grammar (recoded)", compact,
                     f"straightforward recoding saves {plain - compact} B"),
     ]
+
+
+# -- S2: training speed (incremental index vs naive recount oracle) ------------
+
+@dataclass
+class TrainingSpeedRow:
+    corpus_bytes: int
+    forest_nodes: int
+    iterations: int
+    naive_seconds: float
+    incremental_seconds: float
+    speedup: float
+    heap_peak: int
+    heap_hit_rate: float
+    identical: bool  # naive and incremental grammars byte-identical
+
+
+def training_stats(train_on: Tuple[str, ...], *,
+                   scale: int = GCCLIKE_SCALE,
+                   parser_workers: Optional[int] = None,
+                   index_mode: str = "incremental",
+                   ) -> Tuple[Grammar, TrainingStats]:
+    """Train one configuration with full instrumentation (uncached: stats
+    are timings, and timings should be fresh)."""
+    from ..pipeline import train_grammar
+
+    modules = [corpus(scale)[name] for name in train_on]
+    return train_grammar(modules, parser_workers=parser_workers,
+                         index_mode=index_mode, collect_stats=True)
+
+
+def training_speed_rows(sizes: Tuple[int, ...] = (18, 54, 120),
+                        seed: int = 77) -> List[TrainingSpeedRow]:
+    """Time naive-recount vs incremental training on synthetic corpora of
+    increasing size, verifying the two grammars agree rule for rule."""
+    import time
+
+    from ..corpus.synth import generate_program
+    from ..minic import compile_source
+
+    rows = []
+    for count in sizes:
+        module = compile_source(generate_program(count, seed=seed))
+
+        results = {}
+        for mode in ("naive", "incremental"):
+            grammar = initial_grammar()
+            forest = build_forest(grammar, [module])
+            nodes = sum(1 for _ in forest.nodes())
+            start = time.perf_counter()
+            report = expand_grammar(grammar, forest, index_mode=mode,
+                                    collect_stats=True)
+            seconds = time.perf_counter() - start
+            signature = [(r.lhs, r.rhs, r.origin) for r in grammar]
+            results[mode] = (seconds, report, signature, nodes)
+
+        naive_s, _, naive_sig, nodes = results["naive"]
+        inc_s, inc_report, inc_sig, _ = results["incremental"]
+        rows.append(TrainingSpeedRow(
+            corpus_bytes=module.code_bytes,
+            forest_nodes=nodes,
+            iterations=inc_report.iterations,
+            naive_seconds=naive_s,
+            incremental_seconds=inc_s,
+            speedup=naive_s / inc_s if inc_s else float("inf"),
+            heap_peak=inc_report.heap_peak,
+            heap_hit_rate=inc_report.heap_hit_rate,
+            identical=naive_sig == inc_sig,
+        ))
+    return rows
 
 
 # -- A1/A2: ablations --------------------------------------------------------------

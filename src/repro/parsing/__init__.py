@@ -1,5 +1,6 @@
 """Parsers: deterministic stack parser, Earley, shortest derivation."""
 
+from .derivation import DerivationCache
 from .forest import Forest, Node, preorder, terminal_yield, tree_size
 from .stackparser import (
     ParseError,
@@ -11,6 +12,7 @@ from .stackparser import (
 )
 
 __all__ = [
+    "DerivationCache",
     "Forest", "Node", "preorder", "terminal_yield", "tree_size",
     "ParseError", "ParsedBlock", "build_forest", "parse_blocks",
     "parse_module", "parse_procedure",

@@ -15,7 +15,8 @@ are the encoder/decoder the compressor and the generated interpreter share.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from collections import OrderedDict
+from typing import Hashable, List, Optional, Tuple
 
 from ..grammar.cfg import Grammar
 from .forest import Node, preorder
@@ -25,12 +26,68 @@ __all__ = [
     "tree_of_derivation",
     "encode_tree",
     "decode_tree",
+    "DerivationCache",
     "DerivationError",
 ]
 
 
 class DerivationError(ValueError):
     """Raised on a malformed encoded derivation."""
+
+
+class DerivationCache:
+    """LRU memo for shortest-derivation results, keyed by what is being
+    derived: ``(nonterminal, span)``.
+
+    Real programs repeat basic blocks — loop preambles, common epilogues,
+    compiler-generated idioms — and the shortest derivation of a block
+    depends only on its parse under the *original* rules (the span) and
+    the nonterminal it derives from, never on where in the program it
+    sits.  The compressor therefore keys this cache by
+    ``(start nonterminal, preorder original-rule ids)`` and skips the
+    tiling DP entirely on a repeat.  Bounded LRU so a huge corpus of
+    unique blocks cannot grow it without limit.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[bytes]:
+        data = self._data.get(key)
+        if data is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return data
+
+    def put(self, key: Hashable, data: bytes) -> None:
+        self._data[key] = data
+        self._data.move_to_end(key)
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> str:
+        return (f"{self.hits} hits, {self.misses} misses "
+                f"({self.hit_rate:.1%}), {len(self._data)} entries")
 
 
 def derivation_of_tree(root: Node) -> List[int]:

@@ -18,6 +18,7 @@ Example::
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Optional, Tuple
 
 from .bytecode.module import Module
@@ -43,21 +44,39 @@ def train_grammar(corpus: Iterable[Module], *,
                   min_count: int = 2,
                   remove_subsumed: bool = True,
                   max_iterations: Optional[int] = None,
+                  parser_workers: Optional[int] = None,
+                  index_mode: str = "incremental",
+                  collect_stats: bool = False,
                   ) -> Tuple[Grammar, TrainingReport]:
     """The training phase (paper Sections 2 and 4.1).
 
     Parses the corpus with the initial grammar and greedily expands it.
     Returns the expanded grammar and a :class:`TrainingReport`.
+
+    ``parser_workers`` > 1 parses the corpus's procedures on a thread
+    pool with a deterministic, corpus-order merge — the trained grammar
+    is identical for every worker count.  ``index_mode="naive"`` swaps
+    the incremental edge index for the full-recount oracle (same result,
+    much slower; for verification and benchmarking).  ``collect_stats``
+    returns a :class:`~repro.training.expander.TrainingStats` with
+    parse/expand timings, per-iteration wall times, and heap behaviour.
     """
     if grammar is None:
         grammar = initial_grammar(max_rules_per_nt=max_rules_per_nt)
-    forest = build_forest(grammar, corpus)
+    parse_start = time.perf_counter()
+    forest = build_forest(grammar, corpus, workers=parser_workers)
+    parse_seconds = time.perf_counter() - parse_start
     report = expand_grammar(
         grammar, forest,
         min_count=min_count,
         remove_subsumed=remove_subsumed,
         max_iterations=max_iterations,
+        index_mode=index_mode,
+        collect_stats=collect_stats,
     )
+    if collect_stats:
+        report.parse_seconds = parse_seconds
+        report.parser_workers = parser_workers or 1
     return grammar, report
 
 

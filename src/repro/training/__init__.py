@@ -1,11 +1,18 @@
 """Grammar training: edge counting, inlining, greedy expansion."""
 
-from .edges import EdgeIndex, EdgeKey, count_edges
+from .edges import (
+    EdgeIndex,
+    EdgeKey,
+    NaiveEdgeIndex,
+    count_edges,
+    count_edges_naive,
+)
 from .inline import contract_occurrence, inline_rule
-from .expander import TrainingReport, expand_grammar
+from .expander import TrainingReport, TrainingStats, expand_grammar
 
 __all__ = [
-    "EdgeIndex", "EdgeKey", "count_edges",
+    "EdgeIndex", "EdgeKey", "NaiveEdgeIndex",
+    "count_edges", "count_edges_naive",
     "contract_occurrence", "inline_rule",
-    "TrainingReport", "expand_grammar",
+    "TrainingReport", "TrainingStats", "expand_grammar",
 ]

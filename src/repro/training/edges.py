@@ -11,28 +11,49 @@ frequent edge and contracting all its occurrences shortens the derivation by
 (roughly) the edge's count, so the expander needs fast "what is the most
 frequent edge" queries while the forest is being rewritten in place.
 
-:class:`EdgeIndex` keeps exact counts plus the set of occurrence sites
-(parent nodes), updated incrementally by local deltas around each
-contraction, with a lazy max-heap for the argmax.  Occurrence sets are
-insertion-ordered dicts so training is deterministic run to run.
+Two implementations of that query live here:
+
+* :class:`EdgeIndex` keeps exact counts plus the set of occurrence sites
+  (parent nodes), updated incrementally by local deltas around each
+  contraction, with a lazy max-heap for the argmax.  A contraction only
+  perturbs edges incident to the two affected nodes, so each update is
+  O(degree) instead of O(forest).
+* :class:`NaiveEdgeIndex` answers every ``best`` query with a from-scratch
+  recount of the whole forest (:func:`count_edges_naive`) — the paper's
+  literal per-iteration rescan.  It is the *oracle*: training with it must
+  pick the same edge under the same tie-break at every step, which the
+  tests enforce, and the benchmarks measure the incremental index's
+  speedup against it.
+
+Both break frequency ties identically: highest count first, then the
+lexicographically smallest ``(parent_rule_id, slot, child_rule_id)`` key,
+so training is deterministic run to run and index to index.  Occurrence
+sets are insertion-ordered dicts for the same reason.
 """
 
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..grammar.cfg import Grammar
 from ..parsing.forest import Forest, Node
 
-__all__ = ["EdgeKey", "EdgeIndex", "count_edges"]
+__all__ = [
+    "EdgeKey", "EdgeIndex", "NaiveEdgeIndex", "IndexStats",
+    "count_edges", "count_edges_naive",
+]
 
 EdgeKey = Tuple[int, int, int]  # (parent_rule_id, slot, child_rule_id)
 
 
-def count_edges(forest: Forest) -> Dict[EdgeKey, int]:
-    """One-shot full recount (the slow reference the tests check the
-    incremental index against)."""
+def count_edges_naive(forest: Forest) -> Dict[EdgeKey, int]:
+    """One-shot full recount: O(forest) per call.
+
+    This is the slow reference path — the oracle the incremental index is
+    checked against, and the baseline the training-speed benchmarks beat.
+    """
     counts: Dict[EdgeKey, int] = {}
     for node in forest.nodes():
         for slot, child in enumerate(node.children):
@@ -41,8 +62,38 @@ def count_edges(forest: Forest) -> Dict[EdgeKey, int]:
     return counts
 
 
+#: Backwards-compatible alias (the original name of the recount).
+count_edges = count_edges_naive
+
+
+@dataclass
+class IndexStats:
+    """Bookkeeping counters of one index's life (cheap; always collected).
+
+    ``peeks`` counts ``best()`` heap inspections; ``stale_pops`` counts
+    entries discarded because their count was out of date.  The *hit rate*
+    (fraction of inspections that were live) is the measure of how lazy the
+    heap can afford to be.
+    """
+
+    pushes: int = 0
+    peeks: int = 0
+    stale_pops: int = 0
+    filtered_pops: int = 0
+    recounts: int = 0  # full-forest recounts (naive index only)
+
+    @property
+    def hit_rate(self) -> float:
+        if self.peeks == 0:
+            return 1.0
+        return 1.0 - self.stale_pops / self.peeks
+
+
 class EdgeIndex:
     """Incrementally-maintained edge counts and occurrence sets."""
+
+    #: subclasses that never consult the heap set this to skip the pushes
+    _track_heap = True
 
     def __init__(self, grammar: Grammar,
                  forest: Optional[Forest] = None) -> None:
@@ -50,6 +101,7 @@ class EdgeIndex:
         self.counts: Dict[EdgeKey, int] = {}
         self.occs: Dict[EdgeKey, Dict[Node, None]] = {}
         self._heap: list = []  # (-count, key), lazily invalidated
+        self.stats = IndexStats()
         if forest is not None:
             self.index_forest(forest)
 
@@ -64,7 +116,9 @@ class EdgeIndex:
         n = self.counts.get(key, 0) + 1
         self.counts[key] = n
         self.occs.setdefault(key, {})[parent] = None
-        heapq.heappush(self._heap, (-n, key))
+        if self._track_heap:
+            heapq.heappush(self._heap, (-n, key))
+            self.stats.pushes += 1
 
     def _remove(self, parent: Node, slot: int) -> None:
         key = (parent.rule_id, slot, parent.children[slot].rule_id)
@@ -76,9 +130,11 @@ class EdgeIndex:
             del self.occs[key]
         else:
             self.counts[key] = n
-            # Stale heap entries are discarded on pop; pushing the lowered
-            # count keeps the heap an upper bound on every live count.
-            heapq.heappush(self._heap, (-n, key))
+            # No heap push here.  Decrements outnumber useful queries by
+            # orders of magnitude, so ``best`` repairs lazily instead: when
+            # it pops a stale entry whose live count has fallen *below* the
+            # entry, it pushes one corrected entry, keeping every live
+            # key's largest heap entry >= its live count.
 
     # -- node-level updates -------------------------------------------------
     def add_outgoing(self, node: Node) -> None:
@@ -107,29 +163,55 @@ class EdgeIndex:
         snapshot or re-query as appropriate."""
         return self.occs.get(key, {})
 
+    def heap_size(self) -> int:
+        """Live + stale entries currently in the lazy heap."""
+        return len(self._heap)
+
     def best(self, selectable: Callable[[EdgeKey], bool],
              min_count: int = 2) -> Optional[Tuple[EdgeKey, int]]:
         """Most frequent edge with count >= min_count passing ``selectable``.
 
-        Non-selectable keys are dropped from the heap permanently; if a
-        nonterminal later regains capacity (subsumed-rule removal from a
-        full nonterminal), call :meth:`repush_lhs` to restore its keys.
+        Ties are broken toward the lexicographically smallest key (the heap
+        orders equal counts by key).  Non-selectable keys are dropped from
+        the heap permanently; if a nonterminal later regains capacity
+        (subsumed-rule removal from a full nonterminal), call
+        :meth:`repush_lhs` to restore its keys.
         """
-        while self._heap:
-            negcount, key = self._heap[0]
-            live = self.counts.get(key, 0)
-            if live != -negcount:
-                # Stale: every live count was pushed when it changed, so a
-                # fresher entry for this key is already in the heap.
-                heapq.heappop(self._heap)
-                continue
-            if live < min_count:
-                return None  # heap max is below threshold: nothing better
-            if not selectable(key):
-                heapq.heappop(self._heap)
-                continue
-            return key, live
-        return None
+        heap = self._heap
+        counts = self.counts
+        stats = self.stats
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        peeks = stale = pushes = 0
+        try:
+            while heap:
+                peeks += 1
+                negcount, key = heap[0]
+                live = counts.get(key, 0)
+                if live != -negcount:
+                    # Stale.  If the count *grew* past this entry, a larger
+                    # one was pushed by the increment — just discard.  If it
+                    # *shrank* below (decrements never push), push the one
+                    # corrected entry that keeps max-entry >= live for this
+                    # key; the heap shrinks by one net entry either way.
+                    heappop(heap)
+                    stale += 1
+                    if 0 < live < -negcount:
+                        heappush(heap, (-live, key))
+                        pushes += 1
+                    continue
+                if live < min_count:
+                    return None  # heap max below threshold: nothing better
+                if not selectable(key):
+                    heappop(heap)
+                    stats.filtered_pops += 1
+                    continue
+                return key, live
+            return None
+        finally:
+            stats.peeks += peeks
+            stats.stale_pops += stale
+            stats.pushes += pushes
 
     def repush_lhs(self, lhs: int) -> None:
         """Re-enter every live key whose parent rule belongs to ``lhs``
@@ -139,13 +221,60 @@ class EdgeIndex:
             rule = rules.get(key[0])
             if rule is not None and rule.lhs == lhs:
                 heapq.heappush(self._heap, (-n, key))
+                self.stats.pushes += 1
 
     # -- verification ---------------------------------------------------------
     def verify_against(self, forest: Forest) -> None:
-        """Assert the incremental state matches a full recount."""
-        expected = count_edges(forest)
+        """Assert the incremental state matches a full naive recount."""
+        expected = count_edges_naive(forest)
         assert self.counts == expected, (
             "incremental edge counts diverged from recount"
         )
         for key, occ in self.occs.items():
             assert len(occ) == expected[key]
+
+
+class NaiveEdgeIndex(EdgeIndex):
+    """The per-iteration-recount reference (paper's literal greedy loop).
+
+    ``best`` rescans the whole forest with :func:`count_edges_naive` —
+    O(forest) per query — instead of consulting a heap.  Occurrence sets
+    are still maintained by the same local deltas (the expander needs them
+    to drain contractions), but heap pushes are skipped, so the naive
+    path's cost is the recount, not hidden incremental bookkeeping.
+
+    Selection, including the tie-break, is bit-identical to
+    :class:`EdgeIndex`: maximize count, then minimize the edge key.
+    ``tests/test_edge_oracle.py`` holds the two to the same trained
+    grammar, rule for rule.
+    """
+
+    _track_heap = False
+
+    def __init__(self, grammar: Grammar, forest: Forest) -> None:
+        super().__init__(grammar, forest)
+        self.forest = forest
+
+    def best(self, selectable: Callable[[EdgeKey], bool],
+             min_count: int = 2) -> Optional[Tuple[EdgeKey, int]]:
+        counts = count_edges_naive(self.forest)
+        self.stats.recounts += 1
+        best_entry: Optional[Tuple[int, EdgeKey]] = None
+        for key, n in counts.items():
+            if n < min_count:
+                continue
+            entry = (-n, key)
+            if best_entry is not None and entry >= best_entry:
+                continue
+            if not selectable(key):
+                continue
+            best_entry = entry
+        if best_entry is None:
+            return None
+        return best_entry[1], -best_entry[0]
+
+    def repush_lhs(self, lhs: int) -> None:
+        pass  # nothing cached: every query recounts
+
+    def heap_size(self) -> int:
+        return 0

@@ -13,19 +13,27 @@ Starting from the forest of parse trees for the training corpus, repeatedly:
 This is a heuristic — finding the optimal rule set is NP-hard (Section 4.1)
 — but each step is exact: the forest always represents a valid derivation
 of the training corpus under the current grammar.
+
+The most-frequent-edge query runs against either the incremental
+:class:`~repro.training.edges.EdgeIndex` (the default: O(degree) updates
+per contraction) or the :class:`~repro.training.edges.NaiveEdgeIndex`
+oracle (a full O(forest) recount per iteration, ``index_mode="naive"``).
+Both must pick the same edge at every step — same count, same tie-break —
+so the trained grammars are byte-identical; the oracle tests pin this.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..grammar.cfg import Grammar
 from ..parsing.forest import Forest
-from .edges import EdgeIndex, EdgeKey
+from .edges import EdgeIndex, EdgeKey, NaiveEdgeIndex
 from .inline import contract_occurrence, inline_rule
 
-__all__ = ["TrainingReport", "expand_grammar"]
+__all__ = ["TrainingReport", "TrainingStats", "expand_grammar"]
 
 
 @dataclass
@@ -49,6 +57,71 @@ class TrainingReport:
         return self.final_size / self.initial_size
 
 
+@dataclass
+class TrainingStats(TrainingReport):
+    """A :class:`TrainingReport` plus instrumentation of *how* it ran.
+
+    Produced by ``expand_grammar(..., collect_stats=True)`` (and by
+    ``pipeline.train_grammar(collect_stats=True)``, which also fills the
+    parse-phase fields).  Everything here is observational — collecting it
+    does not change what the expander does.
+    """
+
+    #: which index answered the argmax queries: "incremental" or "naive"
+    index_mode: str = "incremental"
+    #: wall-clock seconds per expander iteration (argmax + contractions)
+    iter_seconds: List[float] = field(default_factory=list)
+    #: lazy-heap size sampled after each iteration (0 for the naive index)
+    heap_sizes: List[int] = field(default_factory=list)
+    #: heap entries pushed / best() inspections / stale entries discarded
+    heap_pushes: int = 0
+    heap_peeks: int = 0
+    heap_stale_pops: int = 0
+    #: full-forest recounts performed (naive index only)
+    recounts: int = 0
+    #: seconds spent parsing the corpus into the forest (filled by
+    #: ``pipeline.train_grammar``; 0 when the caller built the forest)
+    parse_seconds: float = 0.0
+    #: parser workers used by ``pipeline.train_grammar`` (1 = serial)
+    parser_workers: int = 1
+    #: total expander wall time
+    expand_seconds: float = 0.0
+
+    @property
+    def heap_hit_rate(self) -> float:
+        """Fraction of best() heap inspections that saw a live entry
+        (1.0 for the naive index, which never inspects a heap)."""
+        if self.heap_peeks == 0:
+            return 1.0
+        return 1.0 - self.heap_stale_pops / self.heap_peeks
+
+    @property
+    def heap_peak(self) -> int:
+        return max(self.heap_sizes, default=0)
+
+    @property
+    def mean_iter_ms(self) -> float:
+        if not self.iter_seconds:
+            return 0.0
+        return 1000.0 * sum(self.iter_seconds) / len(self.iter_seconds)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable digest (the CLI's ``--stats`` output)."""
+        lines = [
+            f"index: {self.index_mode}; {self.iterations} iterations in "
+            f"{self.expand_seconds:.3f}s (mean {self.mean_iter_ms:.2f} ms), "
+            f"parse {self.parse_seconds:.3f}s "
+            f"({self.parser_workers} worker(s))",
+            f"heap: peak {self.heap_peak} entries, "
+            f"{self.heap_pushes} pushes, hit rate "
+            f"{self.heap_hit_rate:.1%} "
+            f"({self.heap_stale_pops}/{self.heap_peeks} stale)",
+        ]
+        if self.recounts:
+            lines.append(f"naive recounts: {self.recounts}")
+        return lines
+
+
 def expand_grammar(grammar: Grammar, forest: Forest, *,
                    min_count: int = 2,
                    max_iterations: Optional[int] = None,
@@ -56,6 +129,8 @@ def expand_grammar(grammar: Grammar, forest: Forest, *,
                    keep_history: bool = False,
                    verify_every: int = 0,
                    edge_filter: Optional[Callable[[EdgeKey], bool]] = None,
+                   index_mode: str = "incremental",
+                   collect_stats: bool = False,
                    ) -> TrainingReport:
     """Expand ``grammar`` in place against ``forest`` (also mutated).
 
@@ -72,17 +147,31 @@ def expand_grammar(grammar: Grammar, forest: Forest, *,
         edge_filter: optional predicate over edge keys; edges it rejects
             are never inlined (used by the superoperator baseline and the
             ablation benches to restrict the pattern language).
+        index_mode: ``"incremental"`` (lazy-heap :class:`EdgeIndex`) or
+            ``"naive"`` (full recount per iteration — the oracle/baseline).
+            Both trained grammars are identical; only the speed differs.
+        collect_stats: return a :class:`TrainingStats` (per-iteration wall
+            times, heap sizes, hit rates) instead of a plain report.
 
-    Returns a :class:`TrainingReport`.
+    Returns a :class:`TrainingReport` (or :class:`TrainingStats`).
     """
-    index = EdgeIndex(grammar, forest)
+    if index_mode == "incremental":
+        index = EdgeIndex(grammar, forest)
+    elif index_mode == "naive":
+        index = NaiveEdgeIndex(grammar, forest)
+    else:
+        raise ValueError(f"unknown index_mode {index_mode!r}")
+
     use_count: Dict[int, int] = {}
     size = 0
     for node in forest.nodes():
         use_count[node.rule_id] = use_count.get(node.rule_id, 0) + 1
         size += 1
 
-    report = TrainingReport(initial_size=size)
+    if collect_stats:
+        report = TrainingStats(initial_size=size, index_mode=index_mode)
+    else:
+        report = TrainingReport(initial_size=size)
     rules = grammar.rules
 
     def selectable(key: EdgeKey) -> bool:
@@ -90,7 +179,9 @@ def expand_grammar(grammar: Grammar, forest: Forest, *,
             return False
         return grammar.can_grow(rules[key[0]].lhs)
 
+    expand_start = time.perf_counter()
     while max_iterations is None or report.iterations < max_iterations:
+        iter_start = time.perf_counter() if collect_stats else 0.0
         found = index.best(selectable, min_count=min_count)
         if found is None:
             break
@@ -130,8 +221,18 @@ def expand_grammar(grammar: Grammar, forest: Forest, *,
                         # previously filtered-out heap entries.
                         index.repush_lhs(lhs)
 
+        if collect_stats:
+            report.iter_seconds.append(time.perf_counter() - iter_start)
+            report.heap_sizes.append(index.heap_size())
+
         if verify_every and report.iterations % verify_every == 0:
             index.verify_against(forest)
 
     report.final_size = size
+    if collect_stats:
+        report.expand_seconds = time.perf_counter() - expand_start
+        report.heap_pushes = index.stats.pushes
+        report.heap_peeks = index.stats.peeks
+        report.heap_stale_pops = index.stats.stale_pops
+        report.recounts = index.stats.recounts
     return report

@@ -9,6 +9,8 @@ the derivation shrinks by one step per contraction.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..grammar.cfg import Grammar, Rule, fragment_graft
 from ..parsing.forest import Node
 from .edges import EdgeIndex
@@ -37,13 +39,17 @@ def inline_rule(grammar: Grammar, parent: Rule, slot: int,
 
 
 def contract_occurrence(node: Node, slot: int, new_rule_id: int,
-                        index: EdgeIndex = None) -> Node:
+                        index: Optional[EdgeIndex] = None) -> Node:
     """Contract the edge at ``node.children[slot]`` (Figure 2).
 
     The child node is removed from the tree: its children are spliced into
     the parent's child list at ``slot`` and the parent is relabeled with the
     inlined rule.  If an :class:`EdgeIndex` is given, its counts are kept
-    consistent by local deltas.  Returns the removed child node.
+    consistent by local deltas: the only edges whose identity changes are
+    those incident to ``node`` and ``child`` (the parent relabels, slots
+    shift, the child's edges become the parent's), so the update is
+    O(degree of the two nodes), never O(forest).  Returns the removed
+    child node.
     """
     child = node.children[slot]
     if index is not None:

