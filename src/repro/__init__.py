@@ -41,9 +41,16 @@ from .pipeline import (
     run_compressed,
     train_grammar,
 )
+from .registry import GrammarRegistry, RegistryError, corpus_fingerprint
+from .service import (
+    AsyncServiceClient,
+    CompressionService,
+    ServiceClient,
+    ServiceError,
+)
 from .training import TrainingReport, expand_grammar
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Module", "Procedure", "assemble", "disassemble", "validate_module",
@@ -54,5 +61,8 @@ __all__ = [
     "compress_module", "compression_ratio", "run", "run_compressed",
     "train_grammar",
     "TrainingReport", "expand_grammar",
+    "GrammarRegistry", "RegistryError", "corpus_fingerprint",
+    "CompressionService", "ServiceClient", "AsyncServiceClient",
+    "ServiceError",
     "__version__",
 ]

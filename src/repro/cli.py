@@ -13,17 +13,34 @@ The paper's Figure-1 pipeline, as commands::
 `run` accepts either format and executes it on the matching interpreter;
 integer arguments after the file become the entry procedure's arguments
 and the process exit status is the program's.
+
+The system as a *service* (see ``docs/SERVICE.md``)::
+
+    python -m repro registry add trained.rgr --tag prod
+    python -m repro serve --registry .repro-registry
+    python -m repro client put trained.rgr --tag prod
+    python -m repro client compress app.rbc -g prod -o app.rcx
+    python -m repro client run app.rcx
+    python -m repro client stats
+
+Operational errors — missing or corrupt input files, unknown registry
+references, a server that is not running — print one line to stderr and
+exit 2; tracebacks are reserved for bugs.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from .bytecode.assembler import disassemble
 from .bytecode.module import Module
+from .bytecode.validate import ValidationError
 from .compress.compressor import Compressor
 from .compress.decompress import decompress_module
 from .grammar.serialize import grammar_bytes
@@ -33,6 +50,7 @@ from .interp.runtime import Machine
 from .minic.driver import compile_sources
 from .pipeline import train_grammar
 from .storage import (
+    StorageError,
     load_any,
     load_grammar,
     load_module,
@@ -44,8 +62,31 @@ from .storage import (
 __all__ = ["main"]
 
 
+class CliError(Exception):
+    """Operational failure: one line on stderr, exit 2, no traceback."""
+
+
+def _read_bytes(path: str) -> bytes:
+    try:
+        return Path(path).read_bytes()
+    except OSError as exc:
+        raise CliError(f"{path}: {exc.strerror or exc}") from None
+
+
+def _load_file(loader, path: str):
+    """Read + parse an artifact, mapping corruption to a CliError."""
+    data = _read_bytes(path)
+    try:
+        return loader(data)
+    except (StorageError, ValidationError) as exc:
+        raise CliError(f"{path}: {exc}") from None
+
+
 def _cmd_compile(args) -> int:
-    sources = [Path(p).read_text() for p in args.sources]
+    try:
+        sources = [Path(p).read_text() for p in args.sources]
+    except OSError as exc:
+        raise CliError(f"{exc.filename}: {exc.strerror or exc}") from None
     module = compile_sources(sources)
     Path(args.output).write_bytes(save_module(module))
     print(f"{args.output}: {module.code_bytes} bytecode bytes, "
@@ -54,7 +95,7 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_train(args) -> int:
-    corpus = [load_module(Path(p).read_bytes()) for p in args.corpus]
+    corpus = [_load_file(load_module, p) for p in args.corpus]
     grammar, report = train_grammar(
         corpus,
         max_rules_per_nt=args.cap,
@@ -76,8 +117,8 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_compress(args) -> int:
-    module = load_module(Path(args.module).read_bytes())
-    grammar = load_grammar(Path(args.grammar).read_bytes())
+    module = _load_file(load_module, args.module)
+    grammar = _load_file(load_grammar, args.grammar)
     compressor = Compressor(grammar,
                             cache_size=0 if args.no_cache else 4096)
     cmod = compressor.compress_module(module)
@@ -91,7 +132,7 @@ def _cmd_compress(args) -> int:
 
 
 def _cmd_decompress(args) -> int:
-    cmod = load_any(Path(args.module).read_bytes())
+    cmod = _load_file(load_any, args.module)
     if isinstance(cmod, Module):
         print("input is already uncompressed", file=sys.stderr)
         return 2
@@ -102,7 +143,7 @@ def _cmd_decompress(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    program = load_any(Path(args.module).read_bytes())
+    program = _load_file(load_any, args.module)
     if isinstance(program, Module):
         executor = Interpreter1(program)
     else:
@@ -116,7 +157,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_disasm(args) -> int:
-    program = load_any(Path(args.module).read_bytes())
+    program = _load_file(load_any, args.module)
     if not isinstance(program, Module):
         program = decompress_module(program)
     sys.stdout.write(disassemble(program))
@@ -125,7 +166,7 @@ def _cmd_disasm(args) -> int:
 
 def _cmd_stats(args) -> int:
     for path in args.modules:
-        program = load_any(Path(path).read_bytes())
+        program = _load_file(load_any, path)
         kind = "module" if isinstance(program, Module) else "compressed"
         print(f"{path} ({kind}):")
         for key, value in program.size_breakdown().items():
@@ -135,6 +176,123 @@ def _cmd_stats(args) -> int:
                   f"{grammar_bytes(program.grammar, compact=True):8}")
         total = sum(program.size_breakdown().values())
         print(f"  {'total':12} {total:8}")
+    return 0
+
+
+# -- registry / service commands ---------------------------------------------
+#
+# Imported lazily so the classic pipeline commands never pay for (or
+# break on) the service stack.
+
+def _open_registry(args):
+    from .registry import GrammarRegistry
+    return GrammarRegistry(args.registry)
+
+
+def _cmd_registry(args) -> int:
+    from .registry import RegistryError
+    registry = _open_registry(args)
+    try:
+        if args.registry_command == "add":
+            grammar = _load_file(load_grammar, args.grammar)
+            digest = registry.put_bytes(
+                _read_bytes(args.grammar), tags=args.tag, grammar=grammar)
+            print(digest)
+        elif args.registry_command == "tag":
+            digest = registry.tag(args.ref, args.name)
+            print(f"{args.name} -> {digest}")
+        elif args.registry_command == "show":
+            print(json.dumps(registry.meta(args.ref), indent=2,
+                             sort_keys=True))
+        else:  # list
+            tags = registry.tags()
+            for record in registry.list():
+                names = ",".join(sorted(
+                    t for t, h in tags.items() if h == record["hash"]))
+                print(f"{record['hash'][:12]}  {record['rules']:5} rules  "
+                      f"{record['size_bytes']:7} bytes"
+                      + (f"  [{names}]" if names else ""))
+    except RegistryError as exc:
+        raise CliError(str(exc)) from None
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .registry import GrammarRegistry
+    from .service import CompressionService
+
+    service = CompressionService(
+        GrammarRegistry(args.registry),
+        max_inflight=args.max_inflight,
+        high_water=args.high_water,
+        request_timeout=args.timeout,
+        batch_window=args.batch_window,
+    )
+
+    async def _serve() -> None:
+        await service.start(args.host, args.port)
+        print(f"repro service on {args.host}:{service.port} "
+              f"(registry {args.registry}, "
+              f"{len(service.registry)} grammars)", flush=True)
+        await service.serve_until_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except OSError as exc:
+        raise CliError(f"cannot bind {args.host}:{args.port}: "
+                       f"{exc.strerror or exc}") from None
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    try:
+        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        raise CliError(f"cannot connect to {args.host}:{args.port}: "
+                       f"{exc.strerror or exc}") from None
+    with client:
+        try:
+            return _run_client_command(client, args)
+        except ServiceError as exc:
+            raise CliError(f"{args.host}:{args.port}: {exc}") from None
+
+
+def _run_client_command(client, args) -> int:
+    cmd = args.client_command
+    if cmd == "health":
+        print(json.dumps(client.health(), indent=2, sort_keys=True))
+    elif cmd == "stats":
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+    elif cmd == "put":
+        _load_file(load_grammar, args.grammar)  # fail client-side first
+        print(client.put_grammar(_read_bytes(args.grammar),
+                                 tags=args.tag))
+    elif cmd == "list":
+        listing = client.list_grammars()
+        tags = listing.get("tags", {})
+        for record in listing.get("grammars", []):
+            names = ",".join(sorted(
+                t for t, h in tags.items() if h == record["hash"]))
+            print(f"{record['hash'][:12]}  {record['rules']:5} rules"
+                  + (f"  [{names}]" if names else ""))
+    elif cmd == "compress":
+        data = client.compress(_read_bytes(args.module), args.grammar)
+        Path(args.output).write_bytes(data)
+        original = len(_read_bytes(args.module))
+        print(f"{args.output}: {original} -> {len(data)} file bytes")
+    elif cmd == "decompress":
+        data = client.decompress(_read_bytes(args.module))
+        Path(args.output).write_bytes(data)
+        print(f"{args.output}: {len(data)} file bytes")
+    else:  # run
+        code, output = client.run_compressed(
+            _read_bytes(args.module), args.args,
+            input_data=sys.stdin.buffer.read() if args.stdin else b"")
+        sys.stdout.buffer.write(output)
+        sys.stdout.flush()
+        return code & 0xFF
     return 0
 
 
@@ -198,12 +356,83 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("modules", nargs="+")
     p.set_defaults(fn=_cmd_stats)
 
+    p = sub.add_parser("registry", help="manage a local grammar registry")
+    p.add_argument("-d", "--registry", default=".repro-registry",
+                   help="registry directory (default .repro-registry)")
+    rsub = p.add_subparsers(dest="registry_command", required=True)
+    rp = rsub.add_parser("add", help="store a .rgr (prints its hash)")
+    rp.add_argument("grammar")
+    rp.add_argument("-t", "--tag", action="append", default=[],
+                    help="also point this tag at it (repeatable)")
+    rp = rsub.add_parser("tag", help="point a tag at a grammar")
+    rp.add_argument("ref", help="hash, unique prefix, or existing tag")
+    rp.add_argument("name")
+    rp = rsub.add_parser("show", help="print a grammar's metadata")
+    rp.add_argument("ref")
+    rsub.add_parser("list", help="list stored grammars")
+    p.set_defaults(fn=_cmd_registry)
+
+    from .service.protocol import DEFAULT_PORT
+
+    p = sub.add_parser("serve", help="run the compression service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p.add_argument("-d", "--registry", default=".repro-registry")
+    p.add_argument("--max-inflight", type=int, default=4,
+                   help="concurrent executing batches (default 4)")
+    p.add_argument("--high-water", type=int, default=64,
+                   help="reject work past this backlog (default 64)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request timeout, seconds (default 30)")
+    p.add_argument("--batch-window", type=float, default=0.002,
+                   help="micro-batch coalescing window, seconds")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("client", help="talk to a running service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p.add_argument("--timeout", type=float, default=60.0)
+    csub = p.add_subparsers(dest="client_command", required=True)
+    csub.add_parser("health", help="server liveness and backlog")
+    csub.add_parser("stats", help="traffic counters and histograms")
+    cp = csub.add_parser("put", help="upload a .rgr (prints its hash)")
+    cp.add_argument("grammar")
+    cp.add_argument("-t", "--tag", action="append", default=[])
+    csub.add_parser("list", help="list the server's grammars")
+    cp = csub.add_parser("compress", help="compress a .rbc remotely")
+    cp.add_argument("module")
+    cp.add_argument("-g", "--grammar", required=True,
+                    help="registry reference: hash, prefix, or tag")
+    cp.add_argument("-o", "--output", required=True)
+    cp = csub.add_parser("decompress", help="decompress a .rcx remotely")
+    cp.add_argument("module")
+    cp.add_argument("-o", "--output", required=True)
+    cp = csub.add_parser("run", help="execute a .rcx remotely")
+    cp.add_argument("module")
+    cp.add_argument("args", nargs="*", type=int)
+    cp.add_argument("--stdin", action="store_true",
+                    help="forward stdin to the program's getchar()")
+    p.set_defaults(fn=_cmd_client)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CliError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout was a pipe whose reader quit (e.g. `| head`): the Unix
+        # convention is a silent 128+SIGPIPE.  Point stdout at devnull so
+        # the interpreter's exit flush cannot traceback either.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -47,17 +47,24 @@ class Compressor:
     nonterminal — reuse the previously computed derivation bytes instead
     of re-running the tiling/Earley search.  Pass ``cache_size=0`` to
     disable (every block is derived from scratch; output is identical
-    either way, which the property tests check).
+    either way, which the property tests check).  Alternatively pass an
+    existing :class:`DerivationCache` as ``cache`` to share one memo
+    across compressors of the *same* grammar — how the service keeps a
+    warm cache across request batches.
     """
 
     def __init__(self, grammar: Grammar, engine: str = "tiling", *,
-                 cache_size: int = 4096) -> None:
+                 cache_size: int = 4096,
+                 cache: "DerivationCache | None" = None) -> None:
         if engine not in ("tiling", "earley"):
             raise ValueError(f"unknown engine {engine!r}")
         self.grammar = grammar
         self.engine = engine
         self._tiler = Tiler(grammar) if engine == "tiling" else None
-        self.cache = DerivationCache(cache_size) if cache_size else None
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = DerivationCache(cache_size) if cache_size else None
 
     # -- block level ----------------------------------------------------------
     def compress_block_tree(self, tree) -> bytes:
@@ -85,6 +92,19 @@ class Compressor:
         if self.cache is None:
             return "disabled"
         return self.cache.info()
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Cache counters as a dict — what the service's ``stats``
+        endpoint exports per grammar."""
+        if self.cache is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "hit_rate": self.cache.hit_rate,
+            "entries": len(self.cache),
+        }
 
     # -- procedure level ------------------------------------------------------
     def compress_procedure(self, proc: Procedure) -> CompressedProcedure:

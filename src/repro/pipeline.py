@@ -74,6 +74,7 @@ def train_grammar(corpus: Iterable[Module], *,
         index_mode=index_mode,
         collect_stats=collect_stats,
     )
+    report.wall_seconds = time.perf_counter() - parse_start
     if collect_stats:
         report.parse_seconds = parse_seconds
         report.parser_workers = parser_workers or 1

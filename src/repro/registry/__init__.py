@@ -1,0 +1,16 @@
+"""Content-addressed, versioned grammar registry.
+
+The paper's workflow is train-once / compress-many: a trained grammar is
+a shared codebook that many programs are compressed against.  The
+registry makes that codebook an addressable, versioned artifact — stored
+by the SHA-256 of its ``RGR1`` encoding, carrying training provenance,
+and resolvable by hash, unique hash prefix, or human tag.
+"""
+
+from .registry import (
+    GrammarRegistry,
+    RegistryError,
+    corpus_fingerprint,
+)
+
+__all__ = ["GrammarRegistry", "RegistryError", "corpus_fingerprint"]

@@ -1,0 +1,272 @@
+"""Content-addressed grammar store with tags and a deserialization LRU.
+
+On-disk layout (all writes are atomic tmp-file + rename)::
+
+    <root>/
+        objects/<sha256>.rgr     the RGR1 bytes, exactly as saved
+        meta/<sha256>.json       provenance: corpus fingerprint, training
+                                 report numbers, rule counts, timestamps
+        tags/<name>              text file holding one full hash
+
+A grammar's identity *is* the SHA-256 of its ``RGR1`` encoding: putting
+the same grammar twice is a no-op, and two registries that trained the
+same grammar agree on its name.  References are resolved in order: exact
+tag, full hash, unique hash prefix (>= 4 hex chars).
+
+Deserialized :class:`~repro.grammar.cfg.Grammar` objects are served from
+a bounded LRU guarded by a lock, so concurrent requests against the same
+codebook never re-parse it — the service keeps one registry and hits the
+cache on every request after the first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from ..bytecode.module import Module
+from ..grammar.cfg import Grammar
+from ..grammar.serialize import grammar_bytes
+from ..storage import (
+    StorageError,
+    load_grammar,
+    save_grammar,
+    save_module,
+)
+from ..training.expander import TrainingReport
+
+__all__ = ["GrammarRegistry", "RegistryError", "corpus_fingerprint"]
+
+_HASH_RE = re.compile(r"^[0-9a-f]{64}$")
+_PREFIX_RE = re.compile(r"^[0-9a-f]{4,64}$")
+_TAG_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class RegistryError(KeyError):
+    """Unknown reference, ambiguous prefix, or malformed registry state."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0] if self.args else ""
+
+
+def corpus_fingerprint(corpus: Iterable[Module]) -> str:
+    """Order-insensitive SHA-256 over the RBC1 encodings of a corpus.
+
+    Recorded at ``put`` time so a grammar can be traced back to exactly
+    the training set that produced it (and retraining on the same corpus
+    is detectable without keeping the corpus around).
+    """
+    digests = sorted(
+        hashlib.sha256(save_module(m)).hexdigest() for m in corpus
+    )
+    acc = hashlib.sha256()
+    for d in digests:
+        acc.update(bytes.fromhex(d))
+    return acc.hexdigest()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+class GrammarRegistry:
+    """See module docstring.  Safe for concurrent use from threads."""
+
+    def __init__(self, root, *, cache_size: int = 8) -> None:
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._meta = self.root / "meta"
+        self._tags = self.root / "tags"
+        for d in (self._objects, self._meta, self._tags):
+            d.mkdir(parents=True, exist_ok=True)
+        if cache_size <= 0:
+            raise ValueError("cache_size must be positive")
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[str, Grammar]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- writing ------------------------------------------------------------
+
+    def put(self, grammar: Grammar, *,
+            report: Optional[TrainingReport] = None,
+            corpus: Optional[Iterable[Module]] = None,
+            tags: Iterable[str] = (),
+            extra: Optional[Dict] = None) -> str:
+        """Store a trained grammar; returns its full hash.
+
+        ``report`` and ``corpus`` fill the provenance metadata; ``extra``
+        is merged into the metadata verbatim (client-supplied context).
+        """
+        data = save_grammar(grammar)
+        meta: Dict = {}
+        if report is not None:
+            meta["training"] = {
+                "iterations": report.iterations,
+                "rules_added": report.rules_added,
+                "rules_removed": report.rules_removed,
+                "initial_size": report.initial_size,
+                "final_size": report.final_size,
+                "size_ratio": report.size_ratio,
+                "wall_seconds": report.wall_seconds,
+            }
+        if corpus is not None:
+            modules = list(corpus)
+            meta["corpus"] = {
+                "fingerprint": corpus_fingerprint(modules),
+                "modules": len(modules),
+            }
+        if extra:
+            meta.update(extra)
+        return self.put_bytes(data, tags=tags, meta=meta, grammar=grammar)
+
+    def put_bytes(self, data: bytes, *, tags: Iterable[str] = (),
+                  meta: Optional[Dict] = None,
+                  grammar: Optional[Grammar] = None) -> str:
+        """Store raw ``RGR1`` bytes (validated by parsing them)."""
+        if grammar is None:
+            try:
+                grammar = load_grammar(data)  # reject junk before it lands
+            except StorageError:
+                raise
+            except ValueError as exc:
+                raise StorageError(
+                    f"not a valid RGR1 grammar: {exc}") from None
+        digest = hashlib.sha256(data).hexdigest()
+        obj_path = self._objects / f"{digest}.rgr"
+        if not obj_path.exists():
+            record = dict(meta or {})
+            record.update({
+                "hash": digest,
+                "created": time.time(),
+                "size_bytes": len(data),
+                "nonterminals": len(grammar.nt_names),
+                "rules": grammar.total_rules(),
+                "encoded_bytes": grammar_bytes(grammar, compact=True),
+            })
+            _atomic_write(obj_path, data)
+            _atomic_write(self._meta / f"{digest}.json",
+                          json.dumps(record, indent=1).encode())
+        for tag in tags:
+            self.tag(digest, tag)
+        with self._lock:
+            self._cache_put(digest, grammar)
+        return digest
+
+    def tag(self, ref: str, name: str) -> str:
+        """Point a human tag at a grammar; returns the full hash."""
+        if not _TAG_RE.match(name):
+            raise RegistryError(f"invalid tag name {name!r}")
+        digest = self.resolve(ref)
+        _atomic_write(self._tags / name, (digest + "\n").encode())
+        return digest
+
+    # -- reading ------------------------------------------------------------
+
+    def resolve(self, ref: str) -> str:
+        """tag | full hash | unique >=4-char hash prefix -> full hash."""
+        tag_path = self._tags / ref
+        if _TAG_RE.match(ref) and tag_path.exists():
+            digest = tag_path.read_text().strip()
+            if not _HASH_RE.match(digest):
+                raise RegistryError(f"tag {ref!r} is corrupt")
+            return digest
+        if _HASH_RE.match(ref):
+            if (self._objects / f"{ref}.rgr").exists():
+                return ref
+            raise RegistryError(f"no grammar {ref}")
+        if _PREFIX_RE.match(ref):
+            matches = [p.stem for p in self._objects.glob(f"{ref}*.rgr")]
+            if len(matches) == 1:
+                return matches[0]
+            if matches:
+                raise RegistryError(f"ambiguous prefix {ref!r} "
+                                    f"({len(matches)} matches)")
+        raise RegistryError(f"unknown grammar reference {ref!r}")
+
+    def get_bytes(self, ref: str) -> bytes:
+        return (self._objects / f"{self.resolve(ref)}.rgr").read_bytes()
+
+    def get(self, ref: str) -> Grammar:
+        """Deserialized grammar, served from the LRU when warm."""
+        digest = self.resolve(ref)
+        with self._lock:
+            cached = self._cache.get(digest)
+            if cached is not None:
+                self._cache.move_to_end(digest)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+        # Parse outside the lock: deserialization is the slow part and
+        # must not serialize concurrent readers of *other* grammars.
+        grammar = load_grammar(
+            (self._objects / f"{digest}.rgr").read_bytes()
+        )
+        with self._lock:
+            self._cache_put(digest, grammar)
+        return grammar
+
+    def meta(self, ref: str) -> Dict:
+        digest = self.resolve(ref)
+        path = self._meta / f"{digest}.json"
+        if not path.exists():
+            raise RegistryError(f"no metadata for {digest}")
+        record = json.loads(path.read_text())
+        record["tags"] = sorted(
+            t for t, h in self.tags().items() if h == digest
+        )
+        return record
+
+    def list(self) -> List[Dict]:
+        """All grammars' metadata, newest first."""
+        records = [
+            self.meta(p.stem) for p in sorted(self._objects.glob("*.rgr"))
+        ]
+        records.sort(key=lambda r: r.get("created", 0), reverse=True)
+        return records
+
+    def tags(self) -> Dict[str, str]:
+        out = {}
+        for path in self._tags.iterdir():
+            if path.is_file() and not path.name.startswith("."):
+                digest = path.read_text().strip()
+                if _HASH_RE.match(digest):
+                    out[path.name] = digest
+        return out
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._objects.glob("*.rgr"))
+
+    def __contains__(self, ref: str) -> bool:
+        try:
+            self.resolve(ref)
+            return True
+        except RegistryError:
+            return False
+
+    # -- LRU ----------------------------------------------------------------
+
+    def _cache_put(self, digest: str, grammar: Grammar) -> None:
+        self._cache[digest] = grammar
+        self._cache.move_to_end(digest)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+    def cache_info(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "entries": len(self._cache),
+                "capacity": self._cache_size,
+            }

@@ -1,0 +1,26 @@
+"""Async compression service: the train-once / compress-many workflow
+as a long-lived network server.
+
+A :class:`CompressionService` owns a
+:class:`~repro.registry.GrammarRegistry` and serves ``compress`` /
+``decompress`` / ``run_compressed`` / ``grammar.*`` / ``health`` /
+``stats`` over length-prefixed JSON frames (see
+:mod:`repro.service.protocol` and ``docs/SERVICE.md``).  Compression
+requests against the same grammar are micro-batched onto a shared
+derivation cache; a semaphore caps in-flight work and a high-water mark
+sheds load with ``overloaded`` errors instead of unbounded queueing.
+"""
+
+from .client import AsyncServiceClient, ServiceClient, ServiceError
+from .metrics import ServiceMetrics
+from .protocol import DEFAULT_PORT
+from .server import CompressionService
+
+__all__ = [
+    "CompressionService",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "DEFAULT_PORT",
+]

@@ -1,0 +1,223 @@
+"""Sync and async clients for the compression service.
+
+:class:`ServiceClient` is a plain blocking-socket client — no asyncio in
+the caller's process, usable from threads (one connection per instance;
+instances are not thread-safe, share nothing or use one per thread).
+:class:`AsyncServiceClient` is the same surface over asyncio streams.
+Both raise :class:`ServiceError` carrying the server's structured error
+code (``overloaded``, ``timeout``, ``not_found``, ...), so callers can
+implement retry-with-backoff on exactly the retryable codes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Dict, Optional, Sequence, Tuple
+
+from . import protocol
+from .protocol import ServiceError, b64d, b64e
+
+__all__ = ["ServiceClient", "AsyncServiceClient", "ServiceError"]
+
+
+def _check_response(msg: dict, expect_id: int) -> dict:
+    if msg.get("id") != expect_id:
+        raise ServiceError("protocol", f"response id {msg.get('id')!r} "
+                                       f"does not match request {expect_id}")
+    if msg.get("ok"):
+        result = msg.get("result")
+        return result if isinstance(result, dict) else {}
+    error = msg.get("error") or {}
+    raise ServiceError(error.get("code", "unknown"),
+                       error.get("message", "unspecified error"))
+
+
+class _MethodMixin:
+    """Typed convenience wrappers over ``call`` — shared by both clients
+    modulo sync/async, via the subclass's ``_call`` being awaited or not
+    at the call site (each wrapper is duplicated below where the calling
+    convention differs)."""
+
+    @staticmethod
+    def _compress_params(module_data: bytes, grammar_ref: str) -> dict:
+        return {"module": b64e(module_data), "grammar": grammar_ref}
+
+    @staticmethod
+    def _run_params(module_data: bytes, args: Sequence[int],
+                    input_data: bytes) -> dict:
+        params: Dict = {"module": b64e(module_data), "args": list(args)}
+        if input_data:
+            params["input"] = b64e(input_data)
+        return params
+
+    @staticmethod
+    def _put_params(grammar_data: bytes, tags: Sequence[str],
+                    meta: Optional[dict]) -> dict:
+        params: Dict = {"data": b64e(grammar_data), "tags": list(tags)}
+        if meta is not None:
+            params["meta"] = meta
+        return params
+
+
+class ServiceClient(_MethodMixin):
+    """Blocking client.  Usable as a context manager."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = protocol.DEFAULT_PORT, *,
+                 timeout: Optional[float] = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self._next_id = 0
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def call(self, method: str, params: Optional[dict] = None) -> dict:
+        self._next_id += 1
+        req_id = self._next_id
+        try:
+            protocol.send_frame_sync(self._sock, {
+                "id": req_id, "method": method, "params": params or {}})
+            msg = protocol.recv_frame_sync(self._sock)
+        except (OSError, protocol.FrameError) as exc:
+            raise ServiceError("transport", str(exc)) from exc
+        return _check_response(msg, req_id)
+
+    # -- convenience methods ------------------------------------------------
+
+    def health(self) -> dict:
+        return self.call("health")
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def put_grammar(self, grammar_data: bytes,
+                    tags: Sequence[str] = (),
+                    meta: Optional[dict] = None) -> str:
+        return self.call("grammar.put",
+                         self._put_params(grammar_data, tags,
+                                          meta))["hash"]
+
+    def list_grammars(self) -> dict:
+        return self.call("grammar.list")
+
+    def get_grammar(self, ref: str) -> Tuple[bytes, dict]:
+        result = self.call("grammar.get", {"ref": ref})
+        return b64d(result["data"]), result["meta"]
+
+    def compress(self, module_data: bytes, grammar_ref: str) -> bytes:
+        result = self.call("compress",
+                           self._compress_params(module_data,
+                                                 grammar_ref))
+        return b64d(result["data"])
+
+    def decompress(self, compressed_data: bytes) -> bytes:
+        result = self.call("decompress",
+                           {"module": b64e(compressed_data)})
+        return b64d(result["data"])
+
+    def run_compressed(self, compressed_data: bytes,
+                       args: Sequence[int] = (),
+                       input_data: bytes = b"") -> Tuple[int, bytes]:
+        result = self.call("run_compressed",
+                           self._run_params(compressed_data, args,
+                                            input_data))
+        return result["code"], b64d(result["output"])
+
+
+class AsyncServiceClient(_MethodMixin):
+    """The same surface over asyncio streams."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = protocol.DEFAULT_PORT) -> None:
+        self.host = host
+        self.port = port
+        self._next_id = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "AsyncServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def call(self, method: str,
+                   params: Optional[dict] = None) -> dict:
+        if self._reader is None:
+            await self.connect()
+        self._next_id += 1
+        req_id = self._next_id
+        try:
+            await protocol.write_frame(self._writer, {
+                "id": req_id, "method": method, "params": params or {}})
+            msg = await protocol.read_frame(self._reader)
+        except (OSError, protocol.FrameError) as exc:
+            raise ServiceError("transport", str(exc)) from exc
+        if msg is None:
+            raise ServiceError("transport", "server closed the connection")
+        return _check_response(msg, req_id)
+
+    async def health(self) -> dict:
+        return await self.call("health")
+
+    async def stats(self) -> dict:
+        return await self.call("stats")
+
+    async def put_grammar(self, grammar_data: bytes,
+                          tags: Sequence[str] = (),
+                          meta: Optional[dict] = None) -> str:
+        result = await self.call(
+            "grammar.put", self._put_params(grammar_data, tags, meta))
+        return result["hash"]
+
+    async def list_grammars(self) -> dict:
+        return await self.call("grammar.list")
+
+    async def get_grammar(self, ref: str) -> Tuple[bytes, dict]:
+        result = await self.call("grammar.get", {"ref": ref})
+        return b64d(result["data"]), result["meta"]
+
+    async def compress(self, module_data: bytes,
+                       grammar_ref: str) -> bytes:
+        result = await self.call(
+            "compress", self._compress_params(module_data, grammar_ref))
+        return b64d(result["data"])
+
+    async def decompress(self, compressed_data: bytes) -> bytes:
+        result = await self.call("decompress",
+                                 {"module": b64e(compressed_data)})
+        return b64d(result["data"])
+
+    async def run_compressed(self, compressed_data: bytes,
+                             args: Sequence[int] = (),
+                             input_data: bytes = b"") -> Tuple[int, bytes]:
+        result = await self.call(
+            "run_compressed",
+            self._run_params(compressed_data, args, input_data))
+        return result["code"], b64d(result["output"])

@@ -1,0 +1,140 @@
+"""Service counters and histograms, exported by the ``stats`` method.
+
+Deliberately dependency-free and Prometheus-shaped: monotonic counters
+keyed by label tuples, and fixed-bucket cumulative histograms with sum
+and count, so a scraper (or a test) can compute rates and quantile
+bounds.  Everything is updated from the event loop or from executor
+threads, so the mutators take a lock — contention is negligible next to
+the work being measured.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Counter", "Histogram", "ServiceMetrics"]
+
+# request latency, seconds: sub-ms to tens of seconds
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+# jobs per compression batch
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+class Counter:
+    """Monotonic counter with string labels (joined with ``|``)."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, *labels: str, by: int = 1) -> None:
+        key = "|".join(labels) if labels else ""
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + by
+
+    def value(self, *labels: str) -> int:
+        return self._values.get("|".join(labels) if labels else "", 0)
+
+    def total(self) -> int:
+        with self._lock:
+            return sum(self._values.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._values.items()))
+
+
+class Histogram:
+    """Cumulative fixed-bucket histogram (le semantics + ``+Inf``)."""
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.bounds: Tuple[float, ...] = tuple(buckets)
+        self._counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            cumulative, acc = [], 0
+            for c in self._counts:
+                acc += c
+                cumulative.append(acc)
+            return {
+                "buckets": {
+                    **{f"le_{b:g}": cumulative[i]
+                       for i, b in enumerate(self.bounds)},
+                    "le_inf": cumulative[-1],
+                },
+                "sum": self.sum,
+                "count": self.count,
+                "mean": self.mean,
+            }
+
+
+class ServiceMetrics:
+    """Everything the ``stats`` endpoint reports about traffic."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        #: requests by (method, outcome) where outcome is ``ok`` or an
+        #: error code (``overloaded``, ``timeout``, ``bad_request``, ...)
+        self.requests = Counter()
+        self.bytes_in = Counter()
+        self.bytes_out = Counter()
+        #: request latency per method, seconds
+        self._latency: Dict[str, Histogram] = {}
+        #: jobs per compression batch
+        self.batch_size = Histogram(BATCH_BUCKETS)
+        self._lock = threading.Lock()
+
+    def observe_request(self, method: str, outcome: str,
+                        seconds: float) -> None:
+        self.requests.inc(method, outcome)
+        with self._lock:
+            hist = self._latency.get(method)
+            if hist is None:
+                hist = self._latency[method] = Histogram(LATENCY_BUCKETS)
+        hist.observe(seconds)
+
+    def observe_batch(self, size: int) -> None:
+        self.batch_size.observe(float(size))
+
+    def add_bytes(self, direction: str, count: int) -> None:
+        (self.bytes_in if direction == "in" else self.bytes_out).inc(
+            by=count)
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            latency = {m: h.snapshot()
+                       for m, h in sorted(self._latency.items())}
+        return {
+            "uptime_seconds": time.monotonic() - self.started,
+            "counters": {
+                "requests_total": self.requests.snapshot(),
+                "bytes_in_total": self.bytes_in.total(),
+                "bytes_out_total": self.bytes_out.total(),
+            },
+            "histograms": {
+                "request_seconds": latency,
+                "batch_size": self.batch_size.snapshot(),
+            },
+        }

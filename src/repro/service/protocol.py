@@ -1,0 +1,155 @@
+"""Wire protocol: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Requests carry ``{"id", "method", "params"}``;
+responses echo the id with either ``{"ok": true, "result": ...}`` or
+``{"ok": false, "error": {"code", "message"}}``.  Binary payloads
+(module and grammar files) travel base64-encoded under ``data`` keys —
+JSON framing keeps the protocol introspectable and language-neutral;
+the base64 overhead is irrelevant next to compression CPU time.
+
+Frames are capped at 64 MiB: a bad length prefix must not make either
+side allocate gigabytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import socket
+import struct
+from typing import Optional
+
+__all__ = [
+    "DEFAULT_PORT", "MAX_FRAME", "FrameError", "ServiceError",
+    "RETRYABLE",
+    "encode_frame", "decode_body",
+    "read_frame", "write_frame",
+    "recv_frame_sync", "send_frame_sync",
+    "b64e", "b64d",
+    "error_body", "result_body",
+]
+
+DEFAULT_PORT = 7327
+MAX_FRAME = 64 << 20
+
+# error codes, used across server and clients
+E_OVERLOADED = "overloaded"
+E_TIMEOUT = "timeout"
+E_BAD_REQUEST = "bad_request"
+E_NOT_FOUND = "not_found"
+E_INTERNAL = "internal"
+E_SHUTTING_DOWN = "shutting_down"
+E_TRAP = "trap"
+
+
+class FrameError(ConnectionError):
+    """Malformed frame (bad length, oversized, or invalid JSON)."""
+
+
+#: error codes where retrying after backoff is reasonable
+RETRYABLE = frozenset([E_OVERLOADED, E_TIMEOUT, E_SHUTTING_DOWN])
+
+
+class ServiceError(Exception):
+    """A structured request failure.
+
+    Raised by handlers on the server (where it becomes an error frame)
+    and by clients when a response carries an error body — the ``code``
+    survives the wire in both directions.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+    @property
+    def retryable(self) -> bool:
+        return self.code in RETRYABLE
+
+
+def b64e(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def b64d(text: str) -> bytes:
+    try:
+        return base64.b64decode(text, validate=True)
+    except (ValueError, TypeError) as exc:
+        raise FrameError(f"invalid base64 payload: {exc}") from exc
+
+
+def encode_frame(obj: dict) -> bytes:
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise FrameError(f"frame too large ({len(body)} bytes)")
+    return struct.pack(">I", len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise FrameError(f"invalid JSON frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise FrameError("frame must be a JSON object")
+    return obj
+
+
+def result_body(req_id, result: dict) -> dict:
+    return {"id": req_id, "ok": True, "result": result}
+
+
+def error_body(req_id, code: str, message: str) -> dict:
+    return {"id": req_id, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+# -- asyncio side -----------------------------------------------------------
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Next frame, or ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid-frame") from exc
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame too large ({length} bytes)")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid-frame") from exc
+    return decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj: dict) -> None:
+    writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+# -- blocking side (sync client, no asyncio dependency) ---------------------
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < n:
+        piece = sock.recv(n - len(chunks))
+        if not piece:
+            raise FrameError("connection closed mid-frame")
+        chunks.extend(piece)
+    return bytes(chunks)
+
+
+def recv_frame_sync(sock: socket.socket) -> dict:
+    (length,) = struct.unpack(">I", _recv_exact(sock, 4))
+    if length > MAX_FRAME:
+        raise FrameError(f"frame too large ({length} bytes)")
+    return decode_body(_recv_exact(sock, length))
+
+
+def send_frame_sync(sock: socket.socket, obj: dict) -> None:
+    sock.sendall(encode_frame(obj))

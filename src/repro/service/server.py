@@ -1,0 +1,513 @@
+"""The asyncio compression server.
+
+Request lifecycle for a ``compress`` call::
+
+    connection -> frame -> admission control -> per-grammar queue
+       -> micro-batch -> thread pool (tiling DP) -> response frame
+
+Admission control is two-layered, per the load-shedding playbook: a
+high-water mark on accepted-but-unfinished requests *rejects* new work
+with an ``overloaded`` error the moment the backlog is past it (bounded
+queue, so latency stays bounded), and a semaphore *caps* how many
+batches actually occupy executor threads at once.  Compression requests
+for the same grammar are micro-batched: the per-grammar worker waits
+``batch_window`` seconds after the first job, drains whatever else has
+queued, and runs the whole batch through one :class:`Compressor` whose
+:class:`DerivationCache` is shared across batches — repeated blocks
+across *different* client programs hit the warm cache.
+
+Every request is bounded by ``request_timeout``; on expiry the client
+gets a structured ``timeout`` error instead of a hung socket (the
+underlying computation is left to finish in its thread — Python threads
+cannot be killed — but its result is discarded).
+
+``serve_forever`` installs SIGTERM/SIGINT handlers that stop accepting
+connections, let in-flight requests drain, then return.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from ..bytecode.module import Module
+from ..bytecode.validate import ValidationError
+from ..compress.compressor import Compressor
+from ..compress.decompress import decompress_module
+from ..interp.interp2 import Interpreter2
+from ..interp.runtime import run_program
+from ..registry import GrammarRegistry, RegistryError
+from ..storage import (
+    StorageError,
+    load_any,
+    load_compressed,
+    load_module,
+    save_compressed,
+    save_module,
+)
+from . import protocol
+from .metrics import ServiceMetrics
+from .protocol import FrameError, ServiceError, b64d, b64e
+
+__all__ = ["CompressionService", "ServiceError"]
+
+
+class _Job:
+    """One queued compression request awaiting its batch."""
+
+    __slots__ = ("module_data", "future", "enqueued")
+
+    def __init__(self, module_data: bytes,
+                 future: "asyncio.Future") -> None:
+        self.module_data = module_data
+        self.future = future
+        self.enqueued = time.monotonic()
+
+
+class _GrammarWorker:
+    """Per-grammar micro-batcher: queue + shared compressor + task."""
+
+    def __init__(self, service: "CompressionService", digest: str,
+                 compressor: Compressor) -> None:
+        self.service = service
+        self.digest = digest
+        self.compressor = compressor
+        self.queue: "asyncio.Queue[_Job]" = asyncio.Queue()
+        self.batches = 0
+        self.jobs = 0
+        self.task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"grammar-worker-{digest[:8]}")
+
+    async def _run(self) -> None:
+        svc = self.service
+        while True:
+            batch = [await self.queue.get()]
+            if svc.batch_window > 0:
+                # Let near-simultaneous requests coalesce: the window is
+                # tiny next to compression time but long next to frame
+                # parsing, so concurrent clients land in one batch.
+                await asyncio.sleep(svc.batch_window)
+            while len(batch) < svc.max_batch:
+                try:
+                    batch.append(self.queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            async with svc._inflight:
+                results = await asyncio.get_running_loop().run_in_executor(
+                    svc._executor, self._compress_batch,
+                    [job.module_data for job in batch])
+            self.batches += 1
+            self.jobs += len(batch)
+            svc.metrics.observe_batch(len(batch))
+            for job, (err, payload) in zip(batch, results):
+                if job.future.done():  # timed out or client went away
+                    continue
+                if err is None:
+                    job.future.set_result(payload)
+                else:
+                    job.future.set_exception(err)
+
+    def _compress_batch(self, modules: List[bytes]) -> List[Tuple]:
+        """Runs on an executor thread.  One compressor, warm cache; a bad
+        module fails its own job, never the batch."""
+        out: List[Tuple] = []
+        for data in modules:
+            try:
+                try:
+                    module = load_module(data)
+                except Exception as exc:  # noqa: BLE001 — client bytes
+                    raise ServiceError(
+                        protocol.E_BAD_REQUEST,
+                        f"not a valid RBC1 module: {exc}") from None
+                cmod = self.compressor.compress_module(module)
+                payload = save_compressed(cmod)
+                out.append((None, {
+                    "data": b64e(payload),
+                    "grammar": self.digest,
+                    "original_code_bytes": module.code_bytes,
+                    "compressed_code_bytes": cmod.code_bytes,
+                }))
+            except ServiceError as exc:
+                out.append((exc, None))
+            except (StorageError, ValidationError, ValueError) as exc:
+                out.append((ServiceError(protocol.E_BAD_REQUEST,
+                                         str(exc)), None))
+            except Exception as exc:  # noqa: BLE001 — isolate the batch
+                out.append((ServiceError(protocol.E_INTERNAL,
+                                         repr(exc)), None))
+        return out
+
+
+class CompressionService:
+    """See module docstring.
+
+    ``high_water`` bounds accepted-but-unfinished work requests (the
+    overload trip wire); ``max_inflight`` caps concurrently executing
+    batches and sizes the thread pool; ``batch_window`` is the
+    coalescing delay; ``cache_size`` sizes each grammar's shared
+    derivation cache.
+    """
+
+    def __init__(self, registry: GrammarRegistry, *,
+                 max_inflight: int = 4,
+                 high_water: int = 64,
+                 request_timeout: float = 30.0,
+                 batch_window: float = 0.002,
+                 max_batch: int = 64,
+                 cache_size: int = 4096) -> None:
+        self.registry = registry
+        self.max_inflight = max_inflight
+        self.high_water = high_water
+        self.request_timeout = request_timeout
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.cache_size = cache_size
+        self.metrics = ServiceMetrics()
+        self._pending = 0
+        self._draining = False
+        self._workers: Dict[str, _GrammarWorker] = {}
+        self._worker_lock: Optional[asyncio.Lock] = None
+        self._inflight: Optional[asyncio.Semaphore] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._writers: set = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful after binding port 0)."""
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = protocol.DEFAULT_PORT) -> None:
+        self._inflight = asyncio.Semaphore(self.max_inflight)
+        self._worker_lock = asyncio.Lock()
+        self._stop_requested = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_inflight,
+            thread_name_prefix="repro-service")
+        self._server = await asyncio.start_server(
+            self._handle_conn, host, port)
+
+    async def serve_forever(self, host: str = "127.0.0.1",
+                            port: int = protocol.DEFAULT_PORT) -> None:
+        """Run until SIGTERM/SIGINT, then drain and return."""
+        await self.start(host, port)
+        await self.serve_until_stopped()
+
+    async def serve_until_stopped(self) -> None:
+        """After :meth:`start`: install signal handlers, block until a
+        shutdown is requested, then drain and return."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._stop_requested.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop or non-main thread: rely on stop()
+        await self._stop_requested.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        """Ask ``serve_forever`` to drain and exit (signal-safe path is
+        the installed handler; this is the programmatic one)."""
+        if self._stop_requested is not None:
+            self._stop_requested.set()
+
+    async def stop(self, grace: float = 30.0) -> None:
+        """Stop accepting, drain in-flight requests, tear down."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(), grace)
+        except asyncio.TimeoutError:
+            pass  # grace expired: abandon stragglers
+        # let drained responses flush through their connection tasks
+        # before tearing anything down, then hang up on idle clients
+        await asyncio.sleep(0.05)
+        for writer in list(self._writers):
+            writer.close()
+        for worker in self._workers.values():
+            worker.task.cancel()
+        if self._workers:
+            await asyncio.gather(
+                *(w.task for w in self._workers.values()),
+                return_exceptions=True)
+        self._workers.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    msg = await protocol.read_frame(reader)
+                except FrameError:
+                    break  # protocol violation: drop the connection
+                if msg is None:
+                    break
+                response = await self._handle_request(msg)
+                try:
+                    await protocol.write_frame(writer, response)
+                except (ConnectionError, FrameError):
+                    break
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, msg: dict) -> dict:
+        req_id = msg.get("id")
+        method = msg.get("method")
+        params = msg.get("params") or {}
+        start = time.monotonic()
+        if not isinstance(method, str) or not isinstance(params, dict):
+            self.metrics.observe_request(
+                str(method), protocol.E_BAD_REQUEST,
+                time.monotonic() - start)
+            return protocol.error_body(
+                req_id, protocol.E_BAD_REQUEST,
+                "request needs a string 'method' and object 'params'")
+        try:
+            result = await self._dispatch(method, params)
+            outcome = "ok"
+            response = protocol.result_body(req_id, result)
+        except ServiceError as exc:
+            outcome = exc.code
+            response = protocol.error_body(req_id, exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 — never kill the reader
+            outcome = protocol.E_INTERNAL
+            response = protocol.error_body(
+                req_id, protocol.E_INTERNAL, repr(exc))
+        self.metrics.observe_request(method, outcome,
+                                     time.monotonic() - start)
+        return response
+
+    # -- dispatch -----------------------------------------------------------
+
+    _ADMIN = frozenset(["health", "stats", "grammar.list", "grammar.get"])
+    _WORK = frozenset(["compress", "decompress", "run_compressed",
+                       "grammar.put"])
+
+    async def _dispatch(self, method: str, params: dict) -> dict:
+        if method in self._ADMIN:
+            handler = getattr(self, "_m_" + method.replace(".", "_"))
+            return await handler(params)
+        if method not in self._WORK:
+            raise ServiceError(protocol.E_BAD_REQUEST,
+                               f"unknown method {method!r}")
+        # admission control for work methods
+        if self._draining:
+            raise ServiceError(protocol.E_SHUTTING_DOWN,
+                               "server is draining")
+        if self._pending >= self.high_water:
+            raise ServiceError(
+                protocol.E_OVERLOADED,
+                f"backlog {self._pending} at high-water mark "
+                f"{self.high_water}; retry with backoff")
+        self._pending += 1
+        self._idle.clear()
+        try:
+            handler = getattr(self, "_m_" + method.replace(".", "_"))
+            return await asyncio.wait_for(handler(params),
+                                          self.request_timeout)
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                protocol.E_TIMEOUT,
+                f"request exceeded {self.request_timeout:g}s") from None
+        finally:
+            self._pending -= 1
+            if self._pending == 0:
+                self._idle.set()
+
+    # -- param helpers ------------------------------------------------------
+
+    @staticmethod
+    def _data_param(params: dict, key: str = "data") -> bytes:
+        value = params.get(key)
+        if not isinstance(value, str):
+            raise ServiceError(protocol.E_BAD_REQUEST,
+                               f"missing base64 param {key!r}")
+        try:
+            return b64d(value)
+        except FrameError as exc:
+            raise ServiceError(protocol.E_BAD_REQUEST, str(exc)) from None
+
+    @staticmethod
+    def _ref_param(params: dict, key: str = "grammar") -> str:
+        value = params.get(key)
+        if not isinstance(value, str) or not value:
+            raise ServiceError(protocol.E_BAD_REQUEST,
+                               f"missing grammar reference param {key!r}")
+        return value
+
+    async def _in_executor(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args)
+
+    async def _worker_for(self, ref: str) -> _GrammarWorker:
+        try:
+            digest = self.registry.resolve(ref)
+        except RegistryError as exc:
+            raise ServiceError(protocol.E_NOT_FOUND, str(exc)) from None
+        worker = self._workers.get(digest)
+        if worker is not None:
+            return worker
+        async with self._worker_lock:
+            worker = self._workers.get(digest)
+            if worker is None:
+                grammar = await self._in_executor(
+                    self.registry.get, digest)
+                worker = _GrammarWorker(
+                    self, digest,
+                    Compressor(grammar, cache_size=self.cache_size))
+                self._workers[digest] = worker
+            return worker
+
+    # -- methods ------------------------------------------------------------
+
+    async def _m_health(self, params: dict) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": time.monotonic() - self.metrics.started,
+            "pending": self._pending,
+            "high_water": self.high_water,
+            "grammars_loaded": len(self._workers),
+        }
+
+    async def _m_stats(self, params: dict) -> dict:
+        snap = self.metrics.snapshot()
+        snap["pending"] = self._pending
+        snap["grammars"] = {
+            digest[:12]: {
+                "batches": worker.batches,
+                "jobs": worker.jobs,
+                "derivation_cache": worker.compressor.cache_stats(),
+            }
+            for digest, worker in self._workers.items()
+        }
+        snap["registry"] = {
+            "grammars": len(self.registry),
+            "lru": self.registry.cache_info(),
+        }
+        return snap
+
+    async def _m_grammar_list(self, params: dict) -> dict:
+        grammars = await self._in_executor(self.registry.list)
+        return {"grammars": grammars, "tags": self.registry.tags()}
+
+    async def _m_grammar_get(self, params: dict) -> dict:
+        ref = self._ref_param(params, "ref")
+        try:
+            data = await self._in_executor(self.registry.get_bytes, ref)
+            meta = self.registry.meta(ref)
+        except RegistryError as exc:
+            raise ServiceError(protocol.E_NOT_FOUND, str(exc)) from None
+        self.metrics.add_bytes("out", len(data))
+        return {"data": b64e(data), "meta": meta}
+
+    async def _m_grammar_put(self, params: dict) -> dict:
+        data = self._data_param(params)
+        tags = params.get("tags", [])
+        if not (isinstance(tags, list)
+                and all(isinstance(t, str) for t in tags)):
+            raise ServiceError(protocol.E_BAD_REQUEST,
+                               "'tags' must be a list of strings")
+        meta = params.get("meta")
+        if meta is not None and not isinstance(meta, dict):
+            raise ServiceError(protocol.E_BAD_REQUEST,
+                               "'meta' must be an object")
+        self.metrics.add_bytes("in", len(data))
+
+        def _put() -> str:
+            return self.registry.put_bytes(data, tags=tags, meta=meta)
+
+        try:
+            digest = await self._in_executor(_put)
+        except (StorageError, RegistryError, ValueError) as exc:
+            raise ServiceError(protocol.E_BAD_REQUEST, str(exc)) from None
+        return {"hash": digest, "meta": self.registry.meta(digest)}
+
+    async def _m_compress(self, params: dict) -> dict:
+        module_data = self._data_param(params, "module")
+        self.metrics.add_bytes("in", len(module_data))
+        worker = await self._worker_for(self._ref_param(params))
+        future = asyncio.get_running_loop().create_future()
+        worker.queue.put_nowait(_Job(module_data, future))
+        result = await future  # timeout applied by _dispatch's wait_for
+        self.metrics.add_bytes("out", len(result["data"]))
+        return result
+
+    async def _m_decompress(self, params: dict) -> dict:
+        data = self._data_param(params, "module")
+        self.metrics.add_bytes("in", len(data))
+
+        def _work() -> bytes:
+            try:
+                cmod = load_compressed(data)
+            except Exception as exc:  # noqa: BLE001 — client bytes
+                raise ServiceError(
+                    protocol.E_BAD_REQUEST,
+                    f"not a valid RCX1 module: {exc}") from None
+            return save_module(decompress_module(cmod))
+
+        async with self._inflight:
+            try:
+                payload = await self._in_executor(_work)
+            except (StorageError, ValidationError, ValueError) as exc:
+                raise ServiceError(protocol.E_BAD_REQUEST,
+                                   str(exc)) from None
+        self.metrics.add_bytes("out", len(payload))
+        return {"data": b64e(payload)}
+
+    async def _m_run_compressed(self, params: dict) -> dict:
+        data = self._data_param(params, "module")
+        self.metrics.add_bytes("in", len(data))
+        args = params.get("args", [])
+        if not (isinstance(args, list)
+                and all(isinstance(a, int) for a in args)):
+            raise ServiceError(protocol.E_BAD_REQUEST,
+                               "'args' must be a list of integers")
+        input_data = (self._data_param(params, "input")
+                      if "input" in params else b"")
+
+        def _work() -> Tuple[int, bytes]:
+            try:
+                program = load_any(data)
+            except Exception as exc:  # noqa: BLE001 — client bytes
+                raise ServiceError(
+                    protocol.E_BAD_REQUEST,
+                    f"not a valid module: {exc}") from None
+            if isinstance(program, Module):
+                raise ServiceError(
+                    protocol.E_BAD_REQUEST,
+                    "run_compressed needs an RCX1 compressed module")
+            return run_program(program, Interpreter2(program), *args,
+                               input_data=input_data)
+
+        async with self._inflight:
+            try:
+                code, output = await self._in_executor(_work)
+            except (StorageError, ValidationError, ValueError) as exc:
+                raise ServiceError(protocol.E_BAD_REQUEST,
+                                   str(exc)) from None
+            except RuntimeError as exc:  # Trap / machine fault
+                raise ServiceError(protocol.E_TRAP, str(exc)) from None
+        self.metrics.add_bytes("out", len(output))
+        return {"code": code, "output": b64e(output)}

@@ -14,11 +14,17 @@ Strings are UTF-8 with a 2-byte length; offsets/sizes are u32.  Every
 loader validates magic and trailing bytes, and the module loader runs the
 bytecode validator, so a corrupted file fails loudly rather than
 misexecuting.
+
+Writers append a CRC-32 trailer (4 bytes, little-endian, over magic +
+body) so bit rot is detected before the structural validators run.
+Loaders accept trailer-less files — everything written before the
+trailer existed still loads.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import List, Union
 
 from .bytecode.module import GlobalEntry, Module, Procedure
@@ -43,6 +49,32 @@ _KINDS = ["data", "proc", "lib"]
 
 class StorageError(ValueError):
     """Malformed or mismatched file content."""
+
+
+def _seal(w: "_Writer") -> bytes:
+    """Append the CRC-32 trailer over everything written so far."""
+    payload = bytes(w.out)
+    return payload + struct.pack("<I", zlib.crc32(payload))
+
+
+def _finish(r: "_Reader", full: bytes) -> None:
+    """End-of-body check: verify the CRC-32 trailer if present.
+
+    ``full`` is the whole file including magic; ``r`` holds the body with
+    the magic stripped.  Exactly 4 bytes after the body is a trailer
+    (verified, mismatch is a loud :class:`StorageError`); zero bytes is a
+    legacy trailer-less file; anything else is trailing garbage.
+    """
+    remaining = len(r.data) - r.pos
+    if remaining == 0:
+        return  # pre-CRC file: accepted unchanged
+    if remaining == 4:
+        (stored,) = struct.unpack("<I", r.data[r.pos:r.pos + 4])
+        if stored != zlib.crc32(full[:-4]):
+            raise StorageError("CRC-32 mismatch (corrupt file)")
+        r.pos += 4
+        return
+    r.done()  # raises with the trailing-byte count
 
 
 class _Writer:
@@ -117,7 +149,10 @@ def _write_shared(w: _Writer, module) -> None:
 def _read_shared(r: _Reader) -> dict:
     globals_: List[GlobalEntry] = []
     for _ in range(r.u16()):
-        kind = _KINDS[r.u8()]
+        kind_index = r.u8()
+        if kind_index >= len(_KINDS):
+            raise StorageError(f"bad global kind byte {kind_index}")
+        kind = _KINDS[kind_index]
         name = r.text()
         value = r.u32()
         globals_.append(GlobalEntry(kind, name, value))
@@ -163,7 +198,7 @@ def save_module(module: Module) -> bytes:
     w.u16(len(module.procedures))
     for proc in module.procedures:
         _write_proc_common(w, proc)
-    return bytes(w.out)
+    return _seal(w)
 
 
 def load_module(data: bytes) -> Module:
@@ -172,7 +207,7 @@ def load_module(data: bytes) -> Module:
     r = _Reader(data[4:])
     shared = _read_shared(r)
     procs = [Procedure(**_read_proc_common(r)) for _ in range(r.u16())]
-    r.done()
+    _finish(r, data)
     module = Module(procedures=procs, **shared)
     validate_module(module)
     return module
@@ -202,7 +237,7 @@ def save_compressed(cmod: CompressedModule) -> bytes:
         w.u16(len(proc.block_starts))
         for off in proc.block_starts:
             w.u32(off)
-    return bytes(w.out)
+    return _seal(w)
 
 
 def load_compressed(data: bytes) -> CompressedModule:
@@ -218,7 +253,7 @@ def load_compressed(data: bytes) -> CompressedModule:
         block_starts = [r.u32() for _ in range(r.u16())]
         procs.append(CompressedProcedure(block_starts=block_starts,
                                          **common))
-    r.done()
+    _finish(r, data)
     return CompressedModule(grammar=grammar, procedures=procs, **shared)
 
 
@@ -296,7 +331,7 @@ def save_grammar(grammar: Grammar) -> bytes:
             else:
                 w.u8(1)
                 _write_fragment(w, rule.fragment, to_ordinal)
-    return bytes(w.out)
+    return _seal(w)
 
 
 def load_grammar(data: bytes) -> Grammar:
@@ -321,7 +356,7 @@ def load_grammar(data: bytes) -> Grammar:
                 from .grammar.cfg import fragment_hole_count
                 if fragment_hole_count(fragment) != rule.arity:
                     raise StorageError("fragment does not match rule arity")
-    r.done()
+    _finish(r, data)
     grammar.check()
     return grammar
 

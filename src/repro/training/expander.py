@@ -46,6 +46,8 @@ class TrainingReport:
     contractions: int = 0
     initial_size: int = 0
     final_size: int = 0
+    #: total training wall time (parse + expand), filled by the pipeline
+    wall_seconds: float = 0.0
     #: per-iteration (edge count, new rule id) — compact trace for analysis
     history: List[Tuple[int, int]] = field(default_factory=list)
 

@@ -1,0 +1,136 @@
+"""Tests for the content-addressed grammar registry."""
+
+import hashlib
+import threading
+
+import pytest
+
+import repro
+from repro.minic import compile_source
+from repro.registry import GrammarRegistry, RegistryError, corpus_fingerprint
+from repro.storage import StorageError, save_grammar
+
+APP = """
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main(void) { putint(fib(10)); putchar('\\n'); return 0; }
+"""
+
+CORPUS = """
+int main(void) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 30; i++) s += i * i;
+    putint(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def trained():
+    app = compile_source(APP)
+    corpus = compile_source(CORPUS)
+    grammar, report = repro.train_grammar([corpus, app])
+    return app, corpus, grammar, report
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return GrammarRegistry(tmp_path / "reg", cache_size=2)
+
+
+def test_put_is_content_addressed(registry, trained):
+    app, corpus, grammar, report = trained
+    digest = registry.put(grammar, report=report, corpus=[corpus, app])
+    assert digest == hashlib.sha256(save_grammar(grammar)).hexdigest()
+    # idempotent: same grammar, same hash, still one entry
+    assert registry.put(grammar) == digest
+    assert len(registry) == 1
+
+
+def test_metadata_provenance(registry, trained):
+    app, corpus, grammar, report = trained
+    digest = registry.put(grammar, report=report, corpus=[corpus, app],
+                          tags=["prod"], extra={"note": "pr2"})
+    meta = registry.meta(digest)
+    assert meta["hash"] == digest
+    assert meta["rules"] == grammar.total_rules()
+    assert meta["training"]["iterations"] == report.iterations
+    assert meta["training"]["wall_seconds"] == report.wall_seconds
+    assert meta["corpus"]["modules"] == 2
+    assert meta["corpus"]["fingerprint"] == \
+        corpus_fingerprint([app, corpus])  # order-insensitive
+    assert meta["note"] == "pr2"
+    assert meta["tags"] == ["prod"]
+
+
+def test_resolve_tag_prefix_and_errors(registry, trained):
+    _, _, grammar, _ = trained
+    digest = registry.put(grammar, tags=["prod", "v1"])
+    assert registry.resolve("prod") == digest
+    assert registry.resolve(digest) == digest
+    assert registry.resolve(digest[:8]) == digest
+    assert "prod" in registry and digest[:8] in registry
+    with pytest.raises(RegistryError):
+        registry.resolve("no-such-tag")
+    with pytest.raises(RegistryError):
+        registry.resolve("deadbeef" * 8)  # well-formed, absent
+    with pytest.raises(RegistryError):
+        registry.tag(digest, "bad tag name!")
+
+
+def test_tag_repoint(registry, trained):
+    _, _, grammar, _ = trained
+    digest = registry.put(grammar, tags=["prod"])
+    # retag to the same artifact via a prefix reference
+    assert registry.tag(digest[:10], "prod") == digest
+    assert registry.tags() == {"prod": digest}
+
+
+def test_get_serves_from_lru(registry, trained):
+    app, _, grammar, _ = trained
+    digest = registry.put(grammar)
+    first = registry.get(digest)
+    assert registry.get(digest) is first
+    info = registry.cache_info()
+    assert info["hits"] >= 1 and info["entries"] == 1
+    # and a loaded grammar still compresses identically
+    a = repro.Compressor(grammar).compress_module(app)
+    b = repro.Compressor(first).compress_module(app)
+    assert [p.code for p in a.procedures] == [p.code for p in b.procedures]
+
+
+def test_lru_eviction_reloads(tmp_path, trained):
+    _, _, grammar, _ = trained
+    registry = GrammarRegistry(tmp_path / "reg", cache_size=1)
+    digest = registry.put(grammar)
+    first = registry.get(digest)
+    # a second registry handle over the same root sees the same objects
+    other = GrammarRegistry(tmp_path / "reg", cache_size=1)
+    assert other.resolve(digest[:8]) == digest
+    reloaded = other.get(digest)
+    assert reloaded is not first
+    assert reloaded.nt_names == grammar.nt_names
+
+
+def test_put_bytes_rejects_junk(registry):
+    with pytest.raises(StorageError):
+        registry.put_bytes(b"RGR1" + b"\x00" * 32)
+    assert len(registry) == 0
+
+
+def test_concurrent_get_same_object(registry, trained):
+    _, _, grammar, _ = trained
+    digest = registry.put(grammar)
+    seen = []
+
+    def reader():
+        for _ in range(20):
+            seen.append(registry.get(digest))
+
+    threads = [threading.Thread(target=reader) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(set(map(id, seen))) == 1  # one deserialization served all

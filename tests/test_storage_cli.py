@@ -91,6 +91,52 @@ def test_module_load_validates_bytecode(setup):
         load_module(bytes(data))
 
 
+# -- CRC-32 trailer -----------------------------------------------------------
+
+def test_crc_trailer_present_and_verified(setup):
+    app, _, grammar, cmod = setup
+    import struct
+    import zlib
+    from repro.storage import save_compressed as sc, save_grammar as sg
+    for blob in (save_module(app), sc(cmod), sg(grammar)):
+        (stored,) = struct.unpack("<I", blob[-4:])
+        assert stored == zlib.crc32(blob[:-4])
+
+
+def test_crc_mismatch_fails_loudly(setup):
+    app, _, _, _ = setup
+    data = bytearray(save_module(app))
+    data[-1] ^= 0xFF  # corrupt the trailer itself
+    with pytest.raises(StorageError, match="CRC-32"):
+        load_module(bytes(data))
+
+
+def test_crc_catches_silent_data_corruption(setup):
+    app, _, _, _ = setup
+    data = bytearray(save_module(app))
+    # a single flipped bit mid-file: whatever the structural parse makes
+    # of it, the load must fail rather than return a wrong module
+    data[len(data) // 2] ^= 0x01
+    with pytest.raises(Exception):
+        load_module(bytes(data))
+
+
+def test_legacy_files_without_trailer_still_load(setup):
+    app, _, grammar, cmod = setup
+    from repro.storage import load_compressed as lc, load_grammar as lg
+    from repro.storage import save_compressed as sc, save_grammar as sg
+    # what a pre-CRC writer produced: the same bytes minus the trailer
+    old_module = save_module(app)[:-4]
+    back = load_module(old_module)
+    assert [p.code for p in back.procedures] == \
+        [p.code for p in app.procedures]
+    old_cmod = sc(cmod)[:-4]
+    assert [p.code for p in lc(old_cmod).procedures] == \
+        [p.code for p in cmod.procedures]
+    old_grammar = sg(grammar)[:-4]
+    assert lg(old_grammar).total_rules() == grammar.total_rules()
+
+
 # -- grammar format -------------------------------------------------------------
 
 def test_grammar_roundtrip_preserves_compression(setup):
@@ -225,3 +271,71 @@ def test_cli_decompress_rejects_plain_module(workspace, capsys):
     main(["compile", f"{ws}/app.c", "-o", f"{ws}/app.rbc"])
     assert main(["decompress", f"{ws}/app.rbc", "-o",
                  f"{ws}/x.rbc"]) == 2
+
+
+# -- CLI exit-code hygiene: operational errors are one stderr line, exit 2 ----
+
+def _assert_clean_failure(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == 2, f"{argv}: expected exit 2, got {code}"
+    assert captured.err.startswith("repro: ")
+    assert captured.err.count("\n") == 1, f"not one line: {captured.err!r}"
+    assert "Traceback" not in captured.err
+
+
+def test_cli_missing_inputs_exit_2(workspace, capsys):
+    ws = str(workspace)
+    main(["compile", f"{ws}/app.c", "-o", f"{ws}/app.rbc"])
+    main(["compile", f"{ws}/corpus.c", "-o", f"{ws}/corpus.rbc"])
+    main(["train", f"{ws}/corpus.rbc", "-o", f"{ws}/g.rgr"])
+    capsys.readouterr()
+    _assert_clean_failure(capsys, ["decompress", f"{ws}/nope.rcx",
+                                   "-o", f"{ws}/x.rbc"])
+    _assert_clean_failure(capsys, ["run", f"{ws}/nope.rbc"])
+    _assert_clean_failure(capsys, ["compress", f"{ws}/nope.rbc",
+                                   "-g", f"{ws}/g.rgr",
+                                   "-o", f"{ws}/x.rcx"])
+    _assert_clean_failure(capsys, ["compress", f"{ws}/app.rbc",
+                                   "-g", f"{ws}/nope.rgr",
+                                   "-o", f"{ws}/x.rcx"])
+    _assert_clean_failure(capsys, ["train", f"{ws}/nope.rbc",
+                                   "-o", f"{ws}/g2.rgr"])
+    _assert_clean_failure(capsys, ["compile", f"{ws}/nope.c",
+                                   "-o", f"{ws}/x.rbc"])
+    _assert_clean_failure(capsys, ["disasm", f"{ws}/nope.rbc"])
+    _assert_clean_failure(capsys, ["stats", f"{ws}/nope.rbc"])
+
+
+def test_cli_corrupt_inputs_exit_2(workspace, capsys):
+    ws = str(workspace)
+    main(["compile", f"{ws}/app.c", "-o", f"{ws}/app.rbc"])
+    capsys.readouterr()
+    (workspace / "junk.rbc").write_bytes(b"not a module at all")
+    truncated = (workspace / "app.rbc").read_bytes()[:-9]
+    (workspace / "trunc.rbc").write_bytes(truncated)
+    corrupt = bytearray((workspace / "app.rbc").read_bytes())
+    corrupt[-1] ^= 0xFF
+    (workspace / "crc.rbc").write_bytes(bytes(corrupt))
+    for bad in ("junk.rbc", "trunc.rbc", "crc.rbc"):
+        _assert_clean_failure(capsys, ["run", f"{ws}/{bad}"])
+        _assert_clean_failure(capsys, ["decompress", f"{ws}/{bad}",
+                                       "-o", f"{ws}/x.rbc"])
+    _assert_clean_failure(capsys, ["compress", f"{ws}/junk.rbc",
+                                   "-g", f"{ws}/junk.rbc",
+                                   "-o", f"{ws}/x.rcx"])
+
+
+def test_cli_registry_unknown_ref_exit_2(workspace, capsys):
+    ws = str(workspace)
+    _assert_clean_failure(capsys, ["registry", "-d", f"{ws}/reg",
+                                   "show", "nothere"])
+    _assert_clean_failure(capsys, ["registry", "-d", f"{ws}/reg",
+                                   "add", f"{ws}/missing.rgr"])
+
+
+def test_cli_client_no_server_exit_2(workspace, capsys):
+    # nothing listens on this port (bound but not accepting would be
+    # flakier; a refused connect is the common operational failure)
+    _assert_clean_failure(capsys, ["client", "--port", "1",
+                                   "--timeout", "2", "health"])
