@@ -17,8 +17,11 @@ interpreters are Python, not C, so only the *relative* overhead carries
 meaning.)
 """
 
+import time
+
 from repro.compress.compressor import Compressor
 from repro.experiments import corpus, render_table, trained
+from repro.interp.compiled import CompiledEngine
 from repro.interp.interp1 import Interpreter1
 from repro.interp.interp2 import Interpreter2
 from repro.interp.runtime import Machine
@@ -62,3 +65,57 @@ def test_compressed_speed(benchmark, scale):
     # Compression is a re-coding: the executed operator stream is
     # identical.
     assert instret1 == instret2
+
+
+def test_compiled_engine_speedup(benchmark, scale):
+    """S1c — the direct-threaded engine's gate: at least 2x faster than
+    the reference ``interpNT`` transliteration on the same compressed
+    form, with identical executed-operator counts.
+
+    Both engines are timed in this same process (best of three each) so
+    the ratio is insulated from machine-to-machine absolute speed.
+    """
+    module = corpus(scale)["8q"]
+    grammar, _ = trained(("gcc",), scale=scale)
+    cmod = Compressor(grammar).compress_module(module)
+
+    def best_of(executor_cls, rounds=3):
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            code, instret = _run1(cmod, executor_cls)
+            best = min(best, time.perf_counter() - t0)
+        return best, code, instret
+
+    ref_s, ref_code, ref_instret = best_of(Interpreter2)
+    eng_s, eng_code, eng_instret = None, None, None
+
+    def timed():
+        return _run1(cmod, CompiledEngine)
+
+    eng_code, eng_instret = benchmark.pedantic(
+        timed, rounds=3, iterations=1
+    )
+    eng_s = benchmark.stats.stats.min
+    machine = Machine(cmod, CompiledEngine(cmod))
+    machine.run()
+
+    speedup = ref_s / eng_s
+    print()
+    print(render_table(
+        "S1c: direct-threaded engine vs reference (8q, full search)",
+        ["engine", "exit", "operators", "best (s)"],
+        [
+            ("reference / interp2", ref_code, ref_instret,
+             f"{ref_s:.3f}"),
+            ("compiled / direct-threaded", eng_code, eng_instret,
+             f"{eng_s:.3f}"),
+        ],
+    ))
+    print(f"S1c: speedup {speedup:.2f}x "
+          f"({machine.dispatches} rule dispatches)")
+    assert eng_code == ref_code == 0
+    assert eng_instret == ref_instret
+    assert machine.dispatches > 0
+    # The gate: the flattened tables must buy at least 2x.
+    assert speedup >= 2.0, f"compiled engine only {speedup:.2f}x faster"

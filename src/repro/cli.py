@@ -44,6 +44,7 @@ from .bytecode.validate import ValidationError
 from .compress.compressor import Compressor
 from .compress.decompress import decompress_module
 from .grammar.serialize import grammar_bytes
+from .interp.compiled import CompiledEngine
 from .interp.interp1 import Interpreter1
 from .interp.interp2 import Interpreter2
 from .interp.runtime import Machine
@@ -144,13 +145,37 @@ def _cmd_decompress(args) -> int:
 
 def _cmd_run(args) -> int:
     program = _load_file(load_any, args.module)
+    input_data = sys.stdin.buffer.read() if args.stdin else b""
+    if args.profile:
+        from .interp.profile import profile_run
+
+        kwargs = {}
+        if not isinstance(program, Module):
+            kwargs["engine"] = args.engine
+        code, output, prof = profile_run(program, *args.args,
+                                         input_data=input_data, **kwargs)
+        sys.stdout.write(output.decode("utf-8", errors="replace"))
+        err = sys.stderr
+        print(f"-- profile: {prof.total_operators} operators, "
+              f"{prof.total_dispatches} dispatches, "
+              f"{prof.blocks_entered} blocks entered, "
+              f"{prof.branches_taken} branches, {prof.returns} returns",
+              file=err)
+        for name, count in prof.top_operators(10):
+            print(f"   {name:12} {count:10}", file=err)
+        if prof.dispatch_depth:
+            histogram = "  ".join(
+                f"{depth}:{count}"
+                for depth, count in sorted(prof.dispatch_depth.items()))
+            print(f"   dispatch depth  {histogram}", file=err)
+        return code & 0xFF
     if isinstance(program, Module):
         executor = Interpreter1(program)
-    else:
+    elif args.engine == "reference":
         executor = Interpreter2(program)
-    machine = Machine(program, executor,
-                      input_data=sys.stdin.buffer.read()
-                      if args.stdin else b"")
+    else:
+        executor = CompiledEngine(program)
+    machine = Machine(program, executor, input_data=input_data)
     code = machine.run(*args.args)
     sys.stdout.write(machine.output_text())
     return code & 0xFF
@@ -346,6 +371,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("args", nargs="*", type=int)
     p.add_argument("--stdin", action="store_true",
                    help="feed stdin to the program's getchar()")
+    p.add_argument("--engine", choices=("compiled", "reference"),
+                   default="compiled",
+                   help="compressed-form executor: the precompiled "
+                        "direct-threaded engine (default) or the "
+                        "recursive reference interpreter")
+    p.add_argument("--profile", action="store_true",
+                   help="print an execution profile (operators, rule "
+                        "dispatches, dispatch-depth histogram) to stderr")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("disasm", help="disassemble .rbc or .rcx")

@@ -5,6 +5,16 @@ decompressor gives an end-to-end correctness check: compress, decompress,
 and the original code stream must come back byte for byte.  It also shows
 the compressed form is a *complete* representation — nothing about the
 original is lost.
+
+The walk happens over the same flattened rule tables the direct-threaded
+engine executes (:class:`~repro.interp.tables.CompiledTables`): each
+flattened step carries the byte sequence it stands for — burned operator
+and literal bytes, interleaved with copy-from-stream counts — so
+decompression is a linear emit loop over an explicit stack, exercising the
+exact tables the engine dispatches on.  Malformed input (a codeword with
+no rule, a stream that ends mid-derivation) raises a structured
+:class:`~repro.parsing.derivation.DerivationError`, never a bare
+``IndexError``/``KeyError``.
 """
 
 from __future__ import annotations
@@ -14,8 +24,13 @@ from typing import List
 from ..bytecode.module import Module, Procedure
 from ..bytecode.opcodes import opcode
 from ..grammar.cfg import Grammar, is_byte_terminal, byte_value
-from ..parsing.derivation import decode_tree
-from ..parsing.forest import terminal_yield
+from ..interp.tables import (
+    STEP_CALL,
+    STEP_OP1,
+    STEP_RUN,
+    compiled_tables,
+)
+from ..parsing.derivation import DerivationError
 from .container import CompressedModule, CompressedProcedure
 
 __all__ = ["decompress_procedure", "decompress_module", "symbols_to_code"]
@@ -31,21 +46,78 @@ def symbols_to_code(symbols: List[int]) -> bytes:
     return bytes(out)
 
 
+def _emit_block(tables, code: bytes, pos: int, out: bytearray,
+                name: str) -> int:
+    """Emit one complete ``<start>`` derivation starting at ``pos``,
+    returning the position after its last byte.
+
+    Mirrors the engine's dispatch loop — iterative, explicit stack, tail
+    dispatches replace in place — but instead of executing each step it
+    appends the step's emit bytes (copying streamed literal bytes straight
+    from the compressed stream).
+    """
+    nbytes = len(code)
+    steps = tables.rows[tables.start_row][code[pos]]
+    pos += 1
+    stack: list = []
+    i = 0
+    n = len(steps)
+    while True:
+        if i == n:
+            if stack:
+                steps, i, n = stack.pop()
+                continue
+            return pos  # derivation complete
+        step = steps[i]
+        i += 1
+        tag = step[0]
+        if tag == STEP_RUN:
+            for item in step[5]:
+                if type(item) is int:  # copy streamed literal bytes
+                    end = pos + item
+                    if end > nbytes:
+                        raise DerivationError(
+                            f"{name}: compressed stream ends inside "
+                            f"literal bytes at offset {pos}"
+                        )
+                    out += code[pos:end]
+                    pos = end
+                else:                  # burned operator/literal bytes
+                    out += item
+        elif tag == STEP_OP1:
+            out += step[4]
+        elif tag == STEP_CALL:
+            if pos >= nbytes:
+                raise DerivationError(
+                    f"{name}: compressed stream ends mid-derivation "
+                    f"at offset {pos}"
+                )
+            if i != n:  # not a tail dispatch: save the frame
+                stack.append((steps, i, n))
+            steps = step[1][code[pos]]
+            pos += 1
+            i = 0
+            n = len(steps)
+        else:  # STEP_BAD sentinel: the codeword named no rule
+            raise DerivationError(f"{name}: {step[1]}")
+
+
 def decompress_procedure(grammar: Grammar,
                          cproc: CompressedProcedure) -> Procedure:
     """Rebuild the uncompressed procedure, label table included."""
+    tables = compiled_tables(grammar)
+    code = cproc.code
     pos = 0
     out = bytearray()
     # compressed block start -> uncompressed offset of its opening LABELV
     labelv_at: dict = {}
     first = True
-    while pos < len(cproc.code):
+    while pos < len(code):
         if not first:
             labelv_at[pos] = len(out)
             out.append(_LABELV)
         first = False
-        tree, pos = decode_tree(grammar, cproc.code, pos)
-        out.extend(symbols_to_code(terminal_yield(tree, grammar)))
+        pos = _emit_block(tables, code, pos, out, cproc.name)
     labels = []
     for coff in cproc.labels:
         if coff not in labelv_at:

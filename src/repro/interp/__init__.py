@@ -11,9 +11,16 @@ from .runtime import (
     TRAMPOLINE_BASE,
     run_program,
 )
-from .tables import InterpTables, RuleProgram, TableError
+from .tables import (
+    CompiledTables,
+    InterpTables,
+    RuleProgram,
+    TableError,
+    compiled_tables,
+)
 from .interp1 import Interpreter1
 from .interp2 import Interpreter2
+from .compiled import CompiledEngine
 from .profile import ExecutionProfile, ProfilingExecutor, profile_run
 
 __all__ = [
@@ -23,6 +30,7 @@ __all__ = [
     "INTRINSIC_BASE", "INTRINSICS", "Intrinsic", "Machine",
     "TRAMPOLINE_BASE", "run_program",
     "InterpTables", "RuleProgram", "TableError",
-    "Interpreter1", "Interpreter2",
+    "CompiledTables", "compiled_tables",
+    "Interpreter1", "Interpreter2", "CompiledEngine",
     "ExecutionProfile", "ProfilingExecutor", "profile_run",
 ]

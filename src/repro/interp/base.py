@@ -98,52 +98,63 @@ def _div0():
     raise Trap("division by zero")
 
 
+# Handlers manipulate ``istate.stack`` directly rather than going through
+# the ``IState.push``/``pop`` conveniences: the evaluation stack is touched
+# by nearly every operator, and list methods avoid a Python frame per
+# access.  (The semantics are identical — push/pop are thin wrappers.)
+
 def _make_bin_u(fn):
     def handler(istate, machine, operands):
-        b = istate.pop()
-        a = istate.pop()
-        istate.push(to_unsigned(fn(a, b)))
+        stack = istate.stack
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(to_unsigned(fn(a, b)))
     return handler
 
 
 def _make_bin_i(fn):
     def handler(istate, machine, operands):
-        b = istate.pop()
-        a = istate.pop()
-        istate.push(to_unsigned(fn(to_signed(a), to_signed(b))))
+        stack = istate.stack
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(to_unsigned(fn(to_signed(a), to_signed(b))))
     return handler
 
 
 def _make_shift_i(fn):
     # Shift counts are patterns, not signed values.
     def handler(istate, machine, operands):
-        b = istate.pop()
-        a = istate.pop()
-        istate.push(to_unsigned(fn(to_signed(a), b)))
+        stack = istate.stack
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(to_unsigned(fn(to_signed(a), b)))
     return handler
 
 
 def _make_cmp(fn, conv):
     def handler(istate, machine, operands):
-        b = istate.pop()
-        a = istate.pop()
-        istate.push(1 if fn(conv(a), conv(b)) else 0)
+        stack = istate.stack
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(1 if fn(conv(a), conv(b)) else 0)
     return handler
 
 
 def _make_bin_d(fn):
     def handler(istate, machine, operands):
-        b = istate.pop()
-        a = istate.pop()
-        istate.push(fn(a, b))
+        stack = istate.stack
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(fn(a, b))
     return handler
 
 
 def _make_bin_f(fn):
     def handler(istate, machine, operands):
-        b = istate.pop()
-        a = istate.pop()
-        istate.push(f32(fn(a, b)))
+        stack = istate.stack
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(f32(fn(a, b)))
     return handler
 
 
@@ -170,53 +181,65 @@ def _install_v2() -> None:
 
 def _install_v1() -> None:
     def bcomu(istate, machine, operands):
-        istate.push(to_unsigned(~istate.pop()))
+        stack = istate.stack
+        stack.append(to_unsigned(~stack.pop()))
     _register("BCOMU", bcomu)
 
     def negi(istate, machine, operands):
-        istate.push(to_unsigned(-to_signed(istate.pop())))
+        stack = istate.stack
+        stack.append(to_unsigned(-to_signed(stack.pop())))
     _register("NEGI", negi)
 
-    _register("NEGD", lambda s, m, o: s.push(-s.pop()))
-    _register("NEGF", lambda s, m, o: s.push(f32(-s.pop())))
+    _register("NEGD", lambda s, m, o: s.stack.append(-s.stack.pop()))
+    _register("NEGF", lambda s, m, o: s.stack.append(f32(-s.stack.pop())))
 
     # Conversions.
-    _register("CVDF", lambda s, m, o: s.push(f32(s.pop())))
-    _register("CVFD", lambda s, m, o: s.push(float(s.pop())))
-    _register("CVDI",
-              lambda s, m, o: s.push(to_unsigned(int(math.trunc(s.pop())))))
-    _register("CVFI",
-              lambda s, m, o: s.push(to_unsigned(int(math.trunc(s.pop())))))
-    _register("CVID", lambda s, m, o: s.push(float(to_signed(s.pop()))))
-    _register("CVIF", lambda s, m, o: s.push(f32(float(to_signed(s.pop())))))
+    _register("CVDF", lambda s, m, o: s.stack.append(f32(s.stack.pop())))
+    _register("CVFD", lambda s, m, o: s.stack.append(float(s.stack.pop())))
+    _register("CVDI", lambda s, m, o: s.stack.append(
+        to_unsigned(int(math.trunc(s.stack.pop())))))
+    _register("CVFI", lambda s, m, o: s.stack.append(
+        to_unsigned(int(math.trunc(s.stack.pop())))))
+    _register("CVID", lambda s, m, o: s.stack.append(
+        float(to_signed(s.stack.pop()))))
+    _register("CVIF", lambda s, m, o: s.stack.append(
+        f32(float(to_signed(s.stack.pop())))))
 
     def cvi1i4(istate, machine, operands):
-        b = istate.pop() & 0xFF
-        istate.push(to_unsigned(b - 0x100 if b & 0x80 else b))
+        stack = istate.stack
+        b = stack.pop() & 0xFF
+        stack.append(to_unsigned(b - 0x100 if b & 0x80 else b))
     _register("CVI1I4", cvi1i4)
 
     def cvi2i4(istate, machine, operands):
-        h = istate.pop() & 0xFFFF
-        istate.push(to_unsigned(h - 0x10000 if h & 0x8000 else h))
+        stack = istate.stack
+        h = stack.pop() & 0xFFFF
+        stack.append(to_unsigned(h - 0x10000 if h & 0x8000 else h))
     _register("CVI2I4", cvi2i4)
 
-    _register("CVU1U4", lambda s, m, o: s.push(s.pop() & 0xFF))
-    _register("CVU2U4", lambda s, m, o: s.push(s.pop() & 0xFFFF))
+    _register("CVU1U4", lambda s, m, o: s.stack.append(s.stack.pop() & 0xFF))
+    _register("CVU2U4",
+              lambda s, m, o: s.stack.append(s.stack.pop() & 0xFFFF))
 
     # Loads.
-    _register("INDIRC", lambda s, m, o: s.push(m.memory.load_u8(s.pop())))
-    _register("INDIRS", lambda s, m, o: s.push(m.memory.load_u16(s.pop())))
-    _register("INDIRU", lambda s, m, o: s.push(m.memory.load_u32(s.pop())))
-    _register("INDIRF", lambda s, m, o: s.push(m.memory.load_f32(s.pop())))
-    _register("INDIRD", lambda s, m, o: s.push(m.memory.load_f64(s.pop())))
+    _register("INDIRC",
+              lambda s, m, o: s.stack.append(m.memory.load_u8(s.stack.pop())))
+    _register("INDIRS",
+              lambda s, m, o: s.stack.append(m.memory.load_u16(s.stack.pop())))
+    _register("INDIRU",
+              lambda s, m, o: s.stack.append(m.memory.load_u32(s.stack.pop())))
+    _register("INDIRF",
+              lambda s, m, o: s.stack.append(m.memory.load_f32(s.stack.pop())))
+    _register("INDIRD",
+              lambda s, m, o: s.stack.append(m.memory.load_f64(s.stack.pop())))
 
     # Indirect calls (address consumed from the stack).
     def make_call(push_result):
         def handler(istate, machine, operands):
-            addr = istate.pop()
+            addr = istate.stack.pop()
             result = machine.call_address(addr)
             if push_result:
-                istate.push(result)
+                istate.stack.append(result)
         return handler
     for name in ("CALLU", "CALLD", "CALLF"):
         _register(name, make_call(True))
@@ -227,27 +250,36 @@ def _install_v1() -> None:
 
 def _install_v0() -> None:
     def addrfp(istate, machine, operands):
-        istate.push(istate.args_base + _u16(operands))
+        istate.stack.append(
+            istate.args_base + (operands[0] | (operands[1] << 8)))
     _register("ADDRFP", addrfp)
 
     def addrlp(istate, machine, operands):
-        istate.push(istate.locals_base + _u16(operands))
+        istate.stack.append(
+            istate.locals_base + (operands[0] | (operands[1] << 8)))
     _register("ADDRLP", addrlp)
 
     def addrgp(istate, machine, operands):
-        istate.push(machine.global_address(_u16(operands)))
+        istate.stack.append(
+            machine.global_address(operands[0] | (operands[1] << 8)))
     _register("ADDRGP", addrgp)
 
     def lit(istate, machine, operands):
-        istate.push(_lit_value(operands))
+        value = 0
+        shift = 0
+        for b in operands:
+            value |= b << shift
+            shift += 8
+        istate.stack.append(value)
     for name in ("LIT1", "LIT2", "LIT3", "LIT4"):
         _register(name, lit)
 
     def make_localcall(push_result):
         def handler(istate, machine, operands):
-            result = machine.call_procedure(_u16(operands))
+            result = machine.call_procedure(
+                operands[0] | (operands[1] << 8))
             if push_result:
-                istate.push(result)
+                istate.stack.append(result)
         return handler
     for name in ("LocalCALLU", "LocalCALLD", "LocalCALLF"):
         _register(name, make_localcall(True))
@@ -258,12 +290,12 @@ def _install_v0() -> None:
 
 def _install_x() -> None:
     def jumpv(istate, machine, operands):
-        raise Jump(_u16(operands))
+        raise Jump(operands[0] | (operands[1] << 8))
     _register("JUMPV", jumpv)
 
     def brtrue(istate, machine, operands):
-        if istate.pop() != 0:
-            raise Jump(_u16(operands))
+        if istate.stack.pop() != 0:
+            raise Jump(operands[0] | (operands[1] << 8))
     _register("BrTrue", brtrue)
 
     def retv(istate, machine, operands):
@@ -271,18 +303,18 @@ def _install_x() -> None:
     _register("RETV", retv)
 
     def ret(istate, machine, operands):
-        raise Return(istate.pop())
+        raise Return(istate.stack.pop())
     for name in ("RETU", "RETD", "RETF"):
         _register(name, ret)
 
     def pop(istate, machine, operands):
-        istate.pop()
+        istate.stack.pop()
     for name in ("POPU", "POPD", "POPF"):
         _register(name, pop)
 
-    _register("ARGU", lambda s, m, o: m.push_arg_u32(s.pop()))
-    _register("ARGF", lambda s, m, o: m.push_arg_f32(s.pop()))
-    _register("ARGD", lambda s, m, o: m.push_arg_f64(s.pop()))
+    _register("ARGU", lambda s, m, o: m.push_arg_u32(s.stack.pop()))
+    _register("ARGF", lambda s, m, o: m.push_arg_f32(s.stack.pop()))
+    _register("ARGD", lambda s, m, o: m.push_arg_f64(s.stack.pop()))
 
     def unsupported(istate, machine, operands):
         raise UnsupportedOpcode(
@@ -292,33 +324,33 @@ def _install_x() -> None:
     _register("ASGNB", unsupported)
 
     def asgn_u32(istate, machine, operands):
-        value = istate.pop()
-        addr = istate.pop()
-        machine.memory.store_u32(addr, value)
+        stack = istate.stack
+        value = stack.pop()
+        machine.memory.store_u32(stack.pop(), value)
     _register("ASGNU", asgn_u32)
 
     def asgn_u8(istate, machine, operands):
-        value = istate.pop()
-        addr = istate.pop()
-        machine.memory.store_u8(addr, value)
+        stack = istate.stack
+        value = stack.pop()
+        machine.memory.store_u8(stack.pop(), value)
     _register("ASGNC", asgn_u8)
 
     def asgn_u16(istate, machine, operands):
-        value = istate.pop()
-        addr = istate.pop()
-        machine.memory.store_u16(addr, value)
+        stack = istate.stack
+        value = stack.pop()
+        machine.memory.store_u16(stack.pop(), value)
     _register("ASGNS", asgn_u16)
 
     def asgn_f32(istate, machine, operands):
-        value = istate.pop()
-        addr = istate.pop()
-        machine.memory.store_f32(addr, value)
+        stack = istate.stack
+        value = stack.pop()
+        machine.memory.store_f32(stack.pop(), value)
     _register("ASGNF", asgn_f32)
 
     def asgn_f64(istate, machine, operands):
-        value = istate.pop()
-        addr = istate.pop()
-        machine.memory.store_f64(addr, value)
+        stack = istate.stack
+        value = stack.pop()
+        machine.memory.store_f64(stack.pop(), value)
     _register("ASGND", asgn_f64)
 
     _register("LABELV", lambda s, m, o: None)

@@ -72,28 +72,36 @@ class Memory:
         return bytes(self._bytes[addr:end])
 
     # -- integers ---------------------------------------------------------
+    # The word-sized accessors run on nearly every operator, so the bounds
+    # check is inlined (a ``_check`` call would cost a Python frame each).
     def load_u8(self, addr: int) -> int:
-        self._check(addr, 1)
+        if addr < 0 or addr + 1 > self.size:
+            self._check(addr, 1)
         return self._bytes[addr]
 
     def load_u16(self, addr: int) -> int:
-        self._check(addr, 2)
+        if addr < 0 or addr + 2 > self.size:
+            self._check(addr, 2)
         return self._bytes[addr] | (self._bytes[addr + 1] << 8)
 
     def load_u32(self, addr: int) -> int:
-        self._check(addr, 4)
+        if addr < 0 or addr + 4 > self.size:
+            self._check(addr, 4)
         return int.from_bytes(self._bytes[addr:addr + 4], "little")
 
     def store_u8(self, addr: int, value: int) -> None:
-        self._check(addr, 1)
+        if addr < 0 or addr + 1 > self.size:
+            self._check(addr, 1)
         self._bytes[addr] = value & 0xFF
 
     def store_u16(self, addr: int, value: int) -> None:
-        self._check(addr, 2)
+        if addr < 0 or addr + 2 > self.size:
+            self._check(addr, 2)
         self._bytes[addr:addr + 2] = (value & 0xFFFF).to_bytes(2, "little")
 
     def store_u32(self, addr: int, value: int) -> None:
-        self._check(addr, 4)
+        if addr < 0 or addr + 4 > self.size:
+            self._check(addr, 4)
         self._bytes[addr:addr + 4] = (value & MASK32).to_bytes(4, "little")
 
     # -- floats ------------------------------------------------------------

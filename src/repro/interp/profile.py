@@ -5,10 +5,20 @@ rewritten to shorten the training corpus's derivations — i.e. to compress
 the program text, not its execution.  This profiler measures the other
 side: what actually runs.  It wraps either executor and counts
 
-* operator executions (both interpreters),
-* rule dispatches per (nonterminal, codeword) — interpreter 2 only: how
-  often each *learned instruction* is fetched at run time,
-* block entries (derivation restarts) and branch transfers.
+* operator executions (all executors),
+* rule dispatches per (nonterminal, codeword) — compressed executors
+  only: how often each *learned instruction* is fetched at run time,
+* block entries (derivation restarts) and branch transfers,
+* for the direct-threaded engine, a dispatch-depth histogram: how deep
+  the explicit return stack was at each rule dispatch (tail dispatches
+  replace in place, so this measures the *pending* right-hand-side work,
+  not raw derivation depth).
+
+Profiling the direct-threaded engine walks the same flattened tables
+(:class:`~repro.interp.tables.CompiledTables`) the engine dispatches on,
+but executes the symbolic per-operator plans one at a time instead of the
+fused run functions — exact per-operator accounting, at reference-engine
+speed.
 
 That enables an analysis the paper does not run but clearly invites: the
 correlation between a rule's static usage (how many bytes it saves) and
@@ -23,9 +33,10 @@ from dataclasses import dataclass, field
 from typing import Any, Tuple
 
 from ..bytecode.opcodes import opname
+from .compiled import CompiledEngine
 from .interp1 import Interpreter1
 from .interp2 import Interpreter2
-from .state import IState, Jump, Return
+from .state import IState, Jump, Return, Trap
 
 __all__ = ["ExecutionProfile", "ProfilingExecutor", "profile_run"]
 
@@ -39,6 +50,8 @@ class ExecutionProfile:
     blocks_entered: int = 0
     branches_taken: int = 0
     returns: int = 0
+    # return-stack depth at each rule dispatch (direct-threaded engine)
+    dispatch_depth: Counter = field(default_factory=Counter)
 
     @property
     def total_operators(self) -> int:
@@ -67,7 +80,9 @@ class ProfilingExecutor:
     def __init__(self, inner) -> None:
         self.inner = inner
         self.profile = ExecutionProfile()
-        if isinstance(inner, Interpreter2):
+        if isinstance(inner, CompiledEngine):
+            self._install_compiled_hooks(inner)
+        elif isinstance(inner, Interpreter2):
             self._install_interp2_hooks(inner)
         elif isinstance(inner, Interpreter1):
             self._install_interp1_hooks(inner)
@@ -171,21 +186,145 @@ class ProfilingExecutor:
                 sub = tables.program(step[1], codeword)
                 stack.append((sub.steps, 0))
 
+    def _install_compiled_hooks(self, inner: CompiledEngine) -> None:
+        outer = self
+
+        class _TracingEngine:
+            module = inner.module
+            tables = inner.tables
+
+            def run_procedure(self, machine, index, istate):
+                return outer._trace_compiled(inner, machine, index, istate)
+
+        self._run = _TracingEngine().run_procedure
+
+    def _trace_compiled(self, inner: CompiledEngine, machine, index: int,
+                        istate: IState) -> Any:
+        """The engine's dispatch loop, instrumented: same flattened
+        tables, same explicit return stack and tail collapse, but the
+        symbolic per-operator plans are executed one operator at a time
+        so every counter is exact (including ``instret`` across traps).
+        """
+        from .base import HANDLERS
+        from .compiled import _EXHAUSTED
+        from .tables import STEP_CALL, STEP_OP1, STEP_RUN, TableError
+
+        profile = self.profile
+        tables = inner.tables
+        cproc = inner.module.procedures[index]
+        code = cproc.code
+        labels = cproc.labels
+        end = len(code)
+        nt_of_row = tables.nt_of_row
+        start_row = tables.start_row
+        start_programs = tables.rows[start_row]
+
+        def run_op(op: int, operands: tuple) -> None:
+            machine.instret += 1
+            profile.operators[op] += 1
+            try:
+                HANDLERS[op](istate, machine, operands)
+            except Jump:
+                profile.branches_taken += 1
+                raise
+            except Return:
+                profile.returns += 1
+                raise
+
+        pc = 0
+        stack: list = []
+        try:
+            while True:
+                try:
+                    while pc < end:
+                        profile.blocks_entered += 1
+                        profile.rules[(nt_of_row[start_row],
+                                       code[pc])] += 1
+                        profile.dispatch_depth[0] += 1
+                        machine.dispatches += 1
+                        steps = start_programs[code[pc]]
+                        pc += 1
+                        i = 0
+                        n = len(steps)
+                        while True:
+                            if i == n:
+                                if stack:
+                                    steps, i, n = stack.pop()
+                                    continue
+                                break  # derivation complete
+                            step = steps[i]
+                            i += 1
+                            tag = step[0]
+                            if tag == STEP_RUN:
+                                for op, plan in zip(step[3], step[4]):
+                                    operands = []
+                                    for b in plan:
+                                        if b is None:
+                                            if pc >= end:
+                                                raise Trap(_EXHAUSTED)
+                                            b = code[pc]
+                                            pc += 1
+                                        operands.append(b)
+                                    run_op(op, tuple(operands))
+                            elif tag == STEP_OP1:
+                                run_op(step[3], step[2])
+                            elif tag == STEP_CALL:
+                                if pc >= end:
+                                    raise Trap(_EXHAUSTED)
+                                if i != n:  # not a tail dispatch
+                                    stack.append((steps, i, n))
+                                profile.rules[(nt_of_row[step[2]],
+                                               code[pc])] += 1
+                                profile.dispatch_depth[len(stack)] += 1
+                                machine.dispatches += 1
+                                steps = step[1][code[pc]]
+                                pc += 1
+                                i = 0
+                                n = len(steps)
+                            else:  # sentinel: invalid codeword
+                                raise TableError(step[1])
+                    raise Trap(
+                        f"{cproc.name}: fell off the end of the code"
+                    )
+                except Jump as jump:
+                    label = jump.label
+                    if not 0 <= label < len(labels):
+                        raise Trap(
+                            f"{cproc.name}: branch to label {label} "
+                            f"out of range"
+                        ) from None
+                    pc = labels[label]
+                    if stack:
+                        del stack[:]
+                except Return as ret:
+                    return ret.value
+        finally:
+            istate.pc = pc
+
     def run_procedure(self, machine, index: int, istate: IState) -> Any:
         return self._run(machine, index, istate)
 
 
-def profile_run(program, *args: int,
-                input_data: bytes = b"") -> Tuple[int, bytes,
-                                                  ExecutionProfile]:
-    """Run a Module or CompressedModule under the profiler."""
+def profile_run(program, *args: int, input_data: bytes = b"",
+                engine: str = "compiled") -> Tuple[int, bytes,
+                                                   ExecutionProfile]:
+    """Run a Module or CompressedModule under the profiler.
+
+    For compressed modules ``engine`` selects the executor being
+    instrumented: ``"compiled"`` (the direct-threaded engine's tables,
+    with the dispatch-depth histogram) or ``"reference"`` (interp2).
+    """
     from ..bytecode.module import Module
     from .runtime import Machine
 
     if isinstance(program, Module):
         executor = ProfilingExecutor(Interpreter1(program))
-    else:
+    elif engine == "reference":
         executor = ProfilingExecutor(Interpreter2(program))
+    elif engine == "compiled":
+        executor = ProfilingExecutor(CompiledEngine(program))
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
     machine = Machine(program, executor, input_data=input_data)
     code = machine.run(*args)
     return code, bytes(machine.output), executor.profile

@@ -185,6 +185,10 @@ class Machine:
         if sys.getrecursionlimit() < needed:
             sys.setrecursionlimit(needed)
         self.instret = 0  # executed operator count (for the speed bench)
+        # Rule dispatches performed by the direct-threaded engine (one
+        # per codeword byte consumed); stays 0 under the reference
+        # executors, which predate the counter.
+        self.dispatches = 0
 
         data = program.data
         self._bss_base = DATA_BASE + len(data)

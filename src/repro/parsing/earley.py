@@ -141,29 +141,48 @@ def recognize(grammar: Grammar, symbols: Sequence[int],
 
 
 def _build_tree(grammar: Grammar, chart: _Chart, key: _Key, j: int) -> Node:
-    """Reconstruct the parse tree for a completed item via backpointers."""
+    """Reconstruct the parse tree for a completed item via backpointers.
+
+    Iterative: the tree can be as deep as the input is long (a block is
+    a left-recursive ``<start>`` spine, one level per statement), so
+    recursing per child would hit Python's recursion limit on large
+    procedures.  Each frame walks one item's backpointer chain
+    right-to-left, pausing while a child frame rebuilds a completed
+    subtree.
+    """
     rules = grammar.rules
-    # Walk backpointers right-to-left collecting completed children.
-    children_rev: List[Node] = []
-    while True:
-        back = chart.sets[j][key][1]
-        if back is None:
-            break
-        if back[0] == "scan":
-            key = back[1]
-            j -= 1
-        else:
-            # The child completed its span (child_origin .. cj); the parent
-            # item was sitting in the set where the child started.
-            _, pkey, ckey, cj = back
-            children_rev.append(_build_tree(grammar, chart, ckey, cj))
-            key = pkey
-            j = ckey[2]
-    rid = key[0]
-    children = list(reversed(children_rev))
-    node = Node(rid, children)
-    assert len(children) == rules[rid].arity
-    return node
+    # Frame: [key, j, children_rev] — mutated in place when paused.
+    frames: List[list] = [[key, j, []]]
+    result: Optional[Node] = None
+    while frames:
+        frame = frames[-1]
+        if result is not None:
+            frame[2].append(result)
+            result = None
+        while True:
+            key, j = frame[0], frame[1]
+            back = chart.sets[j][key][1]
+            if back is None:
+                rid = key[0]
+                children = frame[2][::-1]
+                node = Node(rid, children)
+                assert len(children) == rules[rid].arity
+                frames.pop()
+                result = node
+                break
+            if back[0] == "scan":
+                frame[0] = back[1]
+                frame[1] = j - 1
+            else:
+                # The child completed its span (child_origin .. cj); the
+                # parent item was sitting in the set where the child
+                # started.  Park the parent there and rebuild the child.
+                _, pkey, ckey, cj = back
+                frame[0] = pkey
+                frame[1] = ckey[2]
+                frames.append([ckey, cj, []])
+                break
+    return result
 
 
 def shortest_derivation_tree(grammar: Grammar, symbols: Sequence[int],

@@ -26,6 +26,7 @@ from .compress.compressor import Compressor
 from .compress.container import CompressedModule
 from .grammar.cfg import Grammar
 from .grammar.initial import initial_grammar
+from .interp.compiled import CompiledEngine
 from .interp.interp1 import Interpreter1
 from .interp.interp2 import Interpreter2
 from .interp.runtime import run_program
@@ -95,10 +96,22 @@ def run(module: Module, *args: int,
 
 
 def run_compressed(cmodule: CompressedModule, *args: int,
-                   input_data: bytes = b"") -> Tuple[int, bytes]:
-    """Run compressed bytecode on the generated interpreter."""
-    return run_program(cmodule, Interpreter2(cmodule), *args,
-                       input_data=input_data)
+                   input_data: bytes = b"",
+                   engine: str = "compiled") -> Tuple[int, bytes]:
+    """Run compressed bytecode on the generated interpreter.
+
+    ``engine`` selects the executor: ``"compiled"`` (default) is the
+    precompiled direct-threaded engine, ``"reference"`` the recursive
+    transliteration of the paper's ``interpNT`` — behaviourally
+    identical, kept as the testing oracle.
+    """
+    if engine == "compiled":
+        executor = CompiledEngine(cmodule)
+    elif engine == "reference":
+        executor = Interpreter2(cmodule)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    return run_program(cmodule, executor, *args, input_data=input_data)
 
 
 def compression_ratio(grammar: Grammar, module: Module) -> float:

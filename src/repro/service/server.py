@@ -37,6 +37,7 @@ from ..bytecode.module import Module
 from ..bytecode.validate import ValidationError
 from ..compress.compressor import Compressor
 from ..compress.decompress import decompress_module
+from ..interp.compiled import CompiledEngine
 from ..interp.interp2 import Interpreter2
 from ..interp.runtime import run_program
 from ..registry import GrammarRegistry, RegistryError
@@ -486,6 +487,11 @@ class CompressionService:
                                "'args' must be a list of integers")
         input_data = (self._data_param(params, "input")
                       if "input" in params else b"")
+        engine = params.get("engine", "compiled")
+        if engine not in ("compiled", "reference"):
+            raise ServiceError(
+                protocol.E_BAD_REQUEST,
+                "'engine' must be 'compiled' or 'reference'")
 
         def _work() -> Tuple[int, bytes]:
             try:
@@ -498,7 +504,9 @@ class CompressionService:
                 raise ServiceError(
                     protocol.E_BAD_REQUEST,
                     "run_compressed needs an RCX1 compressed module")
-            return run_program(program, Interpreter2(program), *args,
+            executor = (CompiledEngine(program) if engine == "compiled"
+                        else Interpreter2(program))
+            return run_program(program, executor, *args,
                                input_data=input_data)
 
         async with self._inflight:

@@ -1,0 +1,220 @@
+"""Structural invariants of the flattened rule tables.
+
+:class:`~repro.interp.tables.CompiledTables` is the load-time compile
+pass everything downstream trusts: the direct-threaded engine dispatches
+on its rows without bounds checks, the decompressor replays its emit
+specs, and the profiler walks its symbolic plans.  These tests pin the
+invariants that make that sharing safe — row padding, emit/plan
+agreement, call-site resolution, step-kind selection, and the
+:class:`~repro.interp.tables.TableError` diagnostics for malformed
+grammars.
+"""
+
+import pytest
+
+from repro import train_grammar
+from repro.bytecode.opcodes import OP_BY_CODE, opcode
+from repro.corpus.synth import generate_program
+from repro.grammar.cfg import (
+    Grammar,
+    byte_terminal,
+    is_nonterminal,
+)
+from repro.grammar.initial import initial_grammar
+from repro.interp.tables import (
+    STEP_BAD,
+    STEP_CALL,
+    STEP_OP1,
+    STEP_RUN,
+    CompiledTables,
+    TableError,
+    compiled_tables,
+)
+from repro.minic import compile_source
+
+
+@pytest.fixture(scope="module")
+def trained():
+    corpus = [compile_source(generate_program(10, seed=s))
+              for s in (331, 332, 333)]
+    grammar, _ = train_grammar(corpus)
+    return grammar, compiled_tables(grammar)
+
+
+def test_compiled_tables_is_cached_per_grammar(trained):
+    grammar, tables = trained
+    assert compiled_tables(grammar) is tables
+    assert compiled_tables(initial_grammar()) is not tables
+
+
+def test_byte_nonterminal_owns_no_row(trained):
+    grammar, tables = trained
+    assert tables.byte_nt not in tables.row_of
+    assert len(tables.rows) == len(grammar.nonterminals) - 1
+    assert tables.nt_of_row[tables.start_row] == grammar.start
+
+
+def test_rows_padded_to_256_with_bad_sentinels(trained):
+    grammar, tables = trained
+    for row, programs in enumerate(tables.rows):
+        assert len(programs) == CompiledTables.ROW_SIZE
+        nrules = tables.nrules[row]
+        name = grammar.nt_name(tables.nt_of_row[row])
+        for cw in range(nrules, CompiledTables.ROW_SIZE):
+            steps = programs[cw]
+            assert len(steps) == 1 and steps[0][0] == STEP_BAD
+            assert f"codeword {cw}" in steps[0][1]
+            assert f"<{name}>" in steps[0][1]
+
+
+def test_program_rejects_out_of_range_codeword(trained):
+    grammar, tables = trained
+    with pytest.raises(TableError, match="out of range"):
+        tables.program(grammar.start, tables.nrules[tables.start_row])
+
+
+def test_rule_ids_mirror_grammar_order(trained):
+    grammar, tables = trained
+    for row, nt in enumerate(tables.nt_of_row):
+        rules = grammar.rules_for(nt)
+        assert tables.rule_ids[row] == [r.id for r in rules]
+        assert tables.nrules[row] == len(rules)
+
+
+def _live_programs(grammar, tables):
+    for row, nt in enumerate(tables.nt_of_row):
+        for cw, rule in enumerate(grammar.rules_for(nt)):
+            yield rule, tables.rows[row][cw]
+
+
+def test_call_steps_resolve_to_rhs_nonterminals_in_order(trained):
+    grammar, tables = trained
+    for rule, steps in _live_programs(grammar, tables):
+        call_rows = [s[2] for s in steps if s[0] == STEP_CALL]
+        rhs_nts = [sym for sym in rule.rhs
+                   if is_nonterminal(sym) and sym != tables.byte_nt]
+        assert [tables.nt_of_row[r] for r in call_rows] == rhs_nts
+        for step in steps:
+            if step[0] == STEP_CALL:
+                # Resolved to the row's program list itself, not a copy.
+                assert step[1] is tables.rows[step[2]]
+
+
+def _emit_tokens(emit):
+    """Normalize an emit spec to (burned bytes..., "S" per stream byte)."""
+    out = []
+    for item in emit:
+        if isinstance(item, int):
+            out.extend("S" * item)
+        else:
+            out.extend(item)
+    return out
+
+
+def test_emit_specs_agree_with_plans(trained):
+    """What a RUN step emits is exactly its opcode bytes interleaved
+    with burned operands, with one stream copy per ``None`` plan slot —
+    the decompressor's view and the engine's view are the same table."""
+    grammar, tables = trained
+    checked = 0
+    for rule, steps in _live_programs(grammar, tables):
+        for step in steps:
+            if step[0] == STEP_RUN:
+                _, _fused, nops, opcodes, plans, emit = step
+                assert nops == len(opcodes) == len(plans)
+                expected = []
+                for op, plan in zip(opcodes, plans):
+                    expected.append(op)
+                    for b in plan:
+                        expected.append("S" if b is None else b)
+                assert _emit_tokens(emit) == expected
+                checked += 1
+            elif step[0] == STEP_OP1:
+                _, _handler, operands, op, emit = step
+                assert None not in operands
+                assert emit == bytes((op,) + operands)
+                assert OP_BY_CODE[op].nlit == len(operands)
+                checked += 1
+    assert checked > 50
+
+
+def test_step_kind_selection(trained):
+    """Lone burned operators use the direct-handler step only when no
+    inline template exists; everything else is a fused run."""
+    grammar, tables = trained
+    kinds = {}
+    for rule, steps in _live_programs(grammar, tables):
+        if len(rule.rhs) == 1 and not is_nonterminal(rule.rhs[0]):
+            kinds[OP_BY_CODE[rule.rhs[0]].name] = steps[0][0]
+    # ADDU has an inline template -> fused; DIVU guards division by zero
+    # in its handler and must stay on the handler path.
+    assert kinds["ADDU"] == STEP_RUN
+    assert kinds["DIVU"] == STEP_OP1
+
+
+def test_identical_runs_are_generated_once(trained):
+    """The fused-function memo dedups identical runs across rules."""
+    grammar, tables = trained
+    seen = {}
+    shared = 0
+    for _rule, steps in _live_programs(grammar, tables):
+        for step in steps:
+            if step[0] != STEP_RUN:
+                continue
+            key = tuple(zip(step[3], step[4]))
+            if key in seen:
+                assert seen[key] is step  # same tuple, same fused fn
+                shared += 1
+            else:
+                seen[key] = step
+    assert shared > 0  # epilogues and common idioms do recur
+
+
+# -- malformed grammars -----------------------------------------------------
+
+def _grammar_with(rhs):
+    g = Grammar()
+    g.add_nonterminal("byte")
+    s = g.add_nonterminal("start")
+    g.start = s
+    g.add_rule(s, rhs)
+    return g
+
+
+def test_too_many_rules_rejected():
+    g = Grammar()
+    g.add_nonterminal("byte")
+    s = g.add_nonterminal("start")
+    g.start = s
+    for _ in range(257):
+        g.add_rule(s, [opcode("POPU")])
+    with pytest.raises(TableError, match="single byte"):
+        CompiledTables(g)
+
+
+def test_unattached_byte_nonterminal_rejected():
+    g = _grammar_with([])
+    g.add_rule(g.start, [g.nonterminal("byte")])
+    with pytest.raises(TableError, match="not attached"):
+        CompiledTables(g)
+
+
+def test_unattached_burned_byte_rejected():
+    with pytest.raises(TableError, match="not attached"):
+        CompiledTables(_grammar_with([byte_terminal(7)]))
+
+
+def test_missing_literal_bytes_rejected():
+    with pytest.raises(TableError, match="missing literal bytes"):
+        CompiledTables(_grammar_with([opcode("LIT1")]))
+
+
+def test_bad_operand_symbol_rejected():
+    g = Grammar()
+    g.add_nonterminal("byte")
+    s = g.add_nonterminal("start")
+    other = g.add_nonterminal("other")
+    g.start = s
+    g.add_rule(s, [opcode("LIT1"), other])
+    with pytest.raises(TableError, match="operand"):
+        CompiledTables(g)

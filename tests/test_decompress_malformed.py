@@ -1,0 +1,137 @@
+"""Malformed compressed streams must fail with structured errors.
+
+The decompressor walks attacker-controllable derivation bytes over the
+flattened grammar tables, so every way a stream can be broken —
+truncated mid-derivation, truncated inside burned-in literal operand
+bytes, codewords out of range for their nonterminal — must surface as a
+:class:`~repro.parsing.derivation.DerivationError` (or a ``ValueError``
+for label-table inconsistencies), never as a bare ``IndexError`` or
+``KeyError`` escaping the table walk.
+
+These tests only *decompress* the malformed input; nothing here is
+executed.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro import compress_module, train_grammar
+from repro.compress.decompress import decompress_module, decompress_procedure
+from repro.corpus.synth import generate_program
+from repro.minic import compile_source
+from repro.parsing.derivation import DerivationError
+
+
+@pytest.fixture(scope="module")
+def compressed():
+    corpus = [compile_source(generate_program(10, seed=s))
+              for s in (321, 322, 323)]
+    grammar, _ = train_grammar(corpus)
+    module = compile_source(generate_program(6, seed=400))
+    return compress_module(grammar, module)
+
+
+def _biggest_proc(cmod):
+    return max(cmod.procedures, key=lambda p: len(p.code))
+
+
+def _with_code(cproc, code):
+    # Drop the label table too when the stream shrinks: offsets into the
+    # removed tail are a *label* error, which is tested separately.
+    labels = [off for off in cproc.labels if 0 < off < len(code)]
+    return dataclasses.replace(cproc, code=code, labels=labels)
+
+
+def test_baseline_roundtrips(compressed):
+    # Sanity: the untampered module decompresses fine.
+    module = decompress_module(compressed)
+    assert module.procedures
+
+
+def test_empty_stream_is_empty_procedure(compressed):
+    cproc = _with_code(_biggest_proc(cmod=compressed), b"")
+    proc = decompress_procedure(compressed.grammar, cproc)
+    assert proc.code == b""
+
+
+def test_every_truncation_point_is_structured(compressed):
+    grammar = compressed.grammar
+    cproc = _biggest_proc(compressed)
+    survived = 0
+    for cut in range(len(cproc.code)):
+        bad = _with_code(cproc, cproc.code[:cut])
+        try:
+            decompress_procedure(grammar, bad)
+            survived += 1  # cut fell on a block boundary: legal stream
+        except DerivationError as err:
+            assert "compressed stream ends" in str(err)
+    # Most cuts land mid-derivation; a prefix of whole blocks is legal.
+    assert survived < len(cproc.code) // 2
+
+
+def test_truncation_errors_report_offset(compressed):
+    cproc = _biggest_proc(compressed)
+    bad = _with_code(cproc, cproc.code[:1])
+    with pytest.raises(DerivationError, match="at offset"):
+        decompress_procedure(compressed.grammar, bad)
+
+
+def test_garbage_single_byte_flips_are_structured(compressed):
+    """Flip each byte of the stream to adversarial values: decoding
+    either still succeeds (the byte was a valid codeword for its
+    nonterminal) or raises a structured ValueError — nothing else.  A
+    flip can shift block boundaries out from under the label table,
+    which is the one malformation reported as plain ValueError."""
+    grammar = compressed.grammar
+    cproc = _biggest_proc(compressed)
+    code = cproc.code
+    rng = random.Random(1234)
+    positions = rng.sample(range(len(code)), min(40, len(code)))
+    for pos in positions:
+        for value in (0xFF, 0xFE, (code[pos] + 1) & 0xFF):
+            bad = _with_code(
+                cproc, code[:pos] + bytes([value]) + code[pos + 1:]
+            )
+            try:
+                decompress_procedure(grammar, bad)
+            except ValueError:
+                pass  # DerivationError or a label-table mismatch
+
+
+def test_random_garbage_streams_are_structured(compressed):
+    grammar = compressed.grammar
+    cproc = _biggest_proc(compressed)
+    rng = random.Random(99)
+    for trial in range(50):
+        code = bytes(rng.randrange(256)
+                     for _ in range(rng.randrange(1, 60)))
+        bad = _with_code(cproc, code)
+        try:
+            decompress_procedure(grammar, bad)
+        except ValueError:
+            pass  # DerivationError or a label-table mismatch
+
+
+def test_out_of_range_codeword_names_the_nonterminal(compressed):
+    grammar = compressed.grammar
+    cproc = _biggest_proc(compressed)
+    # <start> never has anywhere near 256 rules, so 0xFF up front is an
+    # invalid codeword and must name the offending nonterminal.
+    bad = _with_code(cproc, b"\xff" + cproc.code[1:])
+    with pytest.raises(DerivationError, match="out of range for <"):
+        decompress_procedure(grammar, bad)
+
+
+def test_label_offset_inside_block_is_rejected(compressed):
+    cproc = _biggest_proc(compressed)
+    mid = next(
+        (off for off in range(1, len(cproc.code))
+         if off not in cproc.block_starts),
+        None,
+    )
+    assert mid is not None
+    bad = dataclasses.replace(cproc, labels=list(cproc.labels) + [mid])
+    with pytest.raises(ValueError, match="block"):
+        decompress_procedure(compressed.grammar, bad)

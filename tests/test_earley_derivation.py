@@ -81,6 +81,48 @@ def test_shortest_prefers_inlined_rule():
     assert d[0] == inlined.id
 
 
+def test_build_tree_iterative_on_deep_nesting():
+    """Tree reconstruction must not recurse per tree level.
+
+    ``S -> a S b`` nests one level per symbol pair; with the recursion
+    limit clamped far below the nesting depth, only an iterative
+    ``_build_tree`` survives.
+    """
+    import sys
+
+    g = _toy_grammar()
+    depth = 2000
+    symbols = [1] * depth + [2] * depth
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(100)
+    try:
+        tree = shortest_derivation_tree(g, symbols)
+    finally:
+        sys.setrecursionlimit(limit)
+    assert tree_size(tree) == depth + 1
+    assert terminal_yield(tree, g) == symbols
+
+
+def test_earley_on_pathologically_deep_block():
+    """A block is a left-recursive ``<start>`` spine — one level per
+    statement — so a long basic block used to blow Python's recursion
+    limit during backpointer reconstruction."""
+    import sys
+
+    g = initial_grammar()
+    code = encode([instr("LIT1", 7), instr("ARGU")] * 300)
+    blocks = parse_blocks(g, code)
+    assert len(blocks) == 1
+    symbols = terminal_yield(blocks[0].tree, g)
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(150)
+    try:
+        tree = shortest_derivation_tree(g, symbols)
+    finally:
+        sys.setrecursionlimit(limit)
+    assert derivation_of_tree(tree) == derivation_of_tree(blocks[0].tree)
+
+
 def test_earley_error_on_unparseable():
     g = _toy_grammar()
     with pytest.raises(EarleyError):

@@ -1,0 +1,180 @@
+"""Differential execution equivalence: three engines, one behaviour.
+
+The direct-threaded engine (:class:`~repro.interp.compiled.CompiledEngine`)
+claims to be a pure performance transformation of the paper's generated
+``interpNT``.  This suite holds it to that claim across a 50-seed fuzz
+corpus, running every program three ways:
+
+(a) the compiled engine on the compressed form,
+(b) the reference ``interp2`` on the same compressed form,
+(c) ``interp1`` on the decompressed bytecode,
+
+and asserting identical exit codes, output traces, executed-operator
+counts, and complete end-of-run memory images.  Fault behaviour gets its
+own section: divide-by-zero and out-of-bounds traps must carry the same
+message from every engine, and a trap at any dispatch depth must unwind
+the compiled engine's explicit return stack cleanly — the engine object
+stays reusable afterwards.
+"""
+
+import pytest
+
+from repro import compress_module, train_grammar
+from repro.bytecode.assembler import assemble
+from repro.compress.decompress import decompress_module
+from repro.corpus.synth import generate_program
+from repro.interp.compiled import CompiledEngine
+from repro.interp.interp1 import Interpreter1
+from repro.interp.interp2 import Interpreter2
+from repro.interp.memory import MemoryError_
+from repro.interp.runtime import Machine
+from repro.interp.state import Trap
+from repro.minic import compile_source
+
+# Disjoint from test_differential's 100..149 sweep.
+EQUIV_SEEDS = list(range(200, 250))
+PROFILE_SEEDS = EQUIV_SEEDS[::11]
+
+
+@pytest.fixture(scope="module")
+def equiv_grammar():
+    corpus = [compile_source(generate_program(10, seed=s))
+              for s in (311, 312, 313)]
+    grammar, _ = train_grammar(corpus)
+    return grammar
+
+
+def _observe(program, executor, *args, input_data=b""):
+    """Run to completion, capturing everything observable."""
+    machine = Machine(program, executor, input_data=input_data)
+    code = machine.run(*args)
+    return {
+        "code": code,
+        "output": bytes(machine.output),
+        "instret": machine.instret,
+        "memory": bytes(machine.memory._bytes),
+    }
+
+
+def _three_ways(cmod):
+    module = decompress_module(cmod)
+    return (
+        _observe(cmod, CompiledEngine(cmod)),
+        _observe(cmod, Interpreter2(cmod)),
+        _observe(module, Interpreter1(module)),
+    )
+
+
+@pytest.mark.parametrize("seed", EQUIV_SEEDS)
+def test_three_engines_agree(seed, equiv_grammar):
+    module = compile_source(generate_program(4, seed=seed))
+    cmod = compress_module(equiv_grammar, module)
+    compiled, reference, uncompressed = _three_ways(cmod)
+    assert compiled == reference, f"seed {seed}: engines diverged"
+    assert compiled == uncompressed, \
+        f"seed {seed}: compressed vs raw diverged"
+
+
+@pytest.mark.parametrize("seed", PROFILE_SEEDS)
+def test_profiled_compiled_engine_agrees(seed, equiv_grammar):
+    """The instrumented walk over the flattened tables executes the
+    identical operator stream, and its dispatch histogram accounts for
+    every rule fetch."""
+    from repro.interp.profile import profile_run
+
+    module = compile_source(generate_program(4, seed=seed))
+    cmod = compress_module(equiv_grammar, module)
+    c1, o1, p1 = profile_run(module)
+    c2, o2, p2 = profile_run(cmod, engine="compiled")
+    assert (c1, o1) == (c2, o2), f"seed {seed}"
+    assert p1.operators == p2.operators, f"seed {seed}"
+    assert sum(p2.dispatch_depth.values()) == sum(p2.rules.values())
+    assert p2.dispatch_depth  # the engine actually dispatched
+
+
+# -- fault behaviour -----------------------------------------------------------
+
+DIV_BY_ZERO = """
+int main() {
+    int a;
+    a = 5;
+    return a / (a - 5);
+}
+"""
+
+# An out-of-bounds load from deep inside an expression — the trap fires
+# with pending right-hand-side work on the compiled engine's return stack.
+OOB_LOAD = """
+.entry main
+.proc main framesize=4
+    ADDRLP 0 0
+    LIT4 240 255 255 255
+    INDIRU
+    ASGNU
+    ADDRLP 0 0
+    INDIRU
+    RETU
+.endproc
+"""
+
+GOOD_AFTER = """
+int main() { return 41 + 1; }
+"""
+
+
+def _trap_three_ways(cmod, exc_type):
+    module = decompress_module(cmod)
+    messages = []
+    for program, executor in (
+        (cmod, CompiledEngine(cmod)),
+        (cmod, Interpreter2(cmod)),
+        (module, Interpreter1(module)),
+    ):
+        machine = Machine(program, executor)
+        with pytest.raises(exc_type) as trap:
+            machine.run()
+        messages.append(str(trap.value))
+    return messages
+
+
+def test_div_by_zero_faults_identically(equiv_grammar):
+    cmod = compress_module(equiv_grammar, compile_source(DIV_BY_ZERO))
+    messages = _trap_three_ways(cmod, Trap)
+    assert len(set(messages)) == 1, messages
+    assert "division by zero" in messages[0]
+
+
+def test_oob_load_faults_identically(equiv_grammar):
+    cmod = compress_module(equiv_grammar, assemble(OOB_LOAD))
+    messages = _trap_three_ways(cmod, MemoryError_)
+    assert len(set(messages)) == 1, messages
+    assert "out of range" in messages[0]
+
+
+def test_trap_unwinds_return_stack_and_engine_stays_usable(equiv_grammar):
+    """A trap mid-derivation must not poison the engine: the return
+    stack is per-activation, so the same engine (and its tables) must
+    execute a clean program correctly right after the fault."""
+    bad = compress_module(equiv_grammar, assemble(OOB_LOAD))
+    engine = CompiledEngine(bad)
+    for _ in range(2):  # fault twice: no state leaks between activations
+        with pytest.raises(MemoryError_):
+            Machine(bad, engine).run()
+    good = compress_module(equiv_grammar, compile_source(GOOD_AFTER))
+    # Same tables instance serves the new module's engine via the cache.
+    again = CompiledEngine(good)
+    assert again.tables is engine.tables
+    assert Machine(good, again).run() == 42
+
+
+def test_call_stack_overflow_unwinds_cleanly(equiv_grammar):
+    """Deep bytecode recursion traps identically on every engine, with
+    one explicit return stack per activation unwound at each level."""
+    source = """
+int loop(int n) { return loop(n + 1); }
+int main() { return loop(0); }
+"""
+    cmod = compress_module(equiv_grammar, compile_source(source))
+    messages = _trap_three_ways(cmod, Trap)
+    assert len(set(messages)) == 1, messages
+    assert "call stack overflow" in messages[0]

@@ -1,0 +1,160 @@
+"""Trap-path and edge-case coverage for :mod:`repro.interp.memory`.
+
+The word-sized accessors inline their bounds checks for speed (the
+``_check`` call only happens on the failing path), so every accessor's
+trap behaviour needs explicit exercise: negative addresses, reads and
+writes straddling the end of memory, and the exact boundary addresses
+that must still succeed.
+"""
+
+import math
+
+import pytest
+
+from repro.interp.memory import (
+    MASK32,
+    Memory,
+    MemoryError_,
+    f32,
+    to_signed,
+    to_unsigned,
+)
+
+SIZE = 64
+
+
+@pytest.fixture
+def mem():
+    return Memory(SIZE)
+
+
+# -- integer accessors: trap on both sides, succeed at the boundary ---------
+
+INT_ACCESSORS = [
+    ("load_u8", 1), ("load_u16", 2), ("load_u32", 4),
+    ("store_u8", 1), ("store_u16", 2), ("store_u32", 4),
+]
+FLOAT_ACCESSORS = [
+    ("load_f32", 4), ("load_f64", 8),
+    ("store_f32", 4), ("store_f64", 8),
+]
+
+
+def _call(mem, name, addr):
+    fn = getattr(mem, name)
+    if name.startswith("store"):
+        return fn(addr, 0.0 if name.endswith(("f32", "f64")) else 0)
+    return fn(addr)
+
+
+@pytest.mark.parametrize("name,width", INT_ACCESSORS + FLOAT_ACCESSORS)
+def test_negative_address_traps(mem, name, width):
+    with pytest.raises(MemoryError_, match="out of range"):
+        _call(mem, name, -1)
+
+
+@pytest.mark.parametrize("name,width", INT_ACCESSORS + FLOAT_ACCESSORS)
+def test_access_past_end_traps(mem, name, width):
+    with pytest.raises(MemoryError_, match="out of range"):
+        _call(mem, name, SIZE - width + 1)
+
+
+@pytest.mark.parametrize("name,width", INT_ACCESSORS + FLOAT_ACCESSORS)
+def test_access_at_boundary_succeeds(mem, name, width):
+    _call(mem, name, SIZE - width)  # last valid address: must not raise
+
+
+@pytest.mark.parametrize("name,width", INT_ACCESSORS)
+def test_far_out_of_range_message_names_the_access(mem, name, width):
+    with pytest.raises(MemoryError_) as err:
+        _call(mem, name, 0x1000)
+    assert f"{width} bytes" in str(err.value)
+    assert "0x1000" in str(err.value)
+
+
+def test_straddling_access_traps(mem):
+    # addr itself is in range but the tail byte is not.
+    with pytest.raises(MemoryError_):
+        mem.load_u32(SIZE - 2)
+    with pytest.raises(MemoryError_):
+        mem.store_u16(SIZE - 1, 7)
+
+
+# -- round-trips and masking ------------------------------------------------
+
+def test_u8_u16_u32_roundtrip_little_endian(mem):
+    mem.store_u32(0, 0x11223344)
+    assert mem.load_u8(0) == 0x44
+    assert mem.load_u16(0) == 0x3344
+    assert mem.load_u16(2) == 0x1122
+    assert mem.load_u32(0) == 0x11223344
+
+
+def test_stores_mask_to_width(mem):
+    mem.store_u8(0, 0x1FF)
+    assert mem.load_u8(0) == 0xFF
+    mem.store_u16(0, 0x12345)
+    assert mem.load_u16(0) == 0x2345
+    mem.store_u32(0, (1 << 40) | 5)
+    assert mem.load_u32(0) == 5
+
+
+def test_float_roundtrip(mem):
+    mem.store_f64(8, 2.5)
+    assert mem.load_f64(8) == 2.5
+    mem.store_f32(0, 1.1)
+    assert mem.load_f32(0) == f32(1.1)
+
+
+# -- raw bytes / strings ----------------------------------------------------
+
+def test_write_read_bytes(mem):
+    mem.write_bytes(3, b"hello")
+    assert mem.read_bytes(3, 5) == b"hello"
+
+
+def test_write_bytes_past_end_traps(mem):
+    with pytest.raises(MemoryError_, match="out of range"):
+        mem.write_bytes(SIZE - 2, b"abc")
+
+
+def test_read_bytes_negative_traps(mem):
+    with pytest.raises(MemoryError_, match="out of range"):
+        mem.read_bytes(-4, 4)
+
+
+def test_read_cstring(mem):
+    mem.write_bytes(5, b"abc\0def")
+    assert mem.read_cstring(5) == b"abc"
+    assert mem.read_cstring(8) == b""
+
+
+def test_read_cstring_unterminated_traps(mem):
+    mem.write_bytes(0, bytes([1]) * SIZE)  # no NUL anywhere
+    with pytest.raises(MemoryError_, match="unterminated string"):
+        mem.read_cstring(10)
+
+
+# -- pattern helpers --------------------------------------------------------
+
+def test_to_signed_edges():
+    assert to_signed(0) == 0
+    assert to_signed(0x7FFFFFFF) == 0x7FFFFFFF
+    assert to_signed(0x80000000) == -0x80000000
+    assert to_signed(MASK32) == -1
+    # Reinterprets only the low 32 bits.
+    assert to_signed(0x1_00000001) == 1
+
+
+def test_to_unsigned_edges():
+    assert to_unsigned(-1) == MASK32
+    assert to_unsigned(-0x80000000) == 0x80000000
+    assert to_unsigned(1 << 32) == 0
+    assert to_signed(to_unsigned(-12345)) == -12345
+
+
+def test_f32_rounds_through_single_precision():
+    assert f32(0.1) != 0.1  # 0.1 is not representable in binary32
+    assert f32(1.5) == 1.5
+    assert f32(float("inf")) == float("inf")
+    assert math.isnan(f32(float("nan")))
