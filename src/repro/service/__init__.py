@@ -11,9 +11,11 @@ derivation cache; a semaphore caps in-flight work and a high-water mark
 sheds load with ``overloaded`` errors instead of unbounded queueing.
 """
 
+from .breaker import CircuitBreaker
 from .client import AsyncServiceClient, ServiceClient, ServiceError
 from .metrics import ServiceMetrics
 from .protocol import DEFAULT_PORT
+from .retry import RetryPolicy
 from .server import CompressionService
 
 __all__ = [
@@ -22,5 +24,7 @@ __all__ = [
     "AsyncServiceClient",
     "ServiceError",
     "ServiceMetrics",
+    "RetryPolicy",
+    "CircuitBreaker",
     "DEFAULT_PORT",
 ]

@@ -5,20 +5,37 @@ the caller's process, usable from threads (one connection per instance;
 instances are not thread-safe, share nothing or use one per thread).
 :class:`AsyncServiceClient` is the same surface over asyncio streams.
 Both raise :class:`ServiceError` carrying the server's structured error
-code (``overloaded``, ``timeout``, ``not_found``, ...), so callers can
-implement retry-with-backoff on exactly the retryable codes.
+code (``overloaded``, ``timeout``, ``not_found``, ...).
+
+Retry is built in: pass a :class:`~repro.service.retry.RetryPolicy` and
+every call retries retryable failures — the server's ``overloaded`` /
+``timeout`` / ``shutting_down`` codes plus client-side ``transport``
+failures (connection reset, torn frame, refused connect) — with
+exponential backoff and full jitter, reconnecting transparently after a
+transport failure.  Non-retryable codes (``bad_request``, ``not_found``,
+``trap``, ``internal``) raise immediately; when attempts are exhausted
+the *last* structured error is raised, so the caller still sees exactly
+what the server said.
+
+A ``deadline`` (seconds of total budget for the call, retries included)
+bounds the loop: sleeps never exceed the remaining budget, the remaining
+budget travels to the server in each request envelope (the server clamps
+its per-request timeout to it), and an exhausted budget stops retrying.
 """
 
 from __future__ import annotations
 
 import asyncio
 import socket
+import time
 from typing import Dict, Optional, Sequence, Tuple
 
 from . import protocol
 from .protocol import ServiceError, b64d, b64e
+from .retry import TRANSPORT, RetryPolicy
 
-__all__ = ["ServiceClient", "AsyncServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "AsyncServiceClient", "ServiceError",
+           "RetryPolicy"]
 
 
 def _check_response(msg: dict, expect_id: int) -> dict:
@@ -31,6 +48,53 @@ def _check_response(msg: dict, expect_id: int) -> dict:
     error = msg.get("error") or {}
     raise ServiceError(error.get("code", "unknown"),
                        error.get("message", "unspecified error"))
+
+
+def _deadline_at(deadline: Optional[float]) -> Optional[float]:
+    return time.monotonic() + deadline if deadline is not None else None
+
+
+def _remaining(deadline_at: Optional[float]) -> Optional[float]:
+    if deadline_at is None:
+        return None
+    return deadline_at - time.monotonic()
+
+
+def _envelope(req_id: int, method: str, params: Optional[dict],
+              deadline_at: Optional[float]) -> dict:
+    msg = {"id": req_id, "method": method, "params": params or {}}
+    remaining = _remaining(deadline_at)
+    if remaining is not None:
+        if remaining <= 0:
+            raise ServiceError(
+                protocol.E_TIMEOUT,
+                "client deadline exhausted before the request was sent")
+        msg["deadline"] = remaining
+    return msg
+
+
+def _next_delay(policy: RetryPolicy, attempt: int,
+                deadline_at: Optional[float]) -> float:
+    """Backoff before retry ``attempt``, clipped to the deadline budget."""
+    delay = policy.backoff(attempt)
+    remaining = _remaining(deadline_at)
+    if remaining is not None:
+        delay = min(delay, max(0.0, remaining))
+    return delay
+
+
+def _check_budget(deadline_at: Optional[float],
+                  last: Optional[ServiceError]) -> None:
+    """Stop retrying on an exhausted deadline: surface the *last*
+    structured error (the caller learns what the server actually said,
+    not a synthetic timeout) unless no attempt ever ran."""
+    remaining = _remaining(deadline_at)
+    if remaining is not None and remaining <= 0:
+        if last is not None:
+            raise last
+        raise ServiceError(protocol.E_TIMEOUT,
+                           "client deadline exhausted before the "
+                           "request was sent")
 
 
 class _MethodMixin:
@@ -61,22 +125,34 @@ class _MethodMixin:
 
 
 class ServiceClient(_MethodMixin):
-    """Blocking client.  Usable as a context manager."""
+    """Blocking client.  Usable as a context manager.
+
+    ``retry=None`` (the default) keeps the old single-shot behaviour;
+    pass a :class:`RetryPolicy` for backoff.  ``deadline`` is a default
+    per-call budget in seconds (overridable per call).
+    """
 
     def __init__(self, host: str = "127.0.0.1",
                  port: int = protocol.DEFAULT_PORT, *,
-                 timeout: Optional[float] = 60.0) -> None:
+                 timeout: Optional[float] = 60.0,
+                 retry: Optional[RetryPolicy] = None,
+                 deadline: Optional[float] = None) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.retry = retry
+        self.default_deadline = deadline
         self._next_id = 0
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
+        self._sock: Optional[socket.socket] = socket.create_connection(
+            (host, port), timeout=timeout)
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -84,16 +160,51 @@ class ServiceClient(_MethodMixin):
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def call(self, method: str, params: Optional[dict] = None) -> dict:
+    def _call_once(self, method: str, params: Optional[dict],
+                   deadline_at: Optional[float]) -> dict:
+        if self._sock is None:  # transparent reconnection after a drop
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout)
+            except OSError as exc:
+                raise ServiceError(
+                    TRANSPORT, f"cannot connect to "
+                    f"{self.host}:{self.port}: {exc}") from exc
         self._next_id += 1
         req_id = self._next_id
         try:
-            protocol.send_frame_sync(self._sock, {
-                "id": req_id, "method": method, "params": params or {}})
+            protocol.send_frame_sync(
+                self._sock, _envelope(req_id, method, params, deadline_at))
             msg = protocol.recv_frame_sync(self._sock)
         except (OSError, protocol.FrameError) as exc:
-            raise ServiceError("transport", str(exc)) from exc
-        return _check_response(msg, req_id)
+            self.close()  # the stream may be desynced: start fresh
+            raise ServiceError(TRANSPORT, str(exc)) from exc
+        try:
+            return _check_response(msg, req_id)
+        except ServiceError as exc:
+            if exc.code == "protocol":
+                self.close()  # id mismatch: never trust this stream again
+            raise
+
+    def call(self, method: str, params: Optional[dict] = None, *,
+             deadline: Optional[float] = None) -> dict:
+        if deadline is None:
+            deadline = self.default_deadline
+        deadline_at = _deadline_at(deadline)
+        policy = self.retry
+        attempts = policy.max_attempts if policy is not None else 1
+        last: Optional[ServiceError] = None
+        for attempt in range(attempts):
+            _check_budget(deadline_at, last)
+            try:
+                return self._call_once(method, params, deadline_at)
+            except ServiceError as exc:
+                last = exc
+                if policy is None or not policy.retries(exc.code) \
+                        or attempt + 1 >= attempts:
+                    raise
+            time.sleep(_next_delay(policy, attempt, deadline_at))
+        raise last  # pragma: no cover — loop always raises or returns
 
     # -- convenience methods ------------------------------------------------
 
@@ -138,12 +249,16 @@ class ServiceClient(_MethodMixin):
 
 
 class AsyncServiceClient(_MethodMixin):
-    """The same surface over asyncio streams."""
+    """The same surface over asyncio streams (same retry semantics)."""
 
     def __init__(self, host: str = "127.0.0.1",
-                 port: int = protocol.DEFAULT_PORT) -> None:
+                 port: int = protocol.DEFAULT_PORT, *,
+                 retry: Optional[RetryPolicy] = None,
+                 deadline: Optional[float] = None) -> None:
         self.host = host
         self.port = port
+        self.retry = retry
+        self.default_deadline = deadline
         self._next_id = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -154,10 +269,11 @@ class AsyncServiceClient(_MethodMixin):
         return self
 
     async def close(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
             try:
-                await self._writer.wait_closed()
+                await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
 
@@ -167,21 +283,56 @@ class AsyncServiceClient(_MethodMixin):
     async def __aexit__(self, *exc) -> None:
         await self.close()
 
-    async def call(self, method: str,
-                   params: Optional[dict] = None) -> dict:
+    async def _call_once(self, method: str, params: Optional[dict],
+                         deadline_at: Optional[float]) -> dict:
         if self._reader is None:
-            await self.connect()
+            try:
+                await self.connect()
+            except OSError as exc:
+                raise ServiceError(
+                    TRANSPORT, f"cannot connect to "
+                    f"{self.host}:{self.port}: {exc}") from exc
         self._next_id += 1
         req_id = self._next_id
         try:
-            await protocol.write_frame(self._writer, {
-                "id": req_id, "method": method, "params": params or {}})
+            await protocol.write_frame(
+                self._writer,
+                _envelope(req_id, method, params, deadline_at))
             msg = await protocol.read_frame(self._reader)
         except (OSError, protocol.FrameError) as exc:
-            raise ServiceError("transport", str(exc)) from exc
+            await self.close()
+            raise ServiceError(TRANSPORT, str(exc)) from exc
         if msg is None:
-            raise ServiceError("transport", "server closed the connection")
-        return _check_response(msg, req_id)
+            await self.close()
+            raise ServiceError(TRANSPORT, "server closed the connection")
+        try:
+            return _check_response(msg, req_id)
+        except ServiceError as exc:
+            if exc.code == "protocol":
+                await self.close()
+            raise
+
+    async def call(self, method: str,
+                   params: Optional[dict] = None, *,
+                   deadline: Optional[float] = None) -> dict:
+        if deadline is None:
+            deadline = self.default_deadline
+        deadline_at = _deadline_at(deadline)
+        policy = self.retry
+        attempts = policy.max_attempts if policy is not None else 1
+        last: Optional[ServiceError] = None
+        for attempt in range(attempts):
+            _check_budget(deadline_at, last)
+            try:
+                return await self._call_once(method, params, deadline_at)
+            except ServiceError as exc:
+                last = exc
+                if policy is None or not policy.retries(exc.code) \
+                        or attempt + 1 >= attempts:
+                    raise
+            await asyncio.sleep(
+                _next_delay(policy, attempt, deadline_at))
+        raise last  # pragma: no cover — loop always raises or returns
 
     async def health(self) -> dict:
         return await self.call("health")

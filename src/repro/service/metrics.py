@@ -104,6 +104,10 @@ class ServiceMetrics:
         self._latency: Dict[str, Histogram] = {}
         #: jobs per compression batch
         self.batch_size = Histogram(BATCH_BUCKETS)
+        #: engine resilience events: ``fallback`` (compiled engine
+        #: faulted, reference reran the request) and ``degraded``
+        #: (breaker open, compiled engine skipped entirely)
+        self.engine_events = Counter()
         self._lock = threading.Lock()
 
     def observe_request(self, method: str, outcome: str,
@@ -132,6 +136,7 @@ class ServiceMetrics:
                 "requests_total": self.requests.snapshot(),
                 "bytes_in_total": self.bytes_in.total(),
                 "bytes_out_total": self.bytes_out.total(),
+                "engine_events_total": self.engine_events.snapshot(),
             },
             "histograms": {
                 "request_seconds": latency,

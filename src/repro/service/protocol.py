@@ -21,6 +21,8 @@ import socket
 import struct
 from typing import Optional
 
+from .. import faults
+
 __all__ = [
     "DEFAULT_PORT", "MAX_FRAME", "FrameError", "ServiceError",
     "RETRYABLE",
@@ -108,9 +110,59 @@ def error_body(req_id, code: str, message: str) -> dict:
 
 
 # -- asyncio side -----------------------------------------------------------
+#
+# The fault sites live here, on the server-side framing layer only (the
+# blocking client functions below carry none): an activated
+# ``repro.faults`` plane can garble, truncate, delay, or drop frames to
+# simulate a hostile network.  Inert cost is one module-attribute check
+# per frame.
+
+async def _read_fault(rule) -> None:
+    """Apply a fired ``service.frame.read`` rule: the inbound bytes were
+    damaged in flight."""
+    if rule.mode == "delay":
+        await asyncio.sleep(rule.arg if rule.arg is not None else 0.05)
+        return
+    if rule.mode == "disconnect":
+        raise FrameError("injected fault: connection torn down mid-read")
+    # default / "garbage": what arrived does not parse as a frame
+    raise FrameError("injected fault: garbage frame received")
+
+
+async def _write_fault(rule, writer: asyncio.StreamWriter,
+                       frame: bytes) -> Optional[bytes]:
+    """Apply a fired ``service.frame.write`` rule; returns the (possibly
+    damaged) frame still to be written, or ``None`` if nothing is."""
+    if rule.mode == "delay":
+        await asyncio.sleep(rule.arg if rule.arg is not None else 0.05)
+        return frame
+    if rule.mode == "truncate":
+        writer.write(frame[:max(1, len(frame) // 2)])
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        raise FrameError("injected fault: frame truncated mid-write")
+    if rule.mode == "disconnect":
+        raise FrameError("injected fault: connection torn down mid-write")
+    # default / "garbage": clobber the start of the JSON body, so the
+    # peer is guaranteed a structural parse failure rather than silently
+    # corrupted payload bytes (payload integrity is the CRC trailer's
+    # job, framing integrity is this site's).
+    if faults.ACTIVE is not None and len(frame) > 4:
+        body = bytearray(frame)
+        for i in range(4, min(12, len(body))):
+            body[i] = 0xFF
+        return bytes(body)
+    return frame
+
 
 async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
     """Next frame, or ``None`` on clean EOF at a frame boundary."""
+    if faults.ACTIVE is not None:
+        rule = faults.ACTIVE.decide("service.frame.read")
+        if rule is not None:
+            await _read_fault(rule)
     try:
         header = await reader.readexactly(4)
     except asyncio.IncompleteReadError as exc:
@@ -128,7 +180,14 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
 
 
 async def write_frame(writer: asyncio.StreamWriter, obj: dict) -> None:
-    writer.write(encode_frame(obj))
+    frame = encode_frame(obj)
+    if faults.ACTIVE is not None:
+        rule = faults.ACTIVE.decide("service.frame.write")
+        if rule is not None:
+            frame = await _write_fault(rule, writer, frame)
+            if frame is None:
+                return
+    writer.write(frame)
     await writer.drain()
 
 

@@ -1,0 +1,79 @@
+"""Client-side retry policy: exponential backoff with full jitter.
+
+The service sheds load with structured, *retryable* error codes
+(``overloaded``, ``timeout``, ``shutting_down`` — see
+:data:`repro.service.protocol.RETRYABLE`); this module is the matching
+client half.  The backoff follows the "full jitter" scheme: attempt
+``n`` sleeps ``uniform(0, min(cap, base * multiplier**n))``, which
+de-correlates a thundering herd far better than equal jitter at the same
+expected delay.
+
+Transport failures (connection reset, a frame cut mid-byte, a refused
+connect) are retryable too — the clients reconnect transparently before
+the next attempt — surfaced as :class:`ServiceError` with the
+client-side code ``"transport"``.  The service's work methods are
+idempotent (same bytes in, same bytes out), so retrying a request whose
+response was lost is safe.
+
+A ``deadline`` (seconds of total budget) caps the whole retry loop: no
+sleep is longer than the remaining budget, the remaining budget is
+propagated to the server in each request's envelope (the server clamps
+its own per-request timeout to it), and when the budget is spent the
+last structured error is raised — retries never outlive the caller's
+patience.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from .protocol import RETRYABLE
+
+__all__ = ["RetryPolicy", "TRANSPORT"]
+
+#: client-side pseudo-code for connection-level failures
+TRANSPORT = "transport"
+
+
+class RetryPolicy:
+    """Backoff schedule + the set of codes worth retrying.
+
+    ``max_attempts`` counts *total* tries (1 = no retry).  ``base`` and
+    ``multiplier`` shape the exponential envelope, ``cap`` bounds any
+    single sleep, and ``rng`` (any object with ``uniform``) makes jitter
+    deterministic in tests.
+    """
+
+    def __init__(self, max_attempts: int = 4, *,
+                 base: float = 0.05,
+                 multiplier: float = 2.0,
+                 cap: float = 2.0,
+                 retry_codes: Optional[Iterable[str]] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base < 0 or cap < 0 or multiplier < 1.0:
+            raise ValueError("backoff parameters out of range")
+        self.max_attempts = max_attempts
+        self.base = base
+        self.multiplier = multiplier
+        self.cap = cap
+        self.retry_codes = frozenset(
+            RETRYABLE | {TRANSPORT} if retry_codes is None
+            else retry_codes)
+        self.rng = rng if rng is not None else random.Random()
+
+    def retries(self, code: str) -> bool:
+        return code in self.retry_codes
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based): full jitter
+        in ``[0, min(cap, base * multiplier**attempt)]``."""
+        envelope = min(self.cap, self.base * self.multiplier ** attempt)
+        return self.rng.uniform(0.0, envelope)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RetryPolicy(max_attempts={self.max_attempts}, "
+                f"base={self.base}, multiplier={self.multiplier}, "
+                f"cap={self.cap})")

@@ -19,10 +19,23 @@ across *different* client programs hit the warm cache.
 Every request is bounded by ``request_timeout``; on expiry the client
 gets a structured ``timeout`` error instead of a hung socket (the
 underlying computation is left to finish in its thread — Python threads
-cannot be killed — but its result is discarded).
+cannot be killed — but its result is discarded).  A request envelope may
+carry a ``deadline`` (seconds of client budget remaining); the server
+clamps its own timeout to it, so work the client has already given up on
+is cut off rather than computed into the void.
 
-``serve_forever`` installs SIGTERM/SIGINT handlers that stop accepting
-connections, let in-flight requests drain, then return.
+``serve_forever`` installs SIGTERM/SIGINT handlers that begin a *drain*:
+in-flight requests finish, new work (and clients that connect mid-drain)
+get a structured, retryable ``shutting_down`` error frame — never a
+silent connection reset — and only then does the listener close.
+
+Resilience: the registry is integrity-scanned (quarantine + repair)
+before the first byte is served, and ``run_compressed`` runs behind a
+per-grammar circuit breaker — an unexpected compiled-engine fault falls
+back to the reference interpreter for that request (``fallback``), and a
+grammar that keeps faulting is quarantined so requests skip the compiled
+engine entirely (``degraded``) until a cooldown probe succeeds.  Both
+are surfaced by the ``stats`` method.
 """
 
 from __future__ import annotations
@@ -33,10 +46,13 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
+import hashlib
+
 from ..bytecode.module import Module
 from ..bytecode.validate import ValidationError
 from ..compress.compressor import Compressor
 from ..compress.decompress import decompress_module
+from ..grammar.serialize import encode_grammar_compact
 from ..interp.compiled import CompiledEngine
 from ..interp.interp2 import Interpreter2
 from ..interp.runtime import run_program
@@ -50,6 +66,7 @@ from ..storage import (
     save_module,
 )
 from . import protocol
+from .breaker import CircuitBreaker
 from .metrics import ServiceMetrics
 from .protocol import FrameError, ServiceError, b64d, b64e
 
@@ -158,7 +175,10 @@ class CompressionService:
                  request_timeout: float = 30.0,
                  batch_window: float = 0.002,
                  max_batch: int = 64,
-                 cache_size: int = 4096) -> None:
+                 cache_size: int = 4096,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 30.0,
+                 integrity_scan: bool = True) -> None:
         self.registry = registry
         self.max_inflight = max_inflight
         self.high_water = high_water
@@ -166,6 +186,10 @@ class CompressionService:
         self.batch_window = batch_window
         self.max_batch = max_batch
         self.cache_size = cache_size
+        self.integrity_scan = integrity_scan
+        self.startup_report: Optional[Dict] = None
+        self.engine_breaker = CircuitBreaker(threshold=breaker_threshold,
+                                             cooldown=breaker_cooldown)
         self.metrics = ServiceMetrics()
         self._pending = 0
         self._draining = False
@@ -187,6 +211,10 @@ class CompressionService:
 
     async def start(self, host: str = "127.0.0.1",
                     port: int = protocol.DEFAULT_PORT) -> None:
+        if self.integrity_scan:
+            # Self-heal before serving: quarantine corrupt objects,
+            # regenerate metadata, drop dangling tags, reap crash debris.
+            self.startup_report = self.registry.startup_scan()
         self._inflight = asyncio.Semaphore(self.max_inflight)
         self._worker_lock = asyncio.Lock()
         self._stop_requested = asyncio.Event()
@@ -223,11 +251,14 @@ class CompressionService:
             self._stop_requested.set()
 
     async def stop(self, grace: float = 30.0) -> None:
-        """Stop accepting, drain in-flight requests, tear down."""
+        """Drain in-flight requests, then stop accepting and tear down.
+
+        The listener stays open through the drain on purpose: a client
+        that connects mid-drain gets a structured, retryable
+        ``shutting_down`` error frame (and `health` reports
+        ``draining``), never a silent connection reset.
+        """
         self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
         try:
             await asyncio.wait_for(self._idle.wait(), grace)
         except asyncio.TimeoutError:
@@ -235,6 +266,9 @@ class CompressionService:
         # let drained responses flush through their connection tasks
         # before tearing anything down, then hang up on idle clients
         await asyncio.sleep(0.05)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
         for writer in list(self._writers):
             writer.close()
         for worker in self._workers.values():
@@ -277,6 +311,10 @@ class CompressionService:
         req_id = msg.get("id")
         method = msg.get("method")
         params = msg.get("params") or {}
+        deadline = msg.get("deadline")
+        if not isinstance(deadline, (int, float)) \
+                or isinstance(deadline, bool):
+            deadline = None
         start = time.monotonic()
         if not isinstance(method, str) or not isinstance(params, dict):
             self.metrics.observe_request(
@@ -286,7 +324,7 @@ class CompressionService:
                 req_id, protocol.E_BAD_REQUEST,
                 "request needs a string 'method' and object 'params'")
         try:
-            result = await self._dispatch(method, params)
+            result = await self._dispatch(method, params, deadline)
             outcome = "ok"
             response = protocol.result_body(req_id, result)
         except ServiceError as exc:
@@ -306,7 +344,8 @@ class CompressionService:
     _WORK = frozenset(["compress", "decompress", "run_compressed",
                        "grammar.put"])
 
-    async def _dispatch(self, method: str, params: dict) -> dict:
+    async def _dispatch(self, method: str, params: dict,
+                        deadline: Optional[float] = None) -> dict:
         if method in self._ADMIN:
             handler = getattr(self, "_m_" + method.replace(".", "_"))
             return await handler(params)
@@ -322,16 +361,23 @@ class CompressionService:
                 protocol.E_OVERLOADED,
                 f"backlog {self._pending} at high-water mark "
                 f"{self.high_water}; retry with backoff")
+        # deadline propagation: never compute longer than the client
+        # will wait for the answer
+        timeout = self.request_timeout
+        if deadline is not None:
+            timeout = min(timeout, max(0.0, float(deadline)))
+            if timeout <= 0:
+                raise ServiceError(protocol.E_TIMEOUT,
+                                   "client deadline already exhausted")
         self._pending += 1
         self._idle.clear()
         try:
             handler = getattr(self, "_m_" + method.replace(".", "_"))
-            return await asyncio.wait_for(handler(params),
-                                          self.request_timeout)
+            return await asyncio.wait_for(handler(params), timeout)
         except asyncio.TimeoutError:
             raise ServiceError(
                 protocol.E_TIMEOUT,
-                f"request exceeded {self.request_timeout:g}s") from None
+                f"request exceeded {timeout:g}s") from None
         finally:
             self._pending -= 1
             if self._pending == 0:
@@ -406,6 +452,23 @@ class CompressionService:
         snap["registry"] = {
             "grammars": len(self.registry),
             "lru": self.registry.cache_info(),
+        }
+        if self.startup_report is not None:
+            snap["registry"]["startup_scan"] = {
+                "clean": self.startup_report.get("clean"),
+                "checked": self.startup_report.get("checked"),
+                "quarantined":
+                    len(self.startup_report.get("quarantined", [])),
+                "dangling_tags":
+                    len(self.startup_report.get("dangling_tags", [])),
+            }
+        snap["engine"] = {
+            "fallback": self.metrics.engine_events.value("fallback"),
+            "degraded": self.metrics.engine_events.value("degraded"),
+            "breakers": {key[:12]: state for key, state
+                         in self.engine_breaker.snapshot().items()},
+            "quarantined": [key[:12] for key
+                            in self.engine_breaker.open_keys()],
         }
         return snap
 
@@ -493,7 +556,40 @@ class CompressionService:
                 protocol.E_BAD_REQUEST,
                 "'engine' must be 'compiled' or 'reference'")
 
-        def _work() -> Tuple[int, bytes]:
+        def _run_compiled(program) -> Tuple[str, int, bytes]:
+            """Compiled engine behind the per-grammar circuit breaker;
+            unexpected engine faults fall back to the reference
+            interpreter (a fresh machine — no partial state leaks)."""
+            key = hashlib.sha256(
+                encode_grammar_compact(program.grammar)).hexdigest()
+            if not self.engine_breaker.allow(key):
+                # quarantined: skip the doomed attempt entirely
+                self.metrics.engine_events.inc("degraded")
+                code, output = run_program(program, Interpreter2(program),
+                                           *args, input_data=input_data)
+                return "reference_degraded", code, output
+            try:
+                code, output = run_program(program,
+                                           CompiledEngine(program),
+                                           *args, input_data=input_data)
+            except RuntimeError:
+                # Trap / machine fault: the *program's* fault, identical
+                # on both engines by the equivalence suite — not an
+                # engine failure.
+                self.engine_breaker.record_success(key)
+                raise
+            except ServiceError:
+                raise
+            except Exception:  # noqa: BLE001 — engine fault: fall back
+                self.engine_breaker.record_failure(key)
+                self.metrics.engine_events.inc("fallback")
+                code, output = run_program(program, Interpreter2(program),
+                                           *args, input_data=input_data)
+                return "reference_fallback", code, output
+            self.engine_breaker.record_success(key)
+            return "compiled", code, output
+
+        def _work() -> Tuple[str, int, bytes]:
             try:
                 program = load_any(data)
             except Exception as exc:  # noqa: BLE001 — client bytes
@@ -504,18 +600,19 @@ class CompressionService:
                 raise ServiceError(
                     protocol.E_BAD_REQUEST,
                     "run_compressed needs an RCX1 compressed module")
-            executor = (CompiledEngine(program) if engine == "compiled"
-                        else Interpreter2(program))
-            return run_program(program, executor, *args,
-                               input_data=input_data)
+            if engine == "reference":
+                code, output = run_program(program, Interpreter2(program),
+                                           *args, input_data=input_data)
+                return "reference", code, output
+            return _run_compiled(program)
 
         async with self._inflight:
             try:
-                code, output = await self._in_executor(_work)
+                used, code, output = await self._in_executor(_work)
             except (StorageError, ValidationError, ValueError) as exc:
                 raise ServiceError(protocol.E_BAD_REQUEST,
                                    str(exc)) from None
             except RuntimeError as exc:  # Trap / machine fault
                 raise ServiceError(protocol.E_TRAP, str(exc)) from None
         self.metrics.add_bytes("out", len(output))
-        return {"code": code, "output": b64e(output)}
+        return {"code": code, "output": b64e(output), "engine": used}

@@ -1,0 +1,175 @@
+"""Chaos suite: randomized fault schedules against the real server.
+
+Fifty-plus seeded :class:`~repro.faults.FaultPlan` schedules run
+end-to-end against a live :class:`CompressionService` on a real TCP
+socket.  Each schedule arms a random subset of injection sites (framing
+faults, torn registry writes, bit rot, engine faults) at random
+intensities — all derived from the schedule's seed, so any failure
+replays exactly.
+
+The invariants, per the acceptance criteria:
+
+* **no hung connections** — every client call is bounded by a socket
+  timeout and a deadline; the suite completing at all proves it;
+* **byte-identical round-trips on success** — a call that reports
+  success must have produced exactly the fault-free result (structured
+  errors are acceptable under chaos; silent corruption never is);
+* **no corrupt registry object survives outside quarantine** — after
+  each schedule the registry heals to a verified-clean state;
+* **the server outlives every schedule** — a fault-free round-trip must
+  succeed after each schedule with no restart.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+import repro
+from repro import faults
+from repro.compress.decompress import decompress_module
+from repro.corpus.synth import generate_program
+from repro.interp.interp2 import Interpreter2
+from repro.interp.runtime import run_program
+from repro.minic import compile_source
+from repro.service import RetryPolicy, ServiceError
+from repro.storage import load_any, save_compressed, save_grammar, \
+    save_module
+
+from tests.test_service import _Harness
+
+SCHEDULES = list(range(50))
+
+# (site, max probability, modes to choose from)
+CHAOS_SITES = [
+    ("service.frame.read", 0.15,
+     ["garbage", "disconnect", "delay"]),
+    ("service.frame.write", 0.15,
+     ["garbage", "truncate", "disconnect", "delay"]),
+    ("registry.atomic.corrupt", 0.3, [None]),
+    ("registry.atomic.torn", 0.3, [None]),
+    ("registry.atomic.pre_rename", 0.3, [None]),
+    ("registry.atomic.post_rename", 0.3, [None]),
+    ("registry.read.missing", 0.2, [None]),
+    ("registry.read.corrupt", 0.2, [None]),
+    ("engine.dispatch", 0.5, [None]),
+    ("engine.tables", 0.5, [None]),
+]
+
+
+def make_plan(seed: int) -> faults.FaultPlan:
+    """A random-but-reproducible schedule: 2-5 armed sites."""
+    rng = random.Random(seed)
+    armed = rng.sample(CHAOS_SITES, rng.randint(2, 5))
+    sites = {}
+    for name, max_p, modes in armed:
+        rule = {"p": round(rng.uniform(0.02, max_p), 3)}
+        mode = rng.choice(modes)
+        if mode is not None:
+            rule["mode"] = mode
+            if mode == "delay":
+                rule["arg"] = 0.01
+        sites[name] = rule
+    return faults.FaultPlan(seed=seed, sites=sites)
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    app = compile_source(generate_program(3, seed=777))
+    grammar, _ = repro.train_grammar(
+        [compile_source(generate_program(8, seed=s))
+         for s in (501, 502)] + [app])
+    grammar_bytes = save_grammar(grammar)
+    cmod = repro.compress_module(grammar, app)
+    h = _Harness(tmp_path_factory.mktemp("chaos"), batch_window=0.005)
+    yield {
+        "h": h,
+        "app_bytes": save_module(app),
+        "grammar_bytes": grammar_bytes,
+        "digest": hashlib.sha256(grammar_bytes).hexdigest(),
+        "rcx": save_compressed(cmod),
+        "expected_run": run_program(cmod, Interpreter2(cmod)),
+    }
+    h.close()
+
+
+def chaos_client(world):
+    return world["h"].client(
+        timeout=5.0,
+        retry=RetryPolicy(6, base=0.005, cap=0.05),
+        deadline=15.0)
+
+
+def run_ops(world, outcomes):
+    """One pass of the canonical workflow; success must be exact."""
+    with chaos_client(world) as client:
+        try:
+            digest = client.put_grammar(world["grammar_bytes"],
+                                        tags=["prod"])
+            assert digest == world["digest"]  # content address survives
+            outcomes["put"] += 1
+        except ServiceError:
+            pass
+        try:
+            rcx = client.compress(world["app_bytes"], world["digest"])
+            # byte-identical round trip, verified *locally* so a frame
+            # fault cannot mask a payload fault (the oracle itself runs
+            # with the plane lifted — it must be fault-free to judge)
+            with faults.suspended():
+                back = save_module(decompress_module(load_any(rcx)))
+            assert back == world["app_bytes"]
+            outcomes["compress"] += 1
+        except ServiceError:
+            pass
+        try:
+            code, output = client.run_compressed(world["rcx"])
+            assert (code, output) == world["expected_run"]
+            outcomes["run"] += 1
+        except ServiceError:
+            pass
+
+
+@pytest.mark.parametrize("seed", SCHEDULES)
+def test_chaos_schedule(world, seed):
+    outcomes = {"put": 0, "compress": 0, "run": 0}
+    plan = make_plan(seed)
+    with faults.injected(plan) as plane:
+        run_ops(world, outcomes)
+        fired = sum(s["fires"] for s in plane.snapshot().values())
+    assert faults.ACTIVE is None
+
+    # self-heal: whatever the schedule tore must quarantine or repair —
+    # no corrupt object may survive in the store proper
+    registry = world["h"].service.registry
+    registry.startup_scan()
+    report = registry.verify()
+    assert report["clean"], (seed, report)
+    for record in registry.list():
+        data = registry.get_bytes(record["hash"])
+        assert hashlib.sha256(data).hexdigest() == record["hash"]
+
+    # the server survived: a fault-free round trip works, exactly
+    with world["h"].client(timeout=10.0) as client:
+        digest = client.put_grammar(world["grammar_bytes"])
+        assert digest == world["digest"]
+        rcx = client.compress(world["app_bytes"], world["digest"])
+        assert client.decompress(rcx) == world["app_bytes"]
+        code, output = client.run_compressed(world["rcx"])
+        assert (code, output) == world["expected_run"]
+
+
+def test_chaos_plans_are_reproducible():
+    for seed in SCHEDULES[:10]:
+        assert make_plan(seed).to_dict() == make_plan(seed).to_dict()
+
+
+def test_chaos_actually_injects(world):
+    """Guard against a silently inert suite: across a handful of
+    schedules the plane must really fire."""
+    total = 0
+    for seed in SCHEDULES[:5]:
+        with faults.injected(make_plan(seed)) as plane:
+            run_ops(world, {"put": 0, "compress": 0, "run": 0})
+            total += sum(s["fires"] for s in plane.snapshot().values())
+    world["h"].service.registry.startup_scan()
+    assert total > 0

@@ -1,0 +1,217 @@
+"""Unit tests for the fault-injection plane (``repro.faults``).
+
+These test the *plane itself* — determinism, rule semantics, manifest
+round-trips, activation scoping.  The sites it drives are exercised by
+``test_crash_consistency.py``, ``test_resilience.py`` and
+``test_chaos.py``.
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    SITES,
+    FaultPlan,
+    FaultPlane,
+    FaultRule,
+    InjectedFault,
+)
+
+SITE = "engine.dispatch"
+OTHER = "service.frame.write"
+
+
+def _decisions(plane, site, n):
+    return [plane.decide(site) is not None for _ in range(n)]
+
+
+# -- rule semantics ----------------------------------------------------------
+
+def test_at_fires_exactly_those_evaluations():
+    plane = FaultPlane(FaultPlan(0, {SITE: FaultRule(at=[2, 5])}))
+    assert _decisions(plane, SITE, 6) == [
+        False, True, False, False, True, False]
+    assert plane.fired(SITE) == 2
+
+
+def test_at_accepts_single_int():
+    plane = FaultPlane(FaultPlan(0, {SITE: FaultRule(at=3)}))
+    assert _decisions(plane, SITE, 4) == [False, False, True, False]
+
+
+def test_times_caps_total_fires():
+    plane = FaultPlane(FaultPlan(0, {SITE: FaultRule(p=1.0, times=2)}))
+    assert _decisions(plane, SITE, 5) == [True, True, False, False, False]
+    assert plane.fired(SITE) == 2
+    assert plane.snapshot()[SITE] == {"evals": 5, "fires": 2}
+
+
+def test_probability_zero_never_fires():
+    plane = FaultPlane(FaultPlan(7, {SITE: FaultRule(p=0.0)}))
+    assert not any(_decisions(plane, SITE, 100))
+
+
+def test_probability_one_always_fires():
+    plane = FaultPlane(FaultPlan(7, {SITE: FaultRule(p=1.0)}))
+    assert all(_decisions(plane, SITE, 100))
+
+
+def test_probability_is_roughly_honoured():
+    plane = FaultPlane(FaultPlan(13, {SITE: FaultRule(p=0.25)}))
+    fires = sum(_decisions(plane, SITE, 2000))
+    assert 380 <= fires <= 620  # ~6 sigma around 500
+
+
+def test_unconfigured_site_never_fires_and_counts_nothing():
+    plane = FaultPlane(FaultPlan(0, {SITE: FaultRule(p=1.0)}))
+    assert plane.decide(OTHER) is None
+    assert plane.fired(OTHER) == 0
+
+
+# -- determinism -------------------------------------------------------------
+
+def test_same_seed_same_schedule():
+    plan = {"seed": 42, "sites": {SITE: {"p": 0.3}}}
+    a = FaultPlane(FaultPlan.from_dict(plan))
+    b = FaultPlane(FaultPlan.from_dict(plan))
+    assert _decisions(a, SITE, 200) == _decisions(b, SITE, 200)
+
+
+def test_different_seeds_differ():
+    a = FaultPlane(FaultPlan(1, {SITE: FaultRule(p=0.3)}))
+    b = FaultPlane(FaultPlan(2, {SITE: FaultRule(p=0.3)}))
+    assert _decisions(a, SITE, 200) != _decisions(b, SITE, 200)
+
+
+def test_schedule_is_independent_of_other_sites():
+    """Interleaving evaluations of another site must not perturb a
+    site's own schedule (per-site RNGs)."""
+    plan = FaultPlan(99, {SITE: FaultRule(p=0.3),
+                          OTHER: FaultRule(p=0.5)})
+    alone = _decisions(FaultPlane(plan), SITE, 100)
+    interleaved = FaultPlane(plan)
+    got = []
+    for _ in range(100):
+        interleaved.decide(OTHER)
+        got.append(interleaved.decide(SITE) is not None)
+    assert got == alone
+
+
+# -- manifest (JSON) round-trip ----------------------------------------------
+
+def test_plan_round_trips_through_json():
+    plan = FaultPlan(42, {
+        OTHER: FaultRule(p=0.1, mode="truncate"),
+        SITE: FaultRule(at=[3, 9], times=1),
+        "registry.atomic.torn": FaultRule(p=0.5, arg=0.01),
+    })
+    blob = json.dumps(plan.to_dict())
+    back = FaultPlan.from_dict(json.loads(blob))
+    assert back.to_dict() == plan.to_dict()
+    assert back.sites[SITE].at == frozenset([3, 9])
+    assert back.sites[OTHER].mode == "truncate"
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        FaultPlan(0, {"registry.atomic.typo": FaultRule(p=1.0)})
+
+
+def test_unknown_rule_key_rejected():
+    with pytest.raises(ValueError, match="unknown fault-rule keys"):
+        FaultRule.from_dict({"p": 0.5, "probability": 0.5})
+
+
+def test_bad_probability_rejected():
+    with pytest.raises(ValueError, match="out of"):
+        FaultRule(p=1.5)
+
+
+def test_all_declared_sites_are_valid_plan_keys():
+    plan = FaultPlan(0, {site: FaultRule(p=0.0) for site in SITES})
+    assert set(plan.sites) == SITES
+
+
+# -- fire / mutate -----------------------------------------------------------
+
+def test_fire_raises_injected_fault_with_site():
+    plane = FaultPlane(FaultPlan(0, {SITE: FaultRule(at=1)}))
+    with pytest.raises(InjectedFault) as exc:
+        plane.fire(SITE, message="boom")
+    assert exc.value.site == SITE
+    assert "boom" in str(exc.value)
+    plane.fire(SITE)  # second evaluation: no fire, no raise
+
+
+def test_fire_with_custom_exception_type():
+    plane = FaultPlane(FaultPlan(0, {SITE: FaultRule(at=1)}))
+    with pytest.raises(ValueError, match=SITE):
+        plane.fire(SITE, exc=ValueError)
+
+
+def test_injected_fault_is_not_a_domain_error():
+    from repro.interp.state import Trap
+    from repro.service.protocol import FrameError
+    from repro.storage import StorageError
+
+    fault = InjectedFault(SITE)
+    assert not isinstance(fault, (Trap, FrameError, StorageError))
+
+
+def test_mutate_flips_exactly_one_bit():
+    site = "registry.read.corrupt"
+    plane = FaultPlane(FaultPlan(3, {site: FaultRule(at=1)}))
+    data = bytes(range(64))
+    out = plane.mutate(site, data)
+    diff = [i for i in range(64) if out[i] != data[i]]
+    assert len(diff) == 1
+    assert bin(out[diff[0]] ^ data[diff[0]]).count("1") == 1
+
+
+def test_mutate_honours_window():
+    site = "registry.read.corrupt"
+    for seed in range(10):
+        plane = FaultPlane(FaultPlan(seed, {site: FaultRule(p=1.0)}))
+        data = bytes(64)
+        out = plane.mutate(site, data, window=(8, 16))
+        diff = [i for i in range(64) if out[i] != data[i]]
+        assert len(diff) == 1 and 8 <= diff[0] < 16
+
+
+def test_mutate_without_fire_returns_data_verbatim():
+    site = "registry.read.corrupt"
+    plane = FaultPlane(FaultPlan(0, {site: FaultRule(p=0.0)}))
+    data = b"payload"
+    assert plane.mutate(site, data) is data
+
+
+# -- activation --------------------------------------------------------------
+
+def test_inactive_by_default():
+    assert faults.ACTIVE is None
+
+
+def test_injected_context_manager_scopes_activation():
+    plan = {"seed": 1, "sites": {SITE: {"p": 1.0}}}
+    with faults.injected(plan) as plane:
+        assert faults.ACTIVE is plane
+        assert plane.decide(SITE) is not None
+    assert faults.ACTIVE is None
+
+
+def test_injected_deactivates_on_error():
+    with pytest.raises(RuntimeError):
+        with faults.injected({"seed": 1, "sites": {}}):
+            raise RuntimeError("boom")
+    assert faults.ACTIVE is None
+
+
+def test_activate_accepts_plain_dict_manifest():
+    plane = faults.activate({"seed": 5, "sites": {SITE: {"at": [1]}}})
+    try:
+        assert plane.plan.seed == 5
+        assert plane.decide(SITE) is not None
+    finally:
+        faults.deactivate()

@@ -1,0 +1,254 @@
+"""Service resilience: drain hardening, engine fallback, circuit breaker.
+
+The engine-fault tests are differential: a request answered in fallback
+or degraded mode must produce *exactly* what the reference interpreter
+produces for the same compressed module — the oracle borrowed from
+``tests/test_exec_equivalence.py``.  An injected compiled-engine fault
+may cost performance, never correctness.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import compress_module, train_grammar
+from repro import faults
+from repro.corpus.synth import generate_program
+from repro.interp.interp2 import Interpreter2
+from repro.minic import compile_source
+from repro.service import ServiceError
+from repro.service.protocol import b64d, b64e
+from repro.storage import save_compressed, save_grammar
+
+from tests.test_exec_equivalence import DIV_BY_ZERO, _observe
+from tests.test_service import _Harness
+
+FALLBACK_SEEDS = [200, 213, 226, 239]  # a slice of the equivalence sweep
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    corpus = [compile_source(generate_program(10, seed=s))
+              for s in (311, 312, 313)]
+    grammar, _ = train_grammar(corpus)
+    programs = {
+        seed: compress_module(
+            grammar, compile_source(generate_program(4, seed=seed)))
+        for seed in FALLBACK_SEEDS
+    }
+    return {
+        "grammar": grammar,
+        "grammar_bytes": save_grammar(grammar),
+        "programs": programs,
+        "trap": compress_module(grammar, compile_source(DIV_BY_ZERO)),
+    }
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plane():
+    yield
+    assert faults.ACTIVE is None, "a test leaked an active fault plane"
+    faults.deactivate()
+
+
+def _run_raw(client, cmod, engine="compiled"):
+    """run_compressed via the raw call surface, so the response's
+    ``engine`` discriminator is visible."""
+    result = client.call("run_compressed",
+                         {"module": b64e(save_compressed(cmod)),
+                          "args": [], "engine": engine})
+    return result["engine"], result["code"], b64d(result["output"])
+
+
+# -- drain hardening ---------------------------------------------------------
+
+def test_connect_during_drain_gets_structured_error(tmp_path):
+    """A client connecting while the server drains gets a retryable
+    ``shutting_down`` error frame — never a connection reset — and the
+    in-flight work still completes."""
+    source = compile_source(generate_program(6, seed=400))
+    grammar, _ = train_grammar([source])
+    h = _Harness(tmp_path, batch_window=0.5)
+    try:
+        with h.client() as client:
+            client.put_grammar(save_grammar(grammar), tags=["prod"])
+        from repro.storage import save_module
+        result = {}
+
+        def slow_compress():
+            with h.client() as c:
+                result["data"] = c.compress(save_module(source), "prod")
+
+        worker = threading.Thread(target=slow_compress)
+        worker.start()
+        time.sleep(0.1)  # request lands in the 0.5 s batch window
+        stopper = threading.Thread(target=h.close)
+        stopper.start()
+        time.sleep(0.1)  # drain has begun; listener must still accept
+        with h.client() as mid:  # a reset here would raise OSError
+            with pytest.raises(ServiceError) as exc:
+                mid.compress(save_module(source), "prod")
+        assert exc.value.code == "shutting_down"
+        assert exc.value.retryable
+        worker.join(15)
+        stopper.join(20)
+        assert result["data"]  # the drained request was not dropped
+    finally:
+        if h.thread.is_alive():
+            h.close()
+
+
+# -- engine fallback (differential against the reference oracle) -------------
+
+@pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+def test_dispatch_fault_falls_back_to_reference(tmp_path, artifacts,
+                                                seed):
+    cmod = artifacts["programs"][seed]
+    expected = _observe(cmod, Interpreter2(cmod))
+    h = _Harness(tmp_path)
+    try:
+        with h.client() as client:
+            with faults.injected(
+                    {"seed": 1,
+                     "sites": {"engine.dispatch": {"p": 1.0}}}):
+                used, code, output = _run_raw(client, cmod)
+            assert used == "reference_fallback"
+            assert code == expected["code"]
+            assert output == expected["output"]
+            stats = h.run(h.service._m_stats({}))
+            assert stats["counters"]["engine_events_total"][
+                "fallback"] == 1
+    finally:
+        h.close()
+
+
+def test_tables_fault_falls_back_to_reference(tmp_path, artifacts):
+    cmod = artifacts["programs"][FALLBACK_SEEDS[0]]
+    expected = _observe(cmod, Interpreter2(cmod))
+    h = _Harness(tmp_path)
+    try:
+        with h.client() as client:
+            with faults.injected(
+                    {"seed": 1,
+                     "sites": {"engine.tables": {"at": [1]}}}):
+                used, code, output = _run_raw(client, cmod)
+                assert used == "reference_fallback"
+                assert (code, output) == (expected["code"],
+                                          expected["output"])
+                # the next request's table build is fault-free again
+                used, code, output = _run_raw(client, cmod)
+            assert used == "compiled"
+            assert (code, output) == (expected["code"],
+                                      expected["output"])
+    finally:
+        h.close()
+
+
+def test_reference_engine_is_outside_the_blast_radius(tmp_path,
+                                                      artifacts):
+    """engine=reference requests never touch the compiled engine, so a
+    dispatch fault cannot reach them."""
+    cmod = artifacts["programs"][FALLBACK_SEEDS[0]]
+    expected = _observe(cmod, Interpreter2(cmod))
+    h = _Harness(tmp_path)
+    try:
+        with h.client() as client:
+            with faults.injected(
+                    {"seed": 1,
+                     "sites": {"engine.dispatch": {"p": 1.0}}}):
+                used, code, output = _run_raw(client, cmod,
+                                              engine="reference")
+            assert used == "reference"
+            assert (code, output) == (expected["code"],
+                                      expected["output"])
+    finally:
+        h.close()
+
+
+def test_program_trap_is_not_an_engine_fault(tmp_path, artifacts):
+    """A Trap is the program's fault (identical on every engine): it
+    must surface as the structured ``trap`` error, not trip the breaker
+    or count as a fallback."""
+    h = _Harness(tmp_path)
+    try:
+        with h.client() as client:
+            with pytest.raises(ServiceError) as exc:
+                _run_raw(client, artifacts["trap"])
+            assert exc.value.code == "trap"
+            stats = h.run(h.service._m_stats({}))
+            assert stats["counters"]["engine_events_total"] == {}
+            assert stats["engine"]["breakers"] == {}
+    finally:
+        h.close()
+
+
+# -- circuit breaker: quarantine and recovery --------------------------------
+
+def test_breaker_opens_after_threshold_and_degrades(tmp_path, artifacts):
+    cmod = artifacts["programs"][FALLBACK_SEEDS[0]]
+    expected = _observe(cmod, Interpreter2(cmod))
+    h = _Harness(tmp_path, breaker_threshold=2, breaker_cooldown=60.0)
+    try:
+        with h.client() as client:
+            with faults.injected(
+                    {"seed": 1,
+                     "sites": {"engine.dispatch": {"p": 1.0}}}):
+                for _ in range(2):
+                    used, code, output = _run_raw(client, cmod)
+                    assert used == "reference_fallback"
+                    assert (code, output) == (expected["code"],
+                                              expected["output"])
+            # plane gone, but the breaker is open: the compiled engine
+            # stays quarantined for this grammar
+            used, code, output = _run_raw(client, cmod)
+            assert used == "reference_degraded"
+            assert (code, output) == (expected["code"],
+                                      expected["output"])
+            stats = h.run(h.service._m_stats({}))
+            events = stats["counters"]["engine_events_total"]
+            assert events["fallback"] == 2
+            assert events["degraded"] == 1
+            assert stats["engine"]["quarantined"]  # shows up in stats
+            (state,) = set(
+                v["state"] for v in stats["engine"]["breakers"].values())
+            assert state == "open"
+    finally:
+        h.close()
+
+
+def test_breaker_half_open_probe_recovers(tmp_path, artifacts):
+    cmod = artifacts["programs"][FALLBACK_SEEDS[2]]
+    expected = _observe(cmod, Interpreter2(cmod))
+    h = _Harness(tmp_path, breaker_threshold=1, breaker_cooldown=0.2)
+    try:
+        with h.client() as client:
+            with faults.injected(
+                    {"seed": 1,
+                     "sites": {"engine.dispatch": {"p": 1.0}}}):
+                used, _, _ = _run_raw(client, cmod)
+                assert used == "reference_fallback"
+            used, _, _ = _run_raw(client, cmod)
+            assert used == "reference_degraded"  # open: straight to ref
+            time.sleep(0.25)  # past the cooldown: half-open
+            used, code, output = _run_raw(client, cmod)
+            assert used == "compiled"  # probe succeeded, breaker closed
+            assert (code, output) == (expected["code"],
+                                      expected["output"])
+            stats = h.run(h.service._m_stats({}))
+            assert stats["engine"]["breakers"] == {}
+            assert stats["engine"]["quarantined"] == []
+    finally:
+        h.close()
+
+
+def test_stats_reports_startup_scan(tmp_path, artifacts):
+    h = _Harness(tmp_path)
+    try:
+        with h.client() as client:
+            stats = client.stats()
+        scan = stats["registry"]["startup_scan"]
+        assert scan["clean"] is True
+        assert scan["checked"] == 0
+    finally:
+        h.close()

@@ -1,0 +1,294 @@
+"""Client retry semantics: backoff jitter, exhaustion, deadlines.
+
+These tests run the clients against a *scripted* server — a thread that
+speaks the real wire protocol but answers each request from a fixed list
+of directives — so every failure mode is exact and every assertion about
+attempt counts is deterministic.
+"""
+
+import asyncio
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import protocol
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.protocol import ServiceError
+from repro.service.retry import TRANSPORT, RetryPolicy
+
+
+class _ScriptServer:
+    """One directive per request: ``"ok"`` answers a result frame, an
+    error code answers an error frame, ``"drop"`` closes the connection
+    without replying.  When the script runs out the listener closes, so
+    further connects are refused (a transport failure)."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        self.connections = 0
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self._sock.settimeout(10)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        try:
+            while self.script:
+                conn, _ = self._sock.accept()
+                self.connections += 1
+                with conn:
+                    conn.settimeout(10)
+                    self._serve_conn(conn)
+        except OSError:
+            pass
+        finally:
+            self.close()
+
+    def _serve_conn(self, conn):
+        while self.script:
+            try:
+                msg = protocol.recv_frame_sync(conn)
+            except (OSError, protocol.FrameError):
+                return
+            self.requests.append(msg)
+            action = self.script.pop(0)
+            if action == "drop":
+                return
+            if action == "ok":
+                body = protocol.result_body(msg["id"], {"pong": True})
+            else:
+                body = protocol.error_body(msg["id"], action,
+                                           f"scripted {action}")
+            protocol.send_frame_sync(conn, body)
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        self._thread.join(5)
+
+
+FAST = dict(base=0.001, cap=0.004)  # real sleeps, negligible wall time
+
+
+def _async(coro):
+    return asyncio.run(coro)
+
+
+# -- RetryPolicy unit --------------------------------------------------------
+
+def test_backoff_is_full_jitter_within_bounds():
+    policy = RetryPolicy(8, base=0.05, multiplier=2.0, cap=1.0,
+                         rng=random.Random(7))
+    for attempt in range(8):
+        ceiling = min(1.0, 0.05 * 2.0 ** attempt)
+        samples = [policy.backoff(attempt) for _ in range(200)]
+        assert all(0.0 <= s <= ceiling for s in samples)
+        # full jitter, not fixed: the samples actually spread
+        assert max(samples) - min(samples) > ceiling * 0.5
+
+
+def test_backoff_cap_bounds_late_attempts():
+    policy = RetryPolicy(20, base=0.1, multiplier=2.0, cap=0.25,
+                         rng=random.Random(1))
+    assert all(policy.backoff(19) <= 0.25 for _ in range(100))
+
+
+def test_retry_codes_default_and_custom():
+    policy = RetryPolicy()
+    for code in sorted(protocol.RETRYABLE) + [TRANSPORT]:
+        assert policy.retries(code)
+    assert not policy.retries("bad_request")
+    assert not policy.retries("not_found")
+    only = RetryPolicy(retry_codes={"overloaded"})
+    assert only.retries("overloaded") and not only.retries(TRANSPORT)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+
+
+# -- sync client -------------------------------------------------------------
+
+def test_retryable_error_is_retried_to_success():
+    with _ScriptServer(["overloaded", "overloaded", "ok"]) as server:
+        with ServiceClient("127.0.0.1", server.port,
+                           retry=RetryPolicy(4, **FAST)) as client:
+            assert client.call("ping") == {"pong": True}
+        assert len(server.requests) == 3
+
+
+def test_exhaustion_raises_last_structured_error():
+    with _ScriptServer(["overloaded", "timeout", "shutting_down",
+                        "ok"]) as server:
+        with ServiceClient("127.0.0.1", server.port,
+                           retry=RetryPolicy(3, **FAST)) as client:
+            with pytest.raises(ServiceError) as exc:
+                client.call("ping")
+        # the *last* server answer surfaces, and nothing past the cap ran
+        assert exc.value.code == "shutting_down"
+        assert len(server.requests) == 3
+        assert server.script == ["ok"]
+
+
+def test_non_retryable_error_is_not_retried():
+    with _ScriptServer(["bad_request", "ok"]) as server:
+        with ServiceClient("127.0.0.1", server.port,
+                           retry=RetryPolicy(5, **FAST)) as client:
+            with pytest.raises(ServiceError) as exc:
+                client.call("ping")
+        assert exc.value.code == "bad_request"
+        assert len(server.requests) == 1
+
+
+def test_no_policy_means_single_shot():
+    with _ScriptServer(["overloaded", "ok"]) as server:
+        with ServiceClient("127.0.0.1", server.port) as client:
+            with pytest.raises(ServiceError) as exc:
+                client.call("ping")
+        assert exc.value.code == "overloaded"
+        assert len(server.requests) == 1
+
+
+def test_dropped_connection_reconnects_transparently():
+    with _ScriptServer(["drop", "ok"]) as server:
+        with ServiceClient("127.0.0.1", server.port,
+                           retry=RetryPolicy(3, **FAST)) as client:
+            assert client.call("ping") == {"pong": True}
+        assert server.connections == 2  # second attempt re-dialled
+        assert len(server.requests) == 2
+
+
+def test_transport_exhaustion_surfaces_transport_error():
+    with _ScriptServer(["drop"]) as server:
+        with ServiceClient("127.0.0.1", server.port,
+                           retry=RetryPolicy(3, **FAST)) as client:
+            with pytest.raises(ServiceError) as exc:
+                client.call("ping")
+        assert exc.value.code == TRANSPORT
+
+
+def test_deadline_cuts_retries_short():
+    script = ["overloaded"] * 50
+    with _ScriptServer(script) as server:
+        policy = RetryPolicy(50, base=0.1, multiplier=2.0, cap=0.5)
+        with ServiceClient("127.0.0.1", server.port,
+                           retry=policy) as client:
+            start = time.monotonic()
+            with pytest.raises(ServiceError) as exc:
+                client.call("ping", deadline=0.3)
+            elapsed = time.monotonic() - start
+        assert exc.value.code == "overloaded"  # last error, not a new one
+        assert elapsed < 2.0
+        assert 1 <= len(server.requests) < 50
+
+
+def test_deadline_travels_in_envelope_and_shrinks():
+    with _ScriptServer(["overloaded", "overloaded", "ok"]) as server:
+        with ServiceClient("127.0.0.1", server.port,
+                           retry=RetryPolicy(4, base=0.01, cap=0.02)
+                           ) as client:
+            client.call("ping", deadline=30.0)
+        budgets = [req["deadline"] for req in server.requests]
+        assert len(budgets) == 3
+        assert all(0 < b <= 30.0 for b in budgets)
+        assert budgets[0] > budgets[1] > budgets[2]
+
+
+def test_no_deadline_means_no_envelope_field():
+    with _ScriptServer(["ok"]) as server:
+        with ServiceClient("127.0.0.1", server.port) as client:
+            client.call("ping")
+        assert "deadline" not in server.requests[0]
+
+
+def test_exhausted_deadline_fails_before_sending():
+    with _ScriptServer(["ok"]) as server:
+        with ServiceClient("127.0.0.1", server.port) as client:
+            with pytest.raises(ServiceError) as exc:
+                client.call("ping", deadline=-1.0)
+        assert exc.value.code == "timeout"
+        assert server.requests == []
+
+
+# -- async client ------------------------------------------------------------
+
+def test_async_retry_to_success():
+    async def scenario(port):
+        async with AsyncServiceClient(
+                "127.0.0.1", port, retry=RetryPolicy(4, **FAST)) as c:
+            return await c.call("ping")
+
+    with _ScriptServer(["overloaded", "overloaded", "ok"]) as server:
+        assert _async(scenario(server.port)) == {"pong": True}
+        assert len(server.requests) == 3
+
+
+def test_async_exhaustion_raises_last_error():
+    async def scenario(port):
+        async with AsyncServiceClient(
+                "127.0.0.1", port, retry=RetryPolicy(2, **FAST)) as c:
+            await c.call("ping")
+
+    with _ScriptServer(["overloaded", "timeout", "ok"]) as server:
+        with pytest.raises(ServiceError) as exc:
+            _async(scenario(server.port))
+        assert exc.value.code == "timeout"
+        assert len(server.requests) == 2
+
+
+def test_async_non_retryable_not_retried():
+    async def scenario(port):
+        async with AsyncServiceClient(
+                "127.0.0.1", port, retry=RetryPolicy(5, **FAST)) as c:
+            await c.call("ping")
+
+    with _ScriptServer(["not_found", "ok"]) as server:
+        with pytest.raises(ServiceError) as exc:
+            _async(scenario(server.port))
+        assert exc.value.code == "not_found"
+        assert len(server.requests) == 1
+
+
+def test_async_reconnects_after_drop():
+    async def scenario(port):
+        async with AsyncServiceClient(
+                "127.0.0.1", port, retry=RetryPolicy(3, **FAST)) as c:
+            return await c.call("ping")
+
+    with _ScriptServer(["drop", "ok"]) as server:
+        assert _async(scenario(server.port)) == {"pong": True}
+        assert server.connections == 2
+
+
+def test_async_deadline_cuts_retries_short():
+    async def scenario(port):
+        async with AsyncServiceClient(
+                "127.0.0.1", port,
+                retry=RetryPolicy(50, base=0.1, cap=0.5)) as c:
+            await c.call("ping", deadline=0.3)
+
+    with _ScriptServer(["overloaded"] * 50) as server:
+        start = time.monotonic()
+        with pytest.raises(ServiceError) as exc:
+            _async(scenario(server.port))
+        assert exc.value.code == "overloaded"
+        assert time.monotonic() - start < 2.0
+        assert len(server.requests) < 50
