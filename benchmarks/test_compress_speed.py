@@ -1,0 +1,108 @@
+"""S2 — compression throughput gates for the GrammarProgram refactor.
+
+Every grammar consumer runs off one precompiled
+:class:`~repro.core.program.GrammarProgram` (codeword tables, flat
+fragment matchers with subtree-size pruning, FIRST-set predict pruning
+in the Earley search).  The refactor's contract is *bit-identical output,
+materially faster*: these benches compress the 8q module with the live
+paths and with the frozen pre-refactor oracle paths
+(:mod:`repro.compress.oracle`) in the same process, assert byte
+equality, and gate the speedup at >=1.5x — alongside the existing >=2x
+S1c engine gate, which must keep passing.
+
+The derivation cache is disabled on both sides: it is output-transparent
+and orthogonal to the refactor, and a warm cache would measure the cache
+instead of the compressor.
+"""
+
+import time
+
+from repro.compress.compressor import Compressor
+from repro.compress.oracle import oracle_compress_module
+from repro.experiments import corpus, render_table, trained
+
+GATE = 1.5
+
+
+def _codes(cmod):
+    return [p.code for p in cmod.procedures]
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    out = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_tiling_compression_speedup(benchmark, scale):
+    """S2a — the production (tiling) compressor vs the pre-refactor
+    tiler, byte-identical and at least 1.5x faster."""
+    module = corpus(scale)["8q"]
+    grammar, _ = trained(("gcc",), scale=scale)
+
+    oracle_s, oracle_cmod = _best_of(
+        lambda: oracle_compress_module(grammar, module))
+
+    new_cmod = benchmark.pedantic(
+        lambda: Compressor(grammar, cache_size=0).compress_module(module),
+        rounds=3, iterations=1,
+    )
+    new_s = benchmark.stats.stats.min
+
+    assert _codes(new_cmod) == _codes(oracle_cmod)
+    speedup = oracle_s / new_s
+    print()
+    print(render_table(
+        "S2a: tiling compression, program-backed vs pre-refactor (8q)",
+        ["path", "bytes", "best (s)"],
+        [
+            ("oracle (pre-refactor)", oracle_cmod.code_bytes,
+             f"{oracle_s:.4f}"),
+            ("GrammarProgram-backed", new_cmod.code_bytes,
+             f"{new_s:.4f}"),
+        ],
+    ))
+    print(f"S2a: speedup {speedup:.2f}x (gate {GATE}x)")
+    assert speedup >= GATE, \
+        f"tiling compression only {speedup:.2f}x faster"
+
+
+def test_earley_compression_speedup(benchmark, scale):
+    """S2b — the Earley reference engine with FIRST-set predict pruning
+    vs the unpruned pre-refactor search, byte-identical and at least
+    1.5x faster.  Single round per side: the oracle path takes seconds
+    per run and the pruning speedup is far from the gate."""
+    module = corpus(scale)["8q"]
+    grammar, _ = trained(("gcc",), scale=scale)
+
+    oracle_s, oracle_cmod = _best_of(
+        lambda: oracle_compress_module(grammar, module, engine="earley"),
+        rounds=1)
+
+    new_cmod = benchmark.pedantic(
+        lambda: Compressor(grammar, engine="earley",
+                           cache_size=0).compress_module(module),
+        rounds=1, iterations=1,
+    )
+    new_s = benchmark.stats.stats.min
+
+    assert _codes(new_cmod) == _codes(oracle_cmod)
+    speedup = oracle_s / new_s
+    print()
+    print(render_table(
+        "S2b: Earley compression, FIRST-pruned vs unpruned (8q)",
+        ["path", "bytes", "best (s)"],
+        [
+            ("oracle (unpruned)", oracle_cmod.code_bytes,
+             f"{oracle_s:.3f}"),
+            ("program-backed (pruned)", new_cmod.code_bytes,
+             f"{new_s:.3f}"),
+        ],
+    ))
+    print(f"S2b: speedup {speedup:.2f}x (gate {GATE}x)")
+    assert speedup >= GATE, \
+        f"earley compression only {speedup:.2f}x faster"

@@ -31,6 +31,7 @@ from .compress import (
     Compressor,
     decompress_module,
 )
+from .core import GrammarProgram, program_for
 from .grammar import Grammar, initial_grammar, typed_grammar
 from .interp import Interpreter1, Interpreter2, Machine, run_program
 from .minic import compile_and_run, compile_source, compile_sources
@@ -55,6 +56,7 @@ __version__ = "1.1.0"
 __all__ = [
     "Module", "Procedure", "assemble", "disassemble", "validate_module",
     "CompressedModule", "Compressor", "decompress_module",
+    "GrammarProgram", "program_for",
     "Grammar", "initial_grammar", "typed_grammar",
     "Interpreter1", "Interpreter2", "Machine", "run_program",
     "compile_and_run", "compile_source", "compile_sources",

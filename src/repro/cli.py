@@ -214,6 +214,37 @@ def _open_registry(args):
     return GrammarRegistry(args.registry)
 
 
+def _cmd_grammar(args) -> int:
+    from .interp.tables import interp_tables
+    from .registry import RegistryError
+
+    registry = _open_registry(args)
+    try:
+        program = registry.program(args.ref)
+    except RegistryError as exc:
+        raise CliError(str(exc)) from None
+    stats = program.stats()
+    print(f"grammar {program.content_key[:12]}: "
+          f"{stats['rules']} rules, {stats['nonterminals']} nonterminals "
+          f"({stats['original_rules']} original), "
+          f"{stats['terminals']} terminals")
+    print(f"  prediction-set density {stats['prediction_set_density']:.3f}"
+          f"  reachable {stats['reachable_nonterminals']}"
+          f"  productive {stats['productive_nonterminals']}")
+    print(f"  flattened rule tables: "
+          f"{interp_tables(program.grammar).encoded_bytes()} bytes")
+    name_w = max(len(n) for n in stats["rules_per_nt"])
+    print(f"  {'NT':{name_w}}  rules  first-set  min-cost")
+    for name, count in stats["rules_per_nt"].items():
+        first = stats["prediction_set_sizes"][name]
+        cost = stats["min_expansion_cost"][name]
+        print(f"  {name:{name_w}}  {count:5}  {first:9}  "
+              f"{cost if cost is not None else '-':>8}")
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_registry(args) -> int:
     from .registry import RegistryError
     registry = _open_registry(args)
@@ -402,6 +433,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="size breakdowns")
     p.add_argument("modules", nargs="+")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("grammar",
+                       help="inspect a stored grammar's precompiled "
+                            "program")
+    p.add_argument("-d", "--registry", default=".repro-registry",
+                   help="registry directory (default .repro-registry)")
+    gsub = p.add_subparsers(dest="grammar_command", required=True)
+    gp = gsub.add_parser(
+        "stats", help="rules per NT, prediction-set density, "
+                      "flattened-row bytes")
+    gp.add_argument("ref", help="hash, unique prefix, or tag")
+    gp.add_argument("--json", action="store_true",
+                    help="also dump the full statistics as JSON")
+    p.set_defaults(fn=_cmd_grammar)
 
     p = sub.add_parser("registry", help="manage a local grammar registry")
     p.add_argument("-d", "--registry", default=".repro-registry",

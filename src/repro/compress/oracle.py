@@ -1,0 +1,325 @@
+"""Frozen pre-refactor compression paths (the golden oracle).
+
+When every grammar consumer moved onto the precompiled
+:class:`~repro.core.program.GrammarProgram`, the claim was *bit-identical
+behaviour*: same compressed bytes, same decompressed modules, same
+executed-operator counts.  This module freezes the replaced
+implementations verbatim — the allocation-heavy recursive fragment
+matcher, the ``list.index``-per-step tree encoder, and the unpruned
+cost-annotated Earley parser — so that claim stays checkable forever:
+
+* ``tests/test_program_equivalence.py`` sweeps 50 fuzz seeds asserting
+  byte equality against :func:`oracle_compress_module`;
+* ``benchmarks/test_compress_speed.py`` gates the refactor's speedup
+  against these same paths.
+
+Nothing here is reachable from production code; do not "optimize" it —
+its value is that it never changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bytecode.module import Module, Procedure
+from ..bytecode.opcodes import opcode
+from ..grammar.cfg import Grammar, Rule, is_nonterminal
+from ..parsing.derivation import DerivationError
+from ..parsing.earley import EarleyError
+from ..parsing.forest import Node, preorder, terminal_yield
+from ..parsing.stackparser import parse_blocks
+from .container import CompressedModule, CompressedProcedure
+
+__all__ = [
+    "OracleTiler",
+    "oracle_encode_tree",
+    "oracle_shortest_derivation_tree",
+    "oracle_compress_module",
+]
+
+_LABELV = opcode("LABELV")
+_INF = float("inf")
+
+
+# -- the pre-refactor tiler (verbatim) ---------------------------------------
+
+class OracleTiler:
+    """The tiling compressor exactly as it stood before the
+    GrammarProgram refactor: per-construction root index, recursive
+    fragment matching with per-node ``zip``/``list`` allocation, no
+    subtree-size pruning."""
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+        self._by_root: Dict[int, List[Rule]] = {}
+        for rule in grammar:
+            root_rid = rule.fragment[0]
+            self._by_root.setdefault(root_rid, []).append(rule)
+
+    @staticmethod
+    def _match_collect(fragment, node: Node) -> Optional[List[Node]]:
+        holes: List[Node] = []
+        stack = [(fragment, node)]
+        while stack:
+            frag, n = stack.pop()
+            if frag is None:
+                holes.append(n)
+                continue
+            rid, children = frag
+            if n.rule_id != rid:
+                return None
+            if len(children) != len(n.children):
+                return None
+            for pair in reversed(list(zip(children, n.children))):
+                stack.append(pair)
+        return holes
+
+    def tile(self, tree: Node) -> Node:
+        cost, choice = self._solve(tree)
+        return self._rebuild(tree, choice)
+
+    def _solve(self, tree: Node):
+        nodes = list(preorder(tree))
+        best_cost: Dict[int, int] = {}
+        choice: Dict[int, Tuple[Rule, List[Node]]] = {}
+        for node in reversed(nodes):
+            candidates = self._by_root.get(node.rule_id)
+            if not candidates:
+                raise ValueError(
+                    f"no rule of the expanded grammar covers original rule "
+                    f"{node.rule_id}"
+                )
+            node_best = None
+            node_rule = None
+            node_holes = None
+            for rule in candidates:
+                holes = self._match_collect(rule.fragment, node)
+                if holes is None:
+                    continue
+                cost = 1
+                for sub in holes:
+                    cost += best_cost[id(sub)]
+                if node_best is None or cost < node_best:
+                    node_best = cost
+                    node_rule = rule
+                    node_holes = holes
+            if node_best is None:
+                raise ValueError(
+                    f"no fragment matches at rule {node.rule_id}"
+                )
+            best_cost[id(node)] = node_best
+            choice[id(node)] = (node_rule, node_holes)
+        return best_cost[id(tree)], choice
+
+    @staticmethod
+    def _rebuild(tree: Node, choice) -> Node:
+        rule, holes = choice[id(tree)]
+        root = Node(rule.id)
+        work: List[Tuple[Node, List[Node], int]] = [(root, holes, 0)]
+        while work:
+            parent, bindings, i = work[-1]
+            if i == len(bindings):
+                work.pop()
+                continue
+            work[-1] = (parent, bindings, i + 1)
+            sub_rule, sub_holes = choice[id(bindings[i])]
+            child = Node(sub_rule.id)
+            parent.children.append(child)
+            child.parent = parent
+            child.pindex = i
+            work.append((child, sub_holes, 0))
+        return root
+
+
+# -- the pre-refactor encoder (verbatim) -------------------------------------
+
+def oracle_encode_tree(grammar: Grammar, root: Node) -> bytes:
+    """One byte per derivation step via the linear
+    ``Grammar.rule_index`` list scan, as before the codeword table."""
+    out = bytearray()
+    for node in preorder(root):
+        idx = grammar.rule_index(node.rule_id)
+        if idx > 255:
+            raise DerivationError(
+                f"rule index {idx} does not fit in a byte"
+            )
+        out.append(idx)
+    return bytes(out)
+
+
+# -- the pre-refactor Earley search (verbatim, unpruned) ---------------------
+
+def _oracle_parse_chart(grammar: Grammar, symbols: Sequence[int],
+                        start: Optional[int] = None):
+    if start is None:
+        start = grammar.start
+    n = len(symbols)
+    rules = grammar.rules
+    by_lhs = grammar.by_lhs
+
+    sets: List[Dict] = [{} for _ in range(n + 1)]
+
+    def add(j, key, cost, back, worklist) -> None:
+        cur = sets[j].get(key)
+        if cur is None or cost < cur[0]:
+            sets[j][key] = (cost, back)
+            worklist.append(key)
+
+    worklist: List = []
+    for rid in by_lhs[start]:
+        add(0, (rid, 0, 0), 0, None, worklist)
+
+    for j in range(n + 1):
+        if j > 0:
+            worklist = list(sets[j].keys())
+        while worklist:
+            key = worklist.pop()
+            entry = sets[j].get(key)
+            if entry is None:
+                continue
+            cost, _ = entry
+            rid, dot, origin = key
+            rhs = rules[rid].rhs
+            if dot < len(rhs):
+                sym = rhs[dot]
+                if is_nonterminal(sym):
+                    for rid2 in by_lhs[sym]:
+                        add(j, (rid2, 0, j), 0, None, worklist)
+                    for ckey, (ccost, _cb) in list(sets[j].items()):
+                        crid, cdot, corigin = ckey
+                        if corigin == j and cdot == len(rules[crid].rhs) \
+                                and rules[crid].lhs == sym:
+                            add(j, (rid, dot + 1, origin),
+                                cost + ccost + 1,
+                                ("complete", key, ckey, j), worklist)
+            else:
+                lhs = rules[rid].lhs
+                for pkey, (pcost, _pb) in list(sets[origin].items()):
+                    prid, pdot, porigin = pkey
+                    prhs = rules[prid].rhs
+                    if pdot < len(prhs) and prhs[pdot] == lhs:
+                        add(j, (prid, pdot + 1, porigin),
+                            pcost + cost + 1,
+                            ("complete", pkey, key, j), worklist)
+        if j < n:
+            sym = symbols[j]
+            for key, (cost, _) in sets[j].items():
+                rid, dot, origin = key
+                rhs = rules[rid].rhs
+                if dot < len(rhs) and rhs[dot] == sym:
+                    nkey = (rid, dot + 1, origin)
+                    cur = sets[j + 1].get(nkey)
+                    if cur is None or cost < cur[0]:
+                        sets[j + 1][nkey] = (cost, ("scan", key))
+    return sets
+
+
+def _oracle_build_tree(grammar: Grammar, sets, key, j: int) -> Node:
+    rules = grammar.rules
+    frames: List[list] = [[key, j, []]]
+    result: Optional[Node] = None
+    while frames:
+        frame = frames[-1]
+        if result is not None:
+            frame[2].append(result)
+            result = None
+        while True:
+            key, j = frame[0], frame[1]
+            back = sets[j][key][1]
+            if back is None:
+                rid = key[0]
+                children = frame[2][::-1]
+                node = Node(rid, children)
+                assert len(children) == rules[rid].arity
+                frames.pop()
+                result = node
+                break
+            if back[0] == "scan":
+                frame[0] = back[1]
+                frame[1] = j - 1
+            else:
+                _, pkey, ckey, cj = back
+                frame[0] = pkey
+                frame[1] = ckey[2]
+                frames.append([ckey, cj, []])
+                break
+    return result
+
+
+def oracle_shortest_derivation_tree(grammar: Grammar,
+                                    symbols: Sequence[int],
+                                    start: Optional[int] = None) -> Node:
+    """Unpruned cost-annotated Earley, as before FIRST-set pruning."""
+    if start is None:
+        start = grammar.start
+    sets = _oracle_parse_chart(grammar, symbols, start)
+    n = len(symbols)
+    best_key = None
+    best_cost = _INF
+    for key, (cost, _) in sets[n].items():
+        rid, dot, origin = key
+        rule = grammar.rules[rid]
+        if rule.lhs == start and origin == 0 and dot == len(rule.rhs):
+            if cost + 1 < best_cost:
+                best_cost = cost + 1
+                best_key = key
+    if best_key is None:
+        raise EarleyError(
+            f"input of length {n} does not derive from "
+            f"<{grammar.nt_name(start)}>"
+        )
+    return _oracle_build_tree(grammar, sets, best_key, n)
+
+
+# -- the pre-refactor compressor flow ----------------------------------------
+
+def oracle_compress_procedure(grammar: Grammar, proc: Procedure,
+                              engine: str = "tiling",
+                              tiler: Optional[OracleTiler] = None
+                              ) -> CompressedProcedure:
+    """Per-procedure compression over the frozen paths (no derivation
+    cache; the cache is output-transparent and orthogonal to the
+    refactor)."""
+    if tiler is None and engine == "tiling":
+        tiler = OracleTiler(grammar)
+    blocks = parse_blocks(grammar, proc.code)
+    out = bytearray()
+    new_offset: Dict[int, int] = {}
+    block_starts: List[int] = []
+    for block in blocks:
+        new_offset[block.start] = len(out)
+        block_starts.append(len(out))
+        if engine == "tiling":
+            expanded = tiler.tile(block.tree)
+        else:
+            symbols = terminal_yield(block.tree, grammar)
+            expanded = oracle_shortest_derivation_tree(grammar, symbols)
+        out.extend(oracle_encode_tree(grammar, expanded))
+    labels: List[int] = []
+    for label_off in proc.labels:
+        if label_off >= len(proc.code) or proc.code[label_off] != _LABELV:
+            raise ValueError(
+                f"{proc.name}: label offset {label_off} does not point "
+                f"at a LABELV"
+            )
+        labels.append(new_offset[label_off + 1])
+    return CompressedProcedure(
+        name=proc.name,
+        code=bytes(out),
+        labels=labels,
+        framesize=proc.framesize,
+        needs_trampoline=proc.needs_trampoline,
+        argsize=proc.argsize,
+        block_starts=block_starts,
+    )
+
+
+def oracle_compress_module(grammar: Grammar, module: Module,
+                           engine: str = "tiling") -> CompressedModule:
+    """Whole-module compression over the frozen pre-refactor paths."""
+    tiler = OracleTiler(grammar) if engine == "tiling" else None
+    cmod = CompressedModule.like(grammar, module)
+    for proc in module.procedures:
+        cmod.procedures.append(
+            oracle_compress_procedure(grammar, proc, engine, tiler))
+    return cmod

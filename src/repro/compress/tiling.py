@@ -12,15 +12,30 @@ the parse tree solves exactly, in time linear in the tree times the local
 pattern-match work.  Tests cross-check this against
 :func:`repro.parsing.earley.shortest_derivation`.
 
+The per-node pattern-match work runs over the grammar's precompiled
+:class:`~repro.core.program.GrammarProgram`: fragments come pre-indexed
+by root rule with flat matcher programs (no per-node ``zip``/``list``
+allocation) and precomputed sizes.  Two pruning steps keep the result
+bit-identical to the pre-refactor tiler (frozen as
+``repro.compress.oracle.OracleTiler``): a fragment larger than the
+subtree rooted at the node is skipped — it could not have matched, since
+a successful match maps fragment nodes injectively into the subtree —
+and the one-node fragments of original rules skip matching entirely,
+binding the node's children as holes directly (a parse tree node always
+carries exactly its rule's arity in children).  Neither prune changes
+which candidate wins a tie: candidates are still considered in grammar
+iteration order and the first strictly cheaper one is kept.
+
 This is the same shape of DP as BURS-style tree-pattern instruction
-selection, which is fitting: the expanded grammar *is* a custom instruction
-set.
+selection, which is fitting: the expanded grammar *is* a custom
+instruction set.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..core.program import GrammarProgram, match_fragment, program_for
 from ..grammar.cfg import Grammar, Rule
 from ..parsing.forest import Node, preorder
 
@@ -34,34 +49,14 @@ class Tiler:
     block of every program to compress.
     """
 
-    def __init__(self, grammar: Grammar) -> None:
+    def __init__(self, grammar: Grammar,
+                 program: Optional[GrammarProgram] = None) -> None:
         self.grammar = grammar
-        # Candidate rules indexed by the original rule at their fragment root.
-        self._by_root: Dict[int, List[Rule]] = {}
-        for rule in grammar:
-            root_rid = rule.fragment[0]
-            self._by_root.setdefault(root_rid, []).append(rule)
-
-    # -- matching -----------------------------------------------------------
-    @staticmethod
-    def _match_collect(fragment, node: Node) -> Optional[List[Node]]:
-        """Match a fragment at ``node``; returns the subtrees bound to the
-        fragment's holes in left-to-right frontier order, or None."""
-        holes: List[Node] = []
-        stack = [(fragment, node)]
-        while stack:
-            frag, n = stack.pop()
-            if frag is None:
-                holes.append(n)
-                continue
-            rid, children = frag
-            if n.rule_id != rid:
-                return None
-            if len(children) != len(n.children):
-                return None
-            for pair in reversed(list(zip(children, n.children))):
-                stack.append(pair)
-        return holes
+        self.program = program if program is not None \
+            else program_for(grammar)
+        # Candidate (rule, size, trivial, matcher) entries indexed by the
+        # original rule at their fragment root, grammar iteration order.
+        self._by_root = self.program.fragments_by_root
 
     # -- DP -------------------------------------------------------------------
     def tile(self, tree: Node) -> Node:
@@ -78,10 +73,17 @@ class Tiler:
     def _solve(self, tree: Node) -> Tuple[int, Dict[int, Tuple[Rule, List[Node]]]]:
         nodes = list(preorder(tree))
         best_cost: Dict[int, int] = {}
+        subtree_size: Dict[int, int] = {}
         choice: Dict[int, Tuple[Rule, List[Node]]] = {}
-        # Children precede parents in reversed preorder.
+        by_root = self._by_root
+        # Children precede parents in reversed preorder, so both the
+        # subtree sizes and the DP costs are available bottom-up.
         for node in reversed(nodes):
-            candidates = self._by_root.get(node.rule_id)
+            size = 1
+            for child in node.children:
+                size += subtree_size[id(child)]
+            subtree_size[id(node)] = size
+            candidates = by_root.get(node.rule_id)
             if not candidates:
                 raise ValueError(
                     f"no rule of the expanded grammar covers original rule "
@@ -91,10 +93,15 @@ class Tiler:
             node_best = None
             node_rule = None
             node_holes = None
-            for rule in candidates:
-                holes = self._match_collect(rule.fragment, node)
-                if holes is None:
+            for rule, frag_size, trivial, matcher in candidates:
+                if frag_size > size:
                     continue
+                if trivial:
+                    holes = node.children
+                else:
+                    holes = match_fragment(matcher, node)
+                    if holes is None:
+                        continue
                 cost = 1
                 for sub in holes:
                     cost += best_cost[id(sub)]

@@ -1,0 +1,15 @@
+"""The precompiled grammar core shared by every grammar consumer."""
+
+from .program import (
+    GrammarProgram,
+    non_byte_rows,
+    original_ordinals,
+    program_for,
+)
+
+__all__ = [
+    "GrammarProgram",
+    "non_byte_rows",
+    "original_ordinals",
+    "program_for",
+]

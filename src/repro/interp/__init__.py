@@ -17,6 +17,7 @@ from .tables import (
     RuleProgram,
     TableError,
     compiled_tables,
+    interp_tables,
 )
 from .interp1 import Interpreter1
 from .interp2 import Interpreter2
@@ -30,7 +31,7 @@ __all__ = [
     "INTRINSIC_BASE", "INTRINSICS", "Intrinsic", "Machine",
     "TRAMPOLINE_BASE", "run_program",
     "InterpTables", "RuleProgram", "TableError",
-    "CompiledTables", "compiled_tables",
+    "CompiledTables", "compiled_tables", "interp_tables",
     "Interpreter1", "Interpreter2", "CompiledEngine",
     "ExecutionProfile", "ProfilingExecutor", "profile_run",
 ]

@@ -23,7 +23,7 @@ from typing import Any, List, Tuple
 
 from .base import HANDLERS
 from .state import IState, Jump, Return, Trap
-from .tables import InterpTables
+from .tables import interp_tables
 
 __all__ = ["Interpreter2"]
 
@@ -34,7 +34,7 @@ class Interpreter2:
 
     def __init__(self, cmodule) -> None:
         self.module = cmodule
-        self.tables = InterpTables(cmodule.grammar)
+        self.tables = interp_tables(cmodule.grammar)
         self.byte_nt = self.tables.byte_nt
 
     # -- stream access ------------------------------------------------------

@@ -20,11 +20,11 @@ nonterminal occurrences are ever substituted.
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from .. import faults
 from ..bytecode.opcodes import OP_BY_CODE
+from ..core.program import program_for
 from ..grammar.cfg import (
     Grammar,
     byte_value,
@@ -34,7 +34,7 @@ from ..grammar.cfg import (
 
 __all__ = [
     "Step", "RuleProgram", "InterpTables", "TableError",
-    "CompiledTables", "compiled_tables",
+    "CompiledTables", "compiled_tables", "interp_tables",
     "STEP_RUN", "STEP_OP1", "STEP_CALL", "STEP_BAD",
 ]
 
@@ -69,13 +69,13 @@ class InterpTables:
         self.grammar = grammar
         self.start = grammar.start
         self.byte_nt = grammar.nonterminal("byte")
-        self.by_nt: Dict[int, List[RuleProgram]] = {}
-        for nt in grammar.nonterminals:
-            if nt == self.byte_nt:
-                continue  # byte "rules" are read directly from the stream
-            self.by_nt[nt] = [
-                self._compile(rule) for rule in grammar.rules_for(nt)
-            ]
+        # The (nt, rules) row layout is shared with every other consumer
+        # through the grammar's precompiled program; <byte> owns no row —
+        # its "rules" are read directly from the stream.
+        self.by_nt: Dict[int, List[RuleProgram]] = {
+            nt: [self._compile(rule) for rule in rules]
+            for nt, rules in program_for(grammar).rows
+        }
 
     def _compile(self, rule) -> RuleProgram:
         steps: List[Step] = []
@@ -402,7 +402,8 @@ class CompiledTables:
         self.grammar = grammar
         byte_nt = grammar.nonterminal("byte")
         self.byte_nt = byte_nt
-        nts = [nt for nt in grammar.nonterminals if nt != byte_nt]
+        grammar_rows = program_for(grammar).rows
+        nts = [nt for nt, _rules in grammar_rows]
         self.nt_of_row: List[int] = nts
         self.row_of: Dict[int, int] = {nt: i for i, nt in enumerate(nts)}
         self.start_row = self.row_of[grammar.start]
@@ -415,8 +416,7 @@ class CompiledTables:
         # Identical runs recur across rules (epilogues, common idioms);
         # generate each distinct run once.
         self._fused_memo: Dict[Tuple, Tuple] = {}
-        for row, nt in enumerate(nts):
-            rules = grammar.rules_for(nt)
+        for row, (nt, rules) in enumerate(grammar_rows):
             if len(rules) > self.ROW_SIZE:
                 raise TableError(
                     f"<{grammar.nt_name(nt)}> has {len(rules)} rules; "
@@ -521,22 +521,34 @@ class CompiledTables:
         return self.rows[row][codeword]
 
 
-@lru_cache(maxsize=16)
+def interp_tables(grammar: Grammar) -> InterpTables:
+    """Per-grammar memo of :class:`InterpTables`, hung off the grammar's
+    precompiled program — the reference interpreter and the C code
+    generator share one compile per grammar instance."""
+    return program_for(grammar).derived(
+        "interp_tables", lambda: InterpTables(grammar))
+
+
 def compiled_tables(grammar: Grammar) -> CompiledTables:
     """Per-grammar memo of :class:`CompiledTables`.
 
-    Grammars hash by identity, so this caches one flattening per loaded
-    grammar object — the engine, the decompressor, and the profiler all
-    share it (and the registry already bounds how many grammars live at
-    once).
+    The flattening hangs off the grammar's precompiled
+    :class:`~repro.core.program.GrammarProgram` (one per grammar
+    instance), so the engine, the decompressor, and the profiler all
+    share it — and everything else keyed to the same program (interp
+    tables, registry entries) shares one cache lifetime.
 
     Fault site ``engine.tables`` fires here as a :class:`TableError`,
     modelling a grammar whose flattening fails.  It only fires on a
     cache miss — a grammar whose tables are already built cannot
-    retroactively fail to build.
+    retroactively fail to build — and a failed build caches nothing.
     """
-    if faults.ACTIVE is not None:
-        faults.ACTIVE.fire("engine.tables", exc=TableError,
-                           message="injected table build failure")
-    return CompiledTables(grammar)
+
+    def build() -> CompiledTables:
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("engine.tables", exc=TableError,
+                               message="injected table build failure")
+        return CompiledTables(grammar)
+
+    return program_for(grammar).derived("compiled_tables", build)
 

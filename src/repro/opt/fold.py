@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple
 from ..bytecode.module import Module, Procedure
 from ..bytecode.opcodes import OP_BY_CODE, OP_BY_NAME, opcode
 from ..compress.decompress import symbols_to_code
+from ..core.program import program_for
 from ..grammar.cfg import Grammar
 from ..grammar.initial import initial_grammar
 from ..interp.base import HANDLERS
@@ -101,15 +102,21 @@ class _Optimizer:
     def __init__(self, grammar: Optional[Grammar] = None) -> None:
         self.grammar = grammar if grammar is not None else initial_grammar()
         g = self.grammar
+        # All rule tables come off the grammar's precompiled program:
+        # codewords replace per-node list.index scans, and the per-NT rule
+        # rows replace repeated rules_for list builds.
+        program = program_for(g)
+        self.program = program
+        self._codeword_of = program.codeword_of
         byte = g.nonterminal("byte")
-        self._byte_rules = [r.id for r in g.rules_for(byte)]
+        self._byte_rules = [r.id for r in program.rules_of[byte]]
         v = g.nonterminal("v")
         v0 = g.nonterminal("v0")
         self._v_from_v0 = next(
-            r.id for r in g.rules_for(v) if r.rhs == (v0,)
+            r.id for r in program.rules_of[v] if r.rhs == (v0,)
         )
         self._lit_rule: Dict[str, int] = {}
-        for rule in g.rules_for(v0):
+        for rule in program.rules_of[v0]:
             name = OP_BY_CODE.get(rule.rhs[0])
             if name is not None and name.generic == "LIT":
                 self._lit_rule[name.name] = rule.id
@@ -120,16 +127,16 @@ class _Optimizer:
                     not rule.rhs[0] < 0 and rule.rhs[0] < 256:
                 self._op_of_rule[rule.id] = rule.rhs[0]
         start = g.nonterminal("start")
-        rules = g.rules_for(start)
+        rules = program.rules_of[start]
         self._start_empty = next(r.id for r in rules if r.rhs == ())
         self._start_chain = next(r.id for r in rules if len(r.rhs) == 2)
         x = g.nonterminal("x")
         x0 = g.nonterminal("x0")
         self._x_from_x0 = next(
-            r.id for r in g.rules_for(x) if r.rhs == (x0,)
+            r.id for r in program.rules_of[x] if r.rhs == (x0,)
         )
         self._jumpv_rule = next(
-            r.id for r in g.rules_for(x0)
+            r.id for r in program.rules_of[x0]
             if r.rhs and r.rhs[0] == opcode("JUMPV")
         )
 
@@ -157,7 +164,9 @@ class _Optimizer:
         return value
 
     def _byte_value(self, byte_node: Node) -> int:
-        return self._byte_rules.index(byte_node.rule_id)
+        # A byte rule's codeword is its position in <byte>'s rule list,
+        # i.e. the literal byte value.
+        return self._codeword_of[byte_node.rule_id]
 
     def make_const(self, value: int) -> Node:
         """A <v> subtree for a literal, smallest encoding."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Hashable, List, Optional, Tuple
 
+from ..core.program import program_for
 from ..grammar.cfg import Grammar
 from .forest import Node, preorder
 
@@ -146,10 +147,15 @@ def tree_of_derivation(grammar: Grammar, rule_ids: List[int],
 
 def encode_tree(grammar: Grammar, root: Node) -> bytes:
     """Encode a parse tree as compressed bytes: one byte per derivation
-    step, each the rule's index within its nonterminal's rule list."""
+    step, each the rule's index within its nonterminal's rule list.
+
+    The index lookup goes through the grammar's precompiled codeword
+    table (:class:`~repro.core.program.GrammarProgram`) instead of a
+    linear ``list.index`` scan per step."""
+    codeword_of = program_for(grammar).codeword_of
     out = bytearray()
     for node in preorder(root):
-        idx = grammar.rule_index(node.rule_id)
+        idx = codeword_of[node.rule_id]
         if idx > 255:
             raise DerivationError(
                 f"rule index {idx} does not fit in a byte"

@@ -10,6 +10,21 @@ with the minimum number of rules needed to derive its span and relax items
 to a fixpoint within each state set; completions propagate cost
 ``1 + sum(children costs)``.
 
+The predictor prunes through the grammar's precompiled
+:class:`~repro.core.program.GrammarProgram`: a rule is predicted only if
+the next input symbol is in its first-terminal set or its right-hand side
+is nullable.  The pruning is *exact* — a predicted item failing both
+tests can never scan (its first terminal is not the next symbol), never
+complete non-trivially (completing over a non-empty span requires a
+scan somewhere beneath it), never complete emptily (that needs a
+nullable RHS), and therefore never advances any parent item — so the
+surviving items, their costs, their backpointers, and the worklist order
+among them are identical to the unpruned parse (frozen as
+``repro.compress.oracle.oracle_shortest_derivation_tree`` and held
+byte-identical by the golden-equivalence sweep).  On the 256-rule
+nonterminals of a trained grammar this removes almost the entire predict
+fan-out.
+
 This module is the reference implementation: it works for *any* CFG and is
 cross-checked in tests against the production path (tree-tiling DP in
 :mod:`repro.compress.tiling`), which exploits the structure of inlined
@@ -21,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.program import GrammarProgram, program_for
 from ..grammar.cfg import Grammar, is_nonterminal
 from .forest import Node
 
@@ -31,7 +47,30 @@ INF = float("inf")
 
 
 class EarleyError(ValueError):
-    """Raised when the input does not derive from the start symbol."""
+    """Raised when the input does not derive from the start symbol.
+
+    Structured like :class:`~repro.parsing.derivation.DerivationError`
+    messages: the text leads with the nonterminal, and the parse context
+    is carried as attributes —
+
+    * ``nonterminal``: name of the start nonterminal the parse was for;
+    * ``position``: the furthest input position the parse reached;
+    * ``expected``: terminal names that could have continued the parse
+      there;
+    * ``candidates``: the nearest rules (display strings) that were
+      still in progress at the stall position.
+    """
+
+    def __init__(self, message: str, *,
+                 nonterminal: Optional[str] = None,
+                 position: Optional[int] = None,
+                 expected: Sequence[str] = (),
+                 candidates: Sequence[str] = ()) -> None:
+        super().__init__(message)
+        self.nonterminal = nonterminal
+        self.position = position
+        self.expected = tuple(expected)
+        self.candidates = tuple(candidates)
 
 
 # An item key is (rule_id, dot, origin).  Chart[j] maps item keys to
@@ -50,13 +89,33 @@ class _Chart:
 
 
 def _parse_chart(grammar: Grammar, symbols: Sequence[int],
-                 start: Optional[int] = None) -> _Chart:
+                 start: Optional[int] = None,
+                 program: Optional[GrammarProgram] = None) -> _Chart:
     """Run cost-annotated Earley; returns the full chart."""
     if start is None:
         start = grammar.start
+    if program is None:
+        program = program_for(grammar)
     n = len(symbols)
     rules = grammar.rules
     by_lhs = grammar.by_lhs
+    rule_first = program.rule_first
+    rule_nullable = program.rule_nullable
+    # Viable predictions per (nonterminal, lookahead), shared across
+    # positions with the same next symbol (None past the end).
+    predict_memo: Dict[Tuple[int, Optional[int]], tuple] = {}
+
+    def predictable(sym: int, look: Optional[int]) -> tuple:
+        key = (sym, look)
+        rids = predict_memo.get(key)
+        if rids is None:
+            rids = tuple(
+                rid for rid in by_lhs[sym]
+                if rule_nullable[rid]
+                or (look is not None and look in rule_first[rid])
+            )
+            predict_memo[key] = rids
+        return rids
 
     sets: List[Dict[_Key, Tuple[int, Optional[tuple]]]] = [
         {} for _ in range(n + 1)
@@ -71,10 +130,11 @@ def _parse_chart(grammar: Grammar, symbols: Sequence[int],
 
     # Seed S[0] with predictions for the start symbol.
     worklist: List[_Key] = []
-    for rid in by_lhs[start]:
+    for rid in predictable(start, symbols[0] if n else None):
         add(0, (rid, 0, 0), 0, None, worklist)
 
     for j in range(n + 1):
+        look = symbols[j] if j < n else None
         if j > 0:
             worklist = list(sets[j].keys())
         # Fixpoint over predictor/completer within S[j].
@@ -89,8 +149,9 @@ def _parse_chart(grammar: Grammar, symbols: Sequence[int],
             if dot < len(rhs):
                 sym = rhs[dot]
                 if is_nonterminal(sym):
-                    # Predict.
-                    for rid2 in by_lhs[sym]:
+                    # Predict (pruned: only rules that can start the
+                    # remaining input or derive epsilon).
+                    for rid2 in predictable(sym, look):
                         add(j, (rid2, 0, j), 0, None, worklist)
                     # Complete against already-finished children at j
                     # (handles epsilon and same-position completions).
@@ -114,7 +175,6 @@ def _parse_chart(grammar: Grammar, symbols: Sequence[int],
         # Scanner: move items over symbols[j] into S[j+1].
         if j < n:
             sym = symbols[j]
-            nextlist: List[_Key] = []
             for key, (cost, _) in sets[j].items():
                 rid, dot, origin = key
                 rhs = rules[rid].rhs
@@ -185,12 +245,56 @@ def _build_tree(grammar: Grammar, chart: _Chart, key: _Key, j: int) -> Node:
     return result
 
 
+def _stall_error(grammar: Grammar, program: GrammarProgram,
+                 chart: _Chart, n: int, start: int) -> EarleyError:
+    """Build the structured no-parse error from the furthest chart set."""
+    position = 0
+    for j in range(n, -1, -1):
+        if chart.sets[j]:
+            position = j
+            break
+    rules = grammar.rules
+    expected: List[str] = []
+    expected_seen: set = set()
+    candidates: List[str] = []
+    candidate_rids: set = set()
+    for (rid, dot, _origin) in chart.sets[position]:
+        rule = rules[rid]
+        if dot >= len(rule.rhs):
+            continue
+        if rid not in candidate_rids and len(candidates) < 3:
+            candidate_rids.add(rid)
+            candidates.append(grammar.rule_str(rule))
+        sym = rule.rhs[dot]
+        terms = (program.nt_first.get(sym, frozenset())
+                 if is_nonterminal(sym) else (sym,))
+        for t in terms:
+            if t not in expected_seen:
+                expected_seen.add(t)
+                expected.append(grammar.symbol_name(t))
+    nt_name = grammar.nt_name(start)
+    detail = (f"stalled at symbol {position}/{n}"
+              + (f", expecting {' | '.join(sorted(expected))}"
+                 if expected else "")
+              + (f"; nearest rules: {'; '.join(candidates)}"
+                 if candidates else ""))
+    return EarleyError(
+        f"<{nt_name}>: input of length {n} does not derive from "
+        f"<{nt_name}> ({detail})",
+        nonterminal=nt_name,
+        position=position,
+        expected=sorted(expected),
+        candidates=candidates,
+    )
+
+
 def shortest_derivation_tree(grammar: Grammar, symbols: Sequence[int],
                              start: Optional[int] = None) -> Node:
     """Parse tree of a minimum-length derivation of ``symbols``."""
     if start is None:
         start = grammar.start
-    chart = _parse_chart(grammar, symbols, start)
+    program = program_for(grammar)
+    chart = _parse_chart(grammar, symbols, start, program)
     n = len(symbols)
     best_key = None
     best_cost = INF
@@ -202,10 +306,7 @@ def shortest_derivation_tree(grammar: Grammar, symbols: Sequence[int],
                 best_cost = cost + 1
                 best_key = key
     if best_key is None:
-        raise EarleyError(
-            f"input of length {n} does not derive from "
-            f"<{grammar.nt_name(start)}>"
-        )
+        raise _stall_error(grammar, program, chart, n, start)
     return _build_tree(grammar, chart, best_key, n)
 
 

@@ -31,10 +31,14 @@ at a missing object is a structured error too, never a raw
 integrity scan (the service runs it at startup); :meth:`gc` reaps temp
 files, orphan metadata, and dangling tags.
 
-Deserialized :class:`~repro.grammar.cfg.Grammar` objects are served from
-a bounded LRU guarded by a lock, so concurrent requests against the same
-codebook never re-parse it — the service keeps one registry and hits the
-cache on every request after the first.
+The deserialization LRU holds precompiled
+:class:`~repro.core.program.GrammarProgram` objects (not raw grammars):
+one parse *and* one program construction per digest, so concurrent
+requests against the same codebook share the program's codeword tables,
+prediction sets, fragment index, and every artifact hung off it
+(interpreter tables, batching, breakers, derivation caches) — the
+service keeps one registry and hits the cache on every request after
+the first.
 """
 
 from __future__ import annotations
@@ -52,6 +56,7 @@ from typing import Dict, Iterable, List, Optional
 
 from .. import faults
 from ..bytecode.module import Module
+from ..core.program import GrammarProgram, program_for
 from ..faults import InjectedFault
 from ..grammar.cfg import Grammar
 from ..grammar.serialize import grammar_bytes
@@ -149,7 +154,7 @@ class GrammarRegistry:
         if cache_size <= 0:
             raise ValueError("cache_size must be positive")
         self._cache_size = cache_size
-        self._cache: "OrderedDict[str, Grammar]" = OrderedDict()
+        self._cache: "OrderedDict[str, GrammarProgram]" = OrderedDict()
         self._lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
@@ -224,8 +229,9 @@ class GrammarRegistry:
             _atomic_write(obj_path, data)
         for tag in tags:
             self.tag(digest, tag)
+        program = program_for(grammar)
         with self._lock:
-            self._cache_put(digest, grammar)
+            self._cache_put(digest, program)
         return digest
 
     def tag(self, ref: str, name: str) -> str:
@@ -292,6 +298,16 @@ class GrammarRegistry:
 
     def get(self, ref: str) -> Grammar:
         """Deserialized grammar, served from the LRU when warm."""
+        return self.program(ref).grammar
+
+    def program(self, ref: str) -> GrammarProgram:
+        """The grammar's precompiled program, served from the LRU.
+
+        One parse and one :class:`GrammarProgram` construction per
+        digest per cache lifetime — every consumer of this registry
+        (service workers, the CLI, decompression) shares the same
+        program instance and everything derived from it.
+        """
         digest = self.resolve(ref)
         with self._lock:
             cached = self._cache.get(digest)
@@ -310,9 +326,10 @@ class GrammarRegistry:
             raise RegistryError(
                 f"grammar {digest[:12]} failed to parse ({exc}); "
                 f"quarantined") from None
+        program = program_for(grammar)
         with self._lock:
-            self._cache_put(digest, grammar)
-        return grammar
+            self._cache_put(digest, program)
+        return program
 
     def meta(self, ref: str) -> Dict:
         digest = self.resolve(ref)
@@ -518,8 +535,8 @@ class GrammarRegistry:
 
     # -- LRU ----------------------------------------------------------------
 
-    def _cache_put(self, digest: str, grammar: Grammar) -> None:
-        self._cache[digest] = grammar
+    def _cache_put(self, digest: str, program: GrammarProgram) -> None:
+        self._cache[digest] = program
         self._cache.move_to_end(digest)
         while len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)

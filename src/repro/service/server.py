@@ -419,11 +419,15 @@ class CompressionService:
         async with self._worker_lock:
             worker = self._workers.get(digest)
             if worker is None:
-                grammar = await self._in_executor(
-                    self.registry.get, digest)
+                # One precompiled program per digest: the worker's
+                # compressor, batching, and derivation cache all hang
+                # off the registry's shared GrammarProgram instance.
+                program = await self._in_executor(
+                    self.registry.program, digest)
                 worker = _GrammarWorker(
                     self, digest,
-                    Compressor(grammar, cache_size=self.cache_size))
+                    Compressor(program.grammar,
+                               cache_size=self.cache_size))
                 self._workers[digest] = worker
             return worker
 

@@ -30,6 +30,7 @@ from typing import List, Union
 from .bytecode.module import GlobalEntry, Module, Procedure
 from .bytecode.validate import validate_module
 from .compress.container import CompressedModule, CompressedProcedure
+from .core.program import non_byte_rows, original_ordinals, program_for
 from .grammar.cfg import Grammar
 from .grammar.serialize import decode_grammar, encode_grammar_compact
 
@@ -268,18 +269,6 @@ def load_compressed(data: bytes) -> CompressedModule:
 # list, which training never disturbs (only inlined rules are appended or
 # removed).
 
-def _rule_ordinals(grammar: Grammar):
-    """Maps rule id <-> (nonterminal index, position) for original rules."""
-    to_ordinal = {}
-    from_ordinal = {}
-    for nt_index, nt in enumerate(grammar.nonterminals):
-        for position, rule in enumerate(grammar.rules_for(nt)):
-            if rule.origin == "original":
-                to_ordinal[rule.id] = (nt_index, position)
-                from_ordinal[(nt_index, position)] = rule.id
-    return to_ordinal, from_ordinal
-
-
 def _write_fragment(w: _Writer, fragment, to_ordinal) -> None:
     rule_id, children = fragment
     if rule_id not in to_ordinal:
@@ -319,18 +308,18 @@ def save_grammar(grammar: Grammar) -> bytes:
     _write_nt_names(w, grammar)
     w.blob(encode_grammar_compact(grammar))
     # Provenance: per nonterminal (byte excluded), per rule in codeword
-    # order: origin flag, and for inlined rules the fragment tree.
-    to_ordinal, _ = _rule_ordinals(grammar)
-    byte = grammar.nonterminal("byte")
-    for nt in grammar.nonterminals:
-        if nt == byte:
-            continue
-        for rule in grammar.rules_for(nt):
+    # order: origin flag, and for inlined rules the fragment tree.  The
+    # ordinal table and row layout come off the grammar's precompiled
+    # program (one shared index instead of three local rebuild loops).
+    program = program_for(grammar)
+    for _nt, rules in program.rows:
+        for rule in rules:
             if rule.origin == "original":
                 w.u8(0)
             else:
                 w.u8(1)
-                _write_fragment(w, rule.fragment, to_ordinal)
+                _write_fragment(w, rule.fragment,
+                                program.original_to_ordinal)
     return _seal(w)
 
 
@@ -342,13 +331,12 @@ def load_grammar(data: bytes) -> Grammar:
     grammar = decode_grammar(r.blob(), nt_names=names)
     # Re-attach provenance.  decode_grammar marked every rule original;
     # rebuild each rule with its true origin and fragment so the tiling
-    # compressor works on loaded grammars.
-    to_ordinal, from_ordinal = _rule_ordinals(grammar)
-    byte = grammar.nonterminal("byte")
-    for nt in grammar.nonterminals:
-        if nt == byte:
-            continue
-        for rule in grammar.rules_for(nt):
+    # compressor works on loaded grammars.  This mutates rules in place
+    # mid-rebuild, so it uses the pure core helpers directly — never the
+    # program cache (see repro.core.program).
+    _, from_ordinal = original_ordinals(grammar)
+    for _nt, rules in non_byte_rows(grammar):
+        for rule in rules:
             if r.u8():
                 fragment = _read_fragment(r, from_ordinal)
                 rule.origin = "inlined"

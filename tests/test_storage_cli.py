@@ -339,3 +339,26 @@ def test_cli_client_no_server_exit_2(workspace, capsys):
     # flakier; a refused connect is the common operational failure)
     _assert_clean_failure(capsys, ["client", "--port", "1",
                                    "--timeout", "2", "health"])
+
+
+def test_cli_grammar_stats(workspace, capsys):
+    import json
+
+    ws = str(workspace)
+    main(["compile", f"{ws}/corpus.c", "-o", f"{ws}/corpus.rbc"])
+    main(["train", f"{ws}/corpus.rbc", "-o", f"{ws}/g.rgr"])
+    assert main(["registry", "-d", f"{ws}/reg", "add", f"{ws}/g.rgr",
+                 "-t", "prod"]) == 0
+    capsys.readouterr()
+    assert main(["grammar", "-d", f"{ws}/reg", "stats", "prod"]) == 0
+    out = capsys.readouterr().out
+    assert "rules" in out and "prediction-set density" in out
+    assert "flattened rule tables" in out
+    # --json appends the full machine-readable stats block.
+    assert main(["grammar", "-d", f"{ws}/reg", "stats", "prod",
+                 "--json"]) == 0
+    out = capsys.readouterr().out
+    stats = json.loads(out[out.index("{"):])
+    assert stats["rules"] > 0 and 0 < stats["prediction_set_density"] <= 1
+    _assert_clean_failure(capsys, ["grammar", "-d", f"{ws}/reg",
+                                   "stats", "nothere"])
