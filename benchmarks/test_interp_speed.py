@@ -19,12 +19,21 @@ meaning.)
 
 import time
 
+import pytest
+
 from repro.compress.compressor import Compressor
 from repro.experiments import corpus, render_table, trained
 from repro.interp.compiled import CompiledEngine
 from repro.interp.interp1 import Interpreter1
 from repro.interp.interp2 import Interpreter2
+from repro.interp.native import NativeEngine, native_available
 from repro.interp.runtime import Machine
+
+#: Executed-operator count for eight queens (full 92-solution search).
+#: A property of the *program*, not of any engine or trained grammar —
+#: pinned absolutely so a silent semantic change in one engine can't
+#: hide inside a "still N× faster" pass.
+EIGHT_QUEENS_INSTRET = 684_685
 
 
 def _run1(module, executor_cls):
@@ -39,6 +48,7 @@ def test_uncompressed_speed(benchmark, scale):
         lambda: _run1(module, Interpreter1), rounds=3, iterations=1
     )
     assert code == 0
+    assert instret == EIGHT_QUEENS_INSTRET
     print(f"\nS1a: uncompressed run: {instret} operators executed")
 
 
@@ -64,7 +74,7 @@ def test_compressed_speed(benchmark, scale):
     assert code1 == code2 == 0
     # Compression is a re-coding: the executed operator stream is
     # identical.
-    assert instret1 == instret2
+    assert instret1 == instret2 == EIGHT_QUEENS_INSTRET
 
 
 def test_compiled_engine_speedup(benchmark, scale):
@@ -115,7 +125,59 @@ def test_compiled_engine_speedup(benchmark, scale):
     print(f"S1c: speedup {speedup:.2f}x "
           f"({machine.dispatches} rule dispatches)")
     assert eng_code == ref_code == 0
-    assert eng_instret == ref_instret
+    assert eng_instret == ref_instret == EIGHT_QUEENS_INSTRET
     assert machine.dispatches > 0
     # The gate: the flattened tables must buy at least 2x.
     assert speedup >= 2.0, f"compiled engine only {speedup:.2f}x faster"
+
+
+@pytest.mark.skipif(not native_available(),
+                    reason="no C compiler on PATH: native engine "
+                           "unavailable")
+def test_native_engine_speedup(benchmark, scale):
+    """S1d — the native engine's gate: at least 10x faster than the
+    direct-threaded Python engine on the same compressed form, with the
+    pinned operator count and identical rule-dispatch count.
+
+    The one-time C compile (amortised by the build cache) happens before
+    timing starts: the gate measures execution, not toolchain latency.
+    """
+    module = corpus(scale)["8q"]
+    grammar, _ = trained(("gcc",), scale=scale)
+    cmod = Compressor(grammar).compress_module(module)
+
+    def best_of_py(rounds=3):
+        best = float("inf")
+        code = instret = dispatches = None
+        for _ in range(rounds):
+            machine = Machine(cmod, CompiledEngine(cmod))
+            t0 = time.perf_counter()
+            code = machine.run()
+            best = min(best, time.perf_counter() - t0)
+            instret, dispatches = machine.instret, machine.dispatches
+        return best, code, instret, dispatches
+
+    py_s, py_code, py_instret, py_dispatches = best_of_py()
+    engine = NativeEngine(cmod)  # builds (or cache-hits) the .so here
+
+    result = benchmark.pedantic(engine.run, rounds=3, iterations=1)
+    nat_s = benchmark.stats.stats.min
+
+    speedup = py_s / nat_s
+    print()
+    print(render_table(
+        "S1d: native engine vs direct-threaded Python (8q, full search)",
+        ["engine", "exit", "operators", "best (s)"],
+        [
+            ("compiled / direct-threaded", py_code, py_instret,
+             f"{py_s:.3f}"),
+            ("native / generated C", result.code, result.instret,
+             f"{nat_s:.4f}"),
+        ],
+    ))
+    print(f"S1d: speedup {speedup:.1f}x")
+    assert result.code == py_code == 0
+    assert result.instret == py_instret == EIGHT_QUEENS_INSTRET
+    assert result.dispatches == py_dispatches
+    # The gate: compiling the grammar to C must buy at least 10x.
+    assert speedup >= 10.0, f"native engine only {speedup:.2f}x faster"

@@ -151,7 +151,12 @@ def _cmd_run(args) -> int:
 
         kwargs = {}
         if not isinstance(program, Module):
-            kwargs["engine"] = args.engine
+            if args.engine == "native":
+                print("profiling instruments the Python engines; "
+                      "using the compiled engine", file=sys.stderr)
+                kwargs["engine"] = "compiled"
+            else:
+                kwargs["engine"] = args.engine
         code, output, prof = profile_run(program, *args.args,
                                          input_data=input_data, **kwargs)
         sys.stdout.write(output.decode("utf-8", errors="replace"))
@@ -171,10 +176,25 @@ def _cmd_run(args) -> int:
         return code & 0xFF
     if isinstance(program, Module):
         executor = Interpreter1(program)
-    elif args.engine == "reference":
-        executor = Interpreter2(program)
     else:
-        executor = CompiledEngine(program)
+        if args.engine == "native":
+            from .interp.native import NativeEngine
+            from .interp.nativebuild import NativeBuildError
+            try:
+                result = NativeEngine(program).run(*args.args,
+                                                   input_data=input_data)
+            except NativeBuildError as exc:
+                print(f"native engine unavailable ({exc}); "
+                      f"falling back to the compiled engine",
+                      file=sys.stderr)
+            else:
+                sys.stdout.write(
+                    result.output.decode("utf-8", errors="replace"))
+                return result.code & 0xFF
+        if args.engine == "reference":
+            executor = Interpreter2(program)
+        else:
+            executor = CompiledEngine(program)
     machine = Machine(program, executor, input_data=input_data)
     code = machine.run(*args.args)
     sys.stdout.write(machine.output_text())
@@ -416,11 +436,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("args", nargs="*", type=int)
     p.add_argument("--stdin", action="store_true",
                    help="feed stdin to the program's getchar()")
-    p.add_argument("--engine", choices=("compiled", "reference"),
+    p.add_argument("--engine", choices=("compiled", "reference", "native"),
                    default="compiled",
                    help="compressed-form executor: the precompiled "
-                        "direct-threaded engine (default) or the "
-                        "recursive reference interpreter")
+                        "direct-threaded engine (default), the "
+                        "recursive reference interpreter, or the "
+                        "machine-code engine compiled from generated C "
+                        "(falls back to compiled when no C compiler "
+                        "is available)")
     p.add_argument("--profile", action="store_true",
                    help="print an execution profile (operators, rule "
                         "dispatches, dispatch-depth histogram) to stderr")

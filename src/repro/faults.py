@@ -45,6 +45,7 @@ Sites
 ``service.frame.write``               server-side outbound framing fault
 ``engine.dispatch``                   compiled engine raises entering a proc
 ``engine.tables``                     compiled-table build raises TableError
+``native.build``                      native-engine C compile/load raises
 ====================================  =========================================
 
 Frame modes (``service.frame.*``): ``garbage`` (clobber the JSON body so
@@ -79,6 +80,7 @@ SITES = frozenset([
     "service.frame.write",
     "engine.dispatch",
     "engine.tables",
+    "native.build",
 ])
 
 

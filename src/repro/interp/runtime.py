@@ -33,6 +33,7 @@ from .state import Exit, IState, Trap
 
 __all__ = [
     "DATA_BASE", "TRAMPOLINE_BASE", "INTRINSIC_BASE",
+    "MemoryLayout", "resolve_globals",
     "Machine", "Intrinsic", "INTRINSICS", "run_program",
 ]
 
@@ -43,6 +44,46 @@ INTRINSIC_BASE = 0x2000_0000
 _ARG_REGION = 1 << 16        # outgoing-argument stack
 _FRAME_REGION = 1 << 20      # procedure frames
 _DEFAULT_HEAP = 1 << 20
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """The flat address-space layout for one loaded program.
+
+    Computed in exactly one place so every executor — the Python
+    machines here and the native engine's C runtime — runs over a
+    byte-identical memory image (the execution-equivalence suites
+    compare whole images across engines).
+    """
+
+    data_len: int
+    bss_size: int
+    bss_base: int
+    heap_base: int
+    heap_limit: int
+    arg_base: int
+    frame_base: int
+    total: int
+
+    @classmethod
+    def for_program(cls, program,
+                    heap_size: int = _DEFAULT_HEAP) -> "MemoryLayout":
+        data_len = len(program.data)
+        bss_base = DATA_BASE + data_len
+        heap_base = _align(bss_base + program.bss_size, 16)
+        heap_limit = heap_base + heap_size
+        arg_base = _align(heap_limit, 16)
+        frame_base = arg_base + _ARG_REGION
+        return cls(
+            data_len=data_len,
+            bss_size=program.bss_size,
+            bss_base=bss_base,
+            heap_base=heap_base,
+            heap_limit=heap_limit,
+            arg_base=arg_base,
+            frame_base=frame_base,
+            total=frame_base + _FRAME_REGION,
+        )
 
 
 @dataclass(frozen=True)
@@ -161,6 +202,24 @@ _INTRINSIC_INDEX: Dict[str, int] = {
 }
 
 
+def resolve_globals(program) -> List[int]:
+    """Resolve the global table to flat addresses (the loader's job,
+    Section 3).  Shared by the Python machine and the native engine so
+    an unresolved library symbol traps identically from both."""
+    addrs: List[int] = []
+    for entry in program.globals:
+        if entry.kind == "data":
+            addrs.append(DATA_BASE + entry.value)
+        elif entry.kind == "proc":
+            addrs.append(TRAMPOLINE_BASE + entry.value)
+        else:  # lib
+            idx = _INTRINSIC_INDEX.get(entry.name)
+            if idx is None:
+                raise Trap(f"unresolved library symbol {entry.name!r}")
+            addrs.append(INTRINSIC_BASE + idx)
+    return addrs
+
+
 class Machine:
     """One loaded program plus its execution resources."""
 
@@ -190,31 +249,21 @@ class Machine:
         # executors, which predate the counter.
         self.dispatches = 0
 
-        data = program.data
-        self._bss_base = DATA_BASE + len(data)
-        self._heap_base = _align(self._bss_base + program.bss_size, 16)
-        self._heap_end = self._heap_base
-        self._heap_limit = self._heap_base + heap_size
-        self._arg_base = _align(self._heap_limit, 16)
-        self.arg_sp = self._arg_base
-        self._frame_base = self._arg_base + _ARG_REGION
-        self.frame_sp = self._frame_base
-        total = self._frame_base + _FRAME_REGION
-        self.memory = Memory(total)
-        self.memory.write_bytes(DATA_BASE, data)
+        layout = MemoryLayout.for_program(program, heap_size=heap_size)
+        self.layout = layout
+        self._bss_base = layout.bss_base
+        self._heap_base = layout.heap_base
+        self._heap_end = layout.heap_base
+        self._heap_limit = layout.heap_limit
+        self._arg_base = layout.arg_base
+        self.arg_sp = layout.arg_base
+        self._frame_base = layout.frame_base
+        self.frame_sp = layout.frame_base
+        self.memory = Memory(layout.total)
+        self.memory.write_bytes(DATA_BASE, program.data)
 
         # Resolve the global table (the loader's job, Section 3).
-        self._global_addrs: List[int] = []
-        for entry in program.globals:
-            if entry.kind == "data":
-                self._global_addrs.append(DATA_BASE + entry.value)
-            elif entry.kind == "proc":
-                self._global_addrs.append(TRAMPOLINE_BASE + entry.value)
-            else:  # lib
-                idx = _INTRINSIC_INDEX.get(entry.name)
-                if idx is None:
-                    raise Trap(f"unresolved library symbol {entry.name!r}")
-                self._global_addrs.append(INTRINSIC_BASE + idx)
+        self._global_addrs: List[int] = resolve_globals(program)
 
     # -- address helpers ----------------------------------------------------
     def global_address(self, index: int) -> int:

@@ -103,12 +103,18 @@ def run_compressed(cmodule: CompressedModule, *args: int,
     ``engine`` selects the executor: ``"compiled"`` (default) is the
     precompiled direct-threaded engine, ``"reference"`` the recursive
     transliteration of the paper's ``interpNT`` — behaviourally
-    identical, kept as the testing oracle.
+    identical, kept as the testing oracle — and ``"native"`` the
+    machine-code engine compiled from the generated C (raises
+    :class:`~repro.interp.nativebuild.NativeBuildError` when no C
+    compiler is available; see :mod:`repro.interp.native`).
     """
     if engine == "compiled":
         executor = CompiledEngine(cmodule)
     elif engine == "reference":
         executor = Interpreter2(cmodule)
+    elif engine == "native":
+        from .interp.native import run_native
+        return run_native(cmodule, *args, input_data=input_data)
     else:
         raise ValueError(f"unknown engine {engine!r}")
     return run_program(cmodule, executor, *args, input_data=input_data)

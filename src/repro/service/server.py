@@ -55,6 +55,7 @@ from ..compress.decompress import decompress_module
 from ..grammar.serialize import encode_grammar_compact
 from ..interp.compiled import CompiledEngine
 from ..interp.interp2 import Interpreter2
+from ..interp.native import run_native
 from ..interp.runtime import run_program
 from ..registry import GrammarRegistry, RegistryError
 from ..storage import (
@@ -555,10 +556,10 @@ class CompressionService:
         input_data = (self._data_param(params, "input")
                       if "input" in params else b"")
         engine = params.get("engine", "compiled")
-        if engine not in ("compiled", "reference"):
+        if engine not in ("compiled", "reference", "native"):
             raise ServiceError(
                 protocol.E_BAD_REQUEST,
-                "'engine' must be 'compiled' or 'reference'")
+                "'engine' must be 'compiled', 'reference' or 'native'")
 
         def _run_compiled(program) -> Tuple[str, int, bytes]:
             """Compiled engine behind the per-grammar circuit breaker;
@@ -593,6 +594,38 @@ class CompressionService:
             self.engine_breaker.record_success(key)
             return "compiled", code, output
 
+        def _run_native(program) -> Tuple[str, int, bytes]:
+            """Native engine behind its own per-grammar breaker slot.
+
+            A missing compiler or a failed build/load is an environment
+            fault (``NativeBuildError``, deliberately not a
+            ``RuntimeError``): fall back to the compiled Python path and
+            surface the switch in ``stats.engine``.  Program traps
+            propagate — they are identical on every engine by the
+            four-engine equivalence suite."""
+            key = "native:" + hashlib.sha256(
+                encode_grammar_compact(program.grammar)).hexdigest()
+            if not self.engine_breaker.allow(key):
+                self.metrics.engine_events.inc("degraded")
+                _, code, output = _run_compiled(program)
+                return "compiled_degraded", code, output
+            try:
+                code, output = run_native(program, *args,
+                                          input_data=input_data)
+            except RuntimeError:
+                # Trap / machine fault: the program's own fault.
+                self.engine_breaker.record_success(key)
+                raise
+            except ServiceError:
+                raise
+            except Exception:  # noqa: BLE001 — build or engine fault
+                self.engine_breaker.record_failure(key)
+                self.metrics.engine_events.inc("fallback")
+                _, code, output = _run_compiled(program)
+                return "compiled_fallback", code, output
+            self.engine_breaker.record_success(key)
+            return "native", code, output
+
         def _work() -> Tuple[str, int, bytes]:
             try:
                 program = load_any(data)
@@ -608,6 +641,8 @@ class CompressionService:
                 code, output = run_program(program, Interpreter2(program),
                                            *args, input_data=input_data)
                 return "reference", code, output
+            if engine == "native":
+                return _run_native(program)
             return _run_compiled(program)
 
         async with self._inflight:

@@ -1,20 +1,26 @@
-"""Differential execution equivalence: three engines, one behaviour.
+"""Differential execution equivalence: four engines, one behaviour.
 
 The direct-threaded engine (:class:`~repro.interp.compiled.CompiledEngine`)
 claims to be a pure performance transformation of the paper's generated
-``interpNT``.  This suite holds it to that claim across a 50-seed fuzz
-corpus, running every program three ways:
+``interpNT``, and the native engine (:mod:`repro.interp.native`) claims
+the same for the C compiled from :func:`repro.interp.cgen.emit_native`.
+This suite holds both to that claim across a 50-seed fuzz corpus,
+running every program four ways:
 
 (a) the compiled engine on the compressed form,
 (b) the reference ``interp2`` on the same compressed form,
 (c) ``interp1`` on the decompressed bytecode,
+(d) the native machine-code engine on the compressed form
+    (skipped with a reason when the host has no C compiler),
 
 and asserting identical exit codes, output traces, executed-operator
 counts, and complete end-of-run memory images.  Fault behaviour gets its
 own section: divide-by-zero and out-of-bounds traps must carry the same
-message from every engine, and a trap at any dispatch depth must unwind
-the compiled engine's explicit return stack cleanly — the engine object
-stays reusable afterwards.
+message from every engine — including every memory-trap shape from
+``tests/test_memory.py`` replayed through the native engine as bytecode —
+and a trap at any dispatch depth must unwind the compiled engine's
+explicit return stack cleanly; the engine object stays reusable
+afterwards.
 """
 
 import pytest
@@ -27,9 +33,15 @@ from repro.interp.compiled import CompiledEngine
 from repro.interp.interp1 import Interpreter1
 from repro.interp.interp2 import Interpreter2
 from repro.interp.memory import MemoryError_
-from repro.interp.runtime import Machine
+from repro.interp.native import NativeEngine, native_available
+from repro.interp.nativebuild import NativeBuildCache
+from repro.interp.runtime import Machine, MemoryLayout
 from repro.interp.state import Trap
 from repro.minic import compile_source
+
+needs_cc = pytest.mark.skipif(
+    not native_available(),
+    reason="no C compiler on PATH: native engine unavailable")
 
 # Disjoint from test_differential's 100..149 sweep.
 EQUIV_SEEDS = list(range(200, 250))
@@ -63,6 +75,22 @@ def _three_ways(cmod):
         _observe(cmod, Interpreter2(cmod)),
         _observe(module, Interpreter1(module)),
     )
+
+
+@pytest.fixture(scope="module")
+def native_cache(tmp_path_factory):
+    """A private build cache so the suite measures its own compiles."""
+    return NativeBuildCache(root=tmp_path_factory.mktemp("native-cache"))
+
+
+def _observe_native(cmod, cache, *args, input_data=b""):
+    run = NativeEngine(cmod, cache=cache).run(*args, input_data=input_data)
+    return {
+        "code": run.code,
+        "output": run.output,
+        "instret": run.instret,
+        "memory": run.memory,
+    }
 
 
 @pytest.mark.parametrize("seed", EQUIV_SEEDS)
@@ -178,3 +206,194 @@ int main() { return loop(0); }
     messages = _trap_three_ways(cmod, Trap)
     assert len(set(messages)) == 1, messages
     assert "call stack overflow" in messages[0]
+
+
+# -- the fourth engine: native machine code -----------------------------------
+
+CALL_OVERFLOW = """
+int loop(int n) { return loop(n + 1); }
+int main() { return loop(0); }
+"""
+
+
+@needs_cc
+@pytest.mark.parametrize("seed", EQUIV_SEEDS)
+def test_native_engine_agrees(seed, equiv_grammar, native_cache):
+    """The four-engine differential sweep: the native run must be
+    byte-identical (exit code, output, instret, complete final memory
+    image) to the reference engine — which ``test_three_engines_agree``
+    already holds identical to the other two Python engines."""
+    module = compile_source(generate_program(4, seed=seed))
+    cmod = compress_module(equiv_grammar, module)
+    native = _observe_native(cmod, native_cache)
+    reference = _observe(cmod, Interpreter2(cmod))
+    assert native == reference, f"seed {seed}: native diverged"
+
+
+@needs_cc
+def test_native_dispatch_count_matches_compiled(equiv_grammar, native_cache):
+    """instret is engine-invariant; dispatches (one per codeword byte)
+    additionally match between the two table-walking engines."""
+    module = compile_source(generate_program(4, seed=EQUIV_SEEDS[0]))
+    cmod = compress_module(equiv_grammar, module)
+    machine = Machine(cmod, CompiledEngine(cmod))
+    machine.run()
+    run = NativeEngine(cmod, cache=native_cache).run()
+    assert run.instret == machine.instret
+    assert run.dispatches == machine.dispatches
+
+
+def _native_trap(cmod, cache, exc_type):
+    with pytest.raises(exc_type) as trap:
+        NativeEngine(cmod, cache=cache).run()
+    return str(trap.value)
+
+
+@needs_cc
+@pytest.mark.parametrize("source, exc_type, fragment", [
+    (DIV_BY_ZERO, Trap, "division by zero"),
+    (CALL_OVERFLOW, Trap, "call stack overflow"),
+], ids=["div_by_zero", "call_overflow"])
+def test_native_trap_parity(equiv_grammar, native_cache,
+                            source, exc_type, fragment):
+    """Program faults unwind through the C engine into the same exception
+    class with the same message the Python engines raise."""
+    cmod = compress_module(equiv_grammar, compile_source(source))
+    messages = _trap_three_ways(cmod, exc_type)
+    native = _native_trap(cmod, native_cache, exc_type)
+    assert set(messages) == {native}
+
+
+@needs_cc
+def test_native_oob_trap_parity(equiv_grammar, native_cache):
+    cmod = compress_module(equiv_grammar, assemble(OOB_LOAD))
+    messages = _trap_three_ways(cmod, MemoryError_)
+    native = _native_trap(cmod, native_cache, MemoryError_)
+    assert set(messages) == {native}
+
+
+# Every memory-trap shape from tests/test_memory.py, replayed through the
+# engines as bytecode.  (The negative-address unit case has no bytecode
+# counterpart: addresses are 32-bit patterns, so "negative" pointers are
+# just large ones — the far-OOB rows below.)  Loads and stores cover every
+# access width; addresses probe both _check branches (addr past the end,
+# and an in-range addr whose access straddles the end).
+_LOAD_OPS = [("INDIRC", 1, "RETU"), ("INDIRS", 2, "RETU"),
+             ("INDIRU", 4, "RETU"), ("INDIRF", 4, "RETF"),
+             ("INDIRD", 8, "RETD")]
+_STORE_OPS = [("ASGNC", 1, ""), ("ASGNS", 2, ""), ("ASGNU", 4, ""),
+              ("ASGNF", 4, "CVIF"), ("ASGND", 8, "CVID")]
+
+
+def _lit4(value):
+    value &= 0xFFFFFFFF
+    return (f"LIT4 {value & 0xFF} {(value >> 8) & 0xFF} "
+            f"{(value >> 16) & 0xFF} {(value >> 24) & 0xFF}")
+
+
+def _load_probe(op, addr, ret):
+    return assemble(f"""
+.entry main
+.proc main framesize=0
+    {_lit4(addr)}
+    {op}
+    {ret}
+.endproc
+""")
+
+
+def _store_probe(op, addr, convert):
+    return assemble(f"""
+.entry main
+.proc main framesize=0
+    {_lit4(addr)}
+    LIT1 7
+    {convert}
+    {op}
+    RETV
+.endproc
+""")
+
+
+def _memory_trap_cases():
+    total = MemoryLayout.for_program(_load_probe("INDIRU", 0, "RETU")).total
+    cases = []
+    for op, width, ret in _LOAD_OPS:
+        cases.append((f"{op}-far", _load_probe(op, 0xFFFFFFF0, ret)))
+        cases.append(
+            (f"{op}-straddle", _load_probe(op, total - width + 1, ret)))
+    for op, width, convert in _STORE_OPS:
+        cases.append((f"{op}-far", _store_probe(op, 0xFFFFFFF0, convert)))
+        cases.append(
+            (f"{op}-straddle", _store_probe(op, total - width + 1, convert)))
+    return cases
+
+
+@needs_cc
+@pytest.mark.parametrize(
+    "module", [c[1] for c in _memory_trap_cases()],
+    ids=[c[0] for c in _memory_trap_cases()])
+def test_native_memory_trap_parity(equiv_grammar, native_cache, module):
+    cmod = compress_module(equiv_grammar, module)
+    messages = _trap_three_ways(cmod, MemoryError_)
+    native = _native_trap(cmod, native_cache, MemoryError_)
+    assert set(messages) == {native}
+    assert "out of range" in native
+
+
+UNTERMINATED_STRING = """
+.entry main
+.global strlen lib
+.proc main framesize=0
+    LIT4 0 0 0 255
+    ARGU
+    ADDRGP $strlen
+    CALLU
+    RETU
+.endproc
+"""
+
+
+@needs_cc
+def test_native_unterminated_string_parity(equiv_grammar, native_cache):
+    cmod = compress_module(equiv_grammar, assemble(UNTERMINATED_STRING))
+    messages = _trap_three_ways(cmod, MemoryError_)
+    native = _native_trap(cmod, native_cache, MemoryError_)
+    assert set(messages) == {native}
+    assert "unterminated string" in native
+
+
+@needs_cc
+def test_native_engine_reusable_after_trap(equiv_grammar, native_cache):
+    """A trap longjmps clean out of the C engine: the same loaded object
+    (and the same engine instance) executes correctly afterwards."""
+    bad = compress_module(equiv_grammar, assemble(OOB_LOAD))
+    engine = NativeEngine(bad, cache=native_cache)
+    for _ in range(2):
+        with pytest.raises(MemoryError_):
+            engine.run()
+    good = compress_module(equiv_grammar, compile_source(GOOD_AFTER))
+    assert NativeEngine(good, cache=native_cache).run().code == 42
+
+
+@needs_cc
+def test_native_getchar_roundtrip(equiv_grammar, native_cache):
+    """Input plumbing: getchar drains the request's input bytes and then
+    reports EOF, identically to the Python machine."""
+    source = """
+int main() {
+    int c;
+    c = getchar();
+    while (c + 1 != 0) {
+        putchar(c);
+        c = getchar();
+    }
+    return 0;
+}
+"""
+    cmod = compress_module(equiv_grammar, compile_source(source))
+    payload = b"grammar!"
+    native = _observe_native(cmod, native_cache, input_data=payload)
+    reference = _observe(cmod, Interpreter2(cmod), input_data=payload)
+    assert native == reference
+    assert native["output"] == payload

@@ -151,6 +151,20 @@ def test_fire_with_custom_exception_type():
         plane.fire(SITE, exc=ValueError)
 
 
+def test_native_build_site_is_declared_and_wears_build_error():
+    """``native.build`` is the chaos hook for the native engine: it must
+    be a registered site, and firing it with NativeBuildError (as
+    nativebuild does) must not masquerade as a program trap."""
+    from repro.interp.nativebuild import NativeBuildError
+
+    assert "native.build" in SITES
+    plane = FaultPlane(FaultPlan(0, {"native.build": FaultRule(at=1)}))
+    with pytest.raises(NativeBuildError):
+        plane.fire("native.build", exc=NativeBuildError,
+                   message="injected native build failure")
+    assert not issubclass(NativeBuildError, RuntimeError)
+
+
 def test_injected_fault_is_not_a_domain_error():
     from repro.interp.state import Trap
     from repro.service.protocol import FrameError

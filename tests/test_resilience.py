@@ -252,3 +252,117 @@ def test_stats_reports_startup_scan(tmp_path, artifacts):
         assert scan["checked"] == 0
     finally:
         h.close()
+
+
+# -- native engine routing (fallback matrix) ----------------------------------
+
+from repro.interp import nativebuild
+from repro.interp.native import native_available
+from repro.interp.nativebuild import NativeBuildCache
+
+needs_cc = pytest.mark.skipif(
+    not native_available(),
+    reason="no C compiler on PATH: native engine unavailable")
+
+
+@pytest.fixture()
+def private_native_cache(tmp_path, monkeypatch):
+    """Point the process-wide build cache at a throwaway root so the
+    fault-injection tests see real builds, not warm disk hits."""
+    cache = NativeBuildCache(root=tmp_path / "native-cache")
+    monkeypatch.setattr(nativebuild, "_DEFAULT", cache)
+    return cache
+
+
+@needs_cc
+def test_native_engine_serves_natively(tmp_path, artifacts,
+                                       private_native_cache):
+    """The happy path: engine=native answers from the shared object and
+    says so — differentially identical to the reference oracle."""
+    cmod = artifacts["programs"][FALLBACK_SEEDS[0]]
+    expected = _observe(cmod, Interpreter2(cmod))
+    h = _Harness(tmp_path)
+    try:
+        with h.client() as client:
+            used, code, output = _run_raw(client, cmod, engine="native")
+            assert used == "native"
+            assert (code, output) == (expected["code"],
+                                      expected["output"])
+    finally:
+        h.close()
+
+
+def test_native_unavailable_falls_back_to_compiled(tmp_path, artifacts,
+                                                   monkeypatch):
+    """No compiler on the host: the request still succeeds, served by
+    the compiled Python engine, and the switch is visible both in the
+    response discriminator and the fallback metric."""
+    monkeypatch.setenv("REPRO_NATIVE_CC", "none")
+    cmod = artifacts["programs"][FALLBACK_SEEDS[1]]
+    expected = _observe(cmod, Interpreter2(cmod))
+    h = _Harness(tmp_path)
+    try:
+        with h.client() as client:
+            used, code, output = _run_raw(client, cmod, engine="native")
+            assert used == "compiled_fallback"
+            assert (code, output) == (expected["code"],
+                                      expected["output"])
+            stats = h.run(h.service._m_stats({}))
+            assert stats["counters"]["engine_events_total"][
+                "fallback"] == 1
+    finally:
+        h.close()
+
+
+@needs_cc
+def test_native_build_fault_opens_breaker_to_degraded(
+        tmp_path, artifacts, private_native_cache):
+    """Injected build failures trip the native breaker slot: requests
+    fall back while failing, then skip the doomed build entirely
+    (``compiled_degraded``) once the breaker opens — even after the
+    fault plane is gone."""
+    cmod = artifacts["programs"][FALLBACK_SEEDS[2]]
+    expected = _observe(cmod, Interpreter2(cmod))
+    h = _Harness(tmp_path, breaker_threshold=2, breaker_cooldown=60.0)
+    try:
+        with h.client() as client:
+            with faults.injected(
+                    {"seed": 1,
+                     "sites": {"native.build": {"p": 1.0}}}):
+                for _ in range(2):
+                    used, code, output = _run_raw(client, cmod,
+                                                  engine="native")
+                    assert used == "compiled_fallback"
+                    assert (code, output) == (expected["code"],
+                                              expected["output"])
+            used, code, output = _run_raw(client, cmod, engine="native")
+            assert used == "compiled_degraded"
+            assert (code, output) == (expected["code"],
+                                      expected["output"])
+            stats = h.run(h.service._m_stats({}))
+            assert stats["counters"]["engine_events_total"] == {
+                "fallback": 2, "degraded": 1}
+            assert any(key.startswith("native:")
+                       for key in stats["engine"]["breakers"])
+            assert stats["engine"]["quarantined"]
+    finally:
+        h.close()
+
+
+@needs_cc
+def test_native_program_trap_is_not_an_engine_fault(tmp_path, artifacts,
+                                                    private_native_cache):
+    """A Trap through the native engine is the program's fault: the
+    structured ``trap`` error comes back and the breaker stays closed."""
+    h = _Harness(tmp_path)
+    try:
+        with h.client() as client:
+            with pytest.raises(ServiceError) as exc:
+                _run_raw(client, artifacts["trap"], engine="native")
+            assert exc.value.code == "trap"
+            assert "division by zero" in exc.value.message
+            stats = h.run(h.service._m_stats({}))
+            assert stats["counters"]["engine_events_total"] == {}
+            assert stats["engine"]["breakers"] == {}
+    finally:
+        h.close()

@@ -4,7 +4,9 @@
 The architecture is a strict layering (see docs/ARCHITECTURE.md):
 
     faults, bytecode                          (0)
-    grammar, native                           (1)
+    grammar, native                           (1)   # x86 size model —
+                                                    # interp/native.py (the
+                                                    # C engine) is "interp"
     core                                      (2)
     parsing                                   (3)
     interp                                    (4)
