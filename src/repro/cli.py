@@ -118,15 +118,23 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_compress(args) -> int:
+    from .coding.model import ModelMissingError
+
     module = _load_file(load_module, args.module)
     grammar = _load_file(load_grammar, args.grammar)
     compressor = Compressor(grammar,
-                            cache_size=0 if args.no_cache else 4096)
+                            cache_size=0 if args.no_cache else 4096,
+                            format=args.format)
     cmod = compressor.compress_module(module)
-    Path(args.output).write_bytes(save_compressed(cmod))
+    try:
+        payload = save_compressed(cmod, format=args.format)
+    except ModelMissingError as exc:
+        raise CliError(f"{args.grammar}: {exc}") from None
+    Path(args.output).write_bytes(payload)
     ratio = cmod.code_bytes / module.code_bytes if module.code_bytes else 1
     print(f"{args.output}: {module.code_bytes} -> {cmod.code_bytes} "
-          f"bytes ({ratio:.0%})")
+          f"bytes ({ratio:.0%}, {args.format} container, "
+          f"{len(payload)} file bytes)")
     if args.stats:
         print(f"  derivation cache: {compressor.cache_info()}")
     return 0
@@ -265,6 +273,52 @@ def _cmd_grammar(args) -> int:
     return 0
 
 
+def _cmd_coding(args) -> int:
+    from .coding.model import ModelMissingError, model_for
+    from .registry import RegistryError
+
+    registry = _open_registry(args)
+    try:
+        program = registry.program(args.ref)
+    except RegistryError as exc:
+        raise CliError(str(exc)) from None
+    try:
+        model = model_for(program)
+    except ModelMissingError as exc:
+        raise CliError(f"{args.ref}: {exc}") from None
+    stats = model.stats(program)
+    print(f"model {stats['model_key'][:12]} for grammar "
+          f"{program.content_key[:12]}: "
+          f"{stats['procedures_trained']} procedures, "
+          f"{stats['trained_steps']} derivation steps trained")
+    rcx1 = stats["rcx1_bytes"]
+    predicted = stats["predicted_bytes"]
+    print(f"  predicted {stats['predicted_bits_per_step']:.3f} bits/step"
+          f" -> {predicted:.0f} coded bytes vs {rcx1} rcx1 payload bytes"
+          + (f" ({predicted / rcx1:.0%})" if rcx1 else ""))
+    name_w = max(len(c["nonterminal"]) for c in stats["contexts"])
+    print(f"  {'NT':{name_w}}  rules  steps  entropy  bits/step")
+    for ctx in stats["contexts"]:
+        print(f"  {ctx['nonterminal']:{name_w}}  {ctx['rules']:5}  "
+              f"{ctx['trained_steps']:5}  {ctx['entropy_bits']:7.3f}  "
+              f"{ctx['predicted_bits_per_step']:9.3f}")
+    if args.module:
+        from .coding.stream import encode_module_streams
+
+        module = _load_file(load_module, args.module)
+        cmod = Compressor(program.grammar).compress_module(module)
+        coded = encode_module_streams(
+            program, model, [proc.code for proc in cmod.procedures])
+        ratio = len(coded) / cmod.code_bytes if cmod.code_bytes else 1.0
+        print(f"  {args.module}: rcx1 payload {cmod.code_bytes} -> "
+              f"rcx2 coded {len(coded)} bytes ({ratio:.0%}); files "
+              f"{len(save_compressed(cmod, format='rcx1'))} -> "
+              f"{len(save_compressed(cmod, format='rcx2'))} bytes")
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_registry(args) -> int:
     from .registry import RegistryError
     registry = _open_registry(args)
@@ -368,7 +422,8 @@ def _run_client_command(client, args) -> int:
             print(f"{record['hash'][:12]}  {record['rules']:5} rules"
                   + (f"  [{names}]" if names else ""))
     elif cmd == "compress":
-        data = client.compress(_read_bytes(args.module), args.grammar)
+        data = client.compress(_read_bytes(args.module), args.grammar,
+                               format=args.format)
         Path(args.output).write_bytes(data)
         original = len(_read_bytes(args.module))
         print(f"{args.output}: {original} -> {len(data)} file bytes")
@@ -422,6 +477,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--no-cache", action="store_true",
                    help="disable the shortest-derivation block cache")
+    p.add_argument("--format", choices=("rcx1", "rcx2"), default="rcx1",
+                   help="container format: rcx1 stores one codeword "
+                        "byte per derivation step (directly "
+                        "interpretable), rcx2 entropy-codes the steps "
+                        "with the grammar's rule-frequency model "
+                        "(smaller; decoded on load)")
     p.add_argument("--stats", action="store_true",
                    help="print derivation-cache statistics")
     p.set_defaults(fn=_cmd_compress)
@@ -470,6 +531,21 @@ def _build_parser() -> argparse.ArgumentParser:
     gp.add_argument("--json", action="store_true",
                     help="also dump the full statistics as JSON")
     p.set_defaults(fn=_cmd_grammar)
+
+    p = sub.add_parser("coding",
+                       help="inspect a grammar's rule-frequency model")
+    p.add_argument("-d", "--registry", default=".repro-registry",
+                   help="registry directory (default .repro-registry)")
+    osub = p.add_subparsers(dest="coding_command", required=True)
+    op = osub.add_parser(
+        "stats", help="per-NT entropy, predicted vs rcx1 coded size")
+    op.add_argument("ref", help="hash, unique prefix, or tag")
+    op.add_argument("-m", "--module", default=None,
+                    help="also compress this .rbc both ways and report "
+                         "the actual coded size")
+    op.add_argument("--json", action="store_true",
+                    help="also dump the full statistics as JSON")
+    p.set_defaults(fn=_cmd_coding)
 
     p = sub.add_parser("registry", help="manage a local grammar registry")
     p.add_argument("-d", "--registry", default=".repro-registry",
@@ -539,6 +615,8 @@ def _build_parser() -> argparse.ArgumentParser:
     cp.add_argument("-g", "--grammar", required=True,
                     help="registry reference: hash, prefix, or tag")
     cp.add_argument("-o", "--output", required=True)
+    cp.add_argument("--format", choices=("rcx1", "rcx2"), default="rcx1",
+                    help="container format (rcx2 = entropy-coded)")
     cp = csub.add_parser("decompress", help="decompress a .rcx remotely")
     cp.add_argument("module")
     cp.add_argument("-o", "--output", required=True)

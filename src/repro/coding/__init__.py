@@ -1,0 +1,33 @@
+"""Entropy-coded derivation streams (the RCX2 coding layer).
+
+The paper spends exactly one byte per derivation step.  That is the
+right trade for the embedded interpreter — the 1-byte form *is* the
+executable — but it wastes most of each byte's code space when rule
+usage is heavily skewed, which the training forest proves it is.  This
+package supplies the upgrade path sketched by Naganuma et al. (PAPERS.md,
+"Grammar compression with probabilistic context-free grammar"):
+
+* :mod:`repro.coding.model` — a :class:`RuleModel` estimated from the
+  training forest's per-nonterminal rule frequencies (Laplace-smoothed,
+  deterministically quantized, content-addressed, memoized on the
+  grammar's :class:`~repro.core.program.GrammarProgram`);
+* :mod:`repro.coding.rangecoder` — a carry-less byte-oriented range
+  coder (integer-only, bit-identical across platforms);
+* :mod:`repro.coding.stream` — the derivation-stream codec: RCX1's
+  one-byte-per-step codeword stream to/from an entropy-coded stream
+  with an explicit end-of-stream symbol per procedure.
+
+``repro.storage`` wires these into the RCX2 container format; the
+execution engines never see RCX2 — it decodes losslessly back to the
+RCX1 in-memory form on load.  See docs/CODING.md.
+"""
+
+from .model import ModelMissingError, RuleModel, model_for
+from .rangecoder import RangeDecoder, RangeEncoder
+from .stream import decode_module_streams, encode_module_streams
+
+__all__ = [
+    "ModelMissingError", "RuleModel", "model_for",
+    "RangeEncoder", "RangeDecoder",
+    "encode_module_streams", "decode_module_streams",
+]

@@ -1,0 +1,171 @@
+"""A carry-less, byte-oriented range coder (Subbotin's construction).
+
+The coder maps a sequence of symbols, each drawn from a static integer
+frequency table, onto a byte string whose length approaches the
+sequence's entropy.  Design constraints, in order:
+
+* **Determinism.**  Integer-only arithmetic on 32-bit values (explicit
+  ``& 0xFFFFFFFF`` wraps), so encoder and decoder are bit-identical on
+  every platform and Python version.  No floats anywhere.
+* **Carry-less renormalization.**  Rather than propagating carries into
+  already-emitted bytes (the classic arithmetic-coder headache), the
+  range is clipped at the cost of a fraction of a bit whenever the top
+  byte of ``low`` and ``low + range`` disagree and the range is still
+  wide (Subbotin's trick): ``range = -low & (BOTTOM - 1)``.
+* **Byte orientation.**  Renormalization shifts whole bytes, so the
+  coded stream is a plain byte string with no bit cursor — cheap to
+  slice, frame, and CRC.
+
+Invariants (documented in docs/CODING.md and held by the round-trip
+property tests in tests/test_coding.py):
+
+* every frequency table passed in has ``total <= BOTTOM`` (1 << 16) and
+  every symbol frequency >= 1, so ``range // total >= 1`` after
+  renormalization and any symbol stays decodable;
+* the decoder consumes *exactly* the bytes the encoder produced: 4
+  priming bytes mirror the encoder's 4 flush bytes, and each
+  ``decode``'s renormalization reads precisely what the matching
+  ``encode`` emitted.  A valid stream therefore ends with the read
+  cursor on the last byte — anything else is corruption.
+
+The tables themselves live in :mod:`repro.coding.model`; this module
+knows nothing about grammars.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["TOP", "BOTTOM", "CoderError", "RangeEncoder", "RangeDecoder"]
+
+#: renormalize when the range drops below 2^24 (one spare byte of
+#: precision above the 16-bit frequency totals).
+TOP = 1 << 24
+#: frequency totals must not exceed 2^16 (and the carry-less clip
+#: masks against BOTTOM - 1).
+BOTTOM = 1 << 16
+
+_MASK = 0xFFFFFFFF
+
+
+class CoderError(ValueError):
+    """The coded stream ended early or violated a coder invariant."""
+
+
+class RangeEncoder:
+    """Encode symbols against static cumulative-frequency tables.
+
+    Call :meth:`encode` once per symbol with the symbol's cumulative
+    frequency, its own frequency, and the table total; :meth:`finish`
+    flushes the final state and returns the coded bytes.
+    """
+
+    def __init__(self) -> None:
+        self._low = 0
+        self._range = _MASK
+        self._out = bytearray()
+
+    def encode(self, cum: int, freq: int, total: int) -> None:
+        if not (0 < freq and 0 <= cum and cum + freq <= total <= BOTTOM):
+            raise CoderError(
+                f"bad frequency interval cum={cum} freq={freq} "
+                f"total={total}")
+        r = self._range // total
+        self._low = (self._low + r * cum) & _MASK
+        self._range = r * freq
+        self._normalize()
+
+    def _normalize(self) -> None:
+        low, rng, out = self._low, self._range, self._out
+        while True:
+            if (low ^ ((low + rng) & _MASK)) < TOP:
+                pass  # top byte settled: emit it
+            elif rng < BOTTOM:
+                rng = (-low) & (BOTTOM - 1)  # carry-less clip
+            else:
+                break
+            out.append((low >> 24) & 0xFF)
+            low = (low << 8) & _MASK
+            rng = (rng << 8) & _MASK
+        self._low, self._range = low, rng
+
+    def finish(self) -> bytes:
+        """Flush the remaining state (4 bytes) and return the stream."""
+        low, out = self._low, self._out
+        for _ in range(4):
+            out.append((low >> 24) & 0xFF)
+            low = (low << 8) & _MASK
+        self._low = low
+        self._range = 0  # encoder is spent; further encodes would error
+        return bytes(out)
+
+
+class RangeDecoder:
+    """Decode a stream produced by :class:`RangeEncoder`.
+
+    The caller drives it with the same frequency tables, in the same
+    order, the encoder saw: :meth:`target` returns a value to locate in
+    the cumulative table (binary search, caller-side), then
+    :meth:`consume` commits the located symbol's interval.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._low = 0
+        self._range = _MASK
+        code = 0
+        for _ in range(4):
+            code = ((code << 8) | self._byte()) & _MASK
+        self._code = code
+
+    @property
+    def consumed(self) -> int:
+        """Bytes of input consumed so far (== len(data) after a full,
+        valid decode)."""
+        return self._pos
+
+    def _byte(self) -> int:
+        if self._pos >= len(self._data):
+            raise CoderError(
+                f"coded stream exhausted after {self._pos} bytes")
+        b = self._data[self._pos]
+        self._pos += 1
+        return b
+
+    def target(self, total: int) -> int:
+        """The cumulative-frequency value the next symbol straddles."""
+        if not 0 < total <= BOTTOM:
+            raise CoderError(f"bad frequency total {total}")
+        self._r = self._range // total
+        t = ((self._code - self._low) & _MASK) // self._r
+        return t if t < total else total - 1
+
+    def consume(self, cum: int, freq: int) -> None:
+        """Commit the symbol located at [cum, cum + freq)."""
+        self._low = (self._low + self._r * cum) & _MASK
+        self._range = self._r * freq
+        low, rng, code = self._low, self._range, self._code
+        while True:
+            if (low ^ ((low + rng) & _MASK)) < TOP:
+                pass
+            elif rng < BOTTOM:
+                rng = (-low) & (BOTTOM - 1)
+            else:
+                break
+            code = ((code << 8) | self._byte()) & _MASK
+            low = (low << 8) & _MASK
+            rng = (rng << 8) & _MASK
+        self._low, self._range, self._code = low, rng, code
+
+
+def cumulative(freqs: List[int]) -> List[int]:
+    """Prefix sums of a frequency table: cum[i] = sum(freqs[:i]),
+    with the grand total appended (len(freqs) + 1 entries)."""
+    out = [0] * (len(freqs) + 1)
+    acc = 0
+    for i, f in enumerate(freqs):
+        out[i] = acc
+        acc += f
+    out[len(freqs)] = acc
+    return out

@@ -1,0 +1,164 @@
+"""Derivation-stream codec: RCX1 codeword bytes <-> entropy-coded bytes.
+
+An RCX1 procedure body is a leftmost derivation written one byte per
+step: the byte at each step is the chosen rule's codeword in the
+*current* nonterminal's rule list (and the current nonterminal is fully
+determined by the preceding steps — the same invariant the decompressor
+and the generated interpreters rely on).  That makes the stream a
+sequence of (context, symbol) pairs this module can re-code against a
+:class:`~repro.coding.model.RuleModel` without any side information:
+
+* **encode** walks the RCX1 bytes with an explicit stack (exactly the
+  interpreter's traversal), range-coding each codeword in its
+  nonterminal's context, and closes every procedure with the model's
+  end-of-stream symbol (a ``<start>``-context extra — each basic block
+  begins at ``<start>``, so that is where "next block" and "procedure
+  ends" compete);
+* **decode** runs the identical walk driven by the range decoder,
+  re-emitting the original codeword bytes and recording block starts
+  as it goes.
+
+Both directions code against a fresh :class:`StreamCoder` — the
+model's trained counts seed each context, then every coded step bumps
+the chosen symbol's count, so a module whose rule usage differs from
+the training corpus is learned on the fly.  Encoder and decoder see
+the same symbols in the same order, keeping their tables in lockstep.
+
+One coded stream covers a whole module (procedures in order), so the
+coder's 4-byte flush is paid once, not per procedure.
+
+Robustness contract (the malformed-RCX2 suite pins it): decoding is
+**linear and bounded** — every decoded symbol appends exactly one byte
+to the output, so the caller-supplied ``code_len`` (from the
+CRC-protected container header) caps total work; a corrupt stream
+raises a structured :class:`~repro.parsing.derivation.DerivationError`
+(overrun, underrun, length mismatch, trailing bytes, EOS inside a
+derivation) and can never hang.  Silent mis-decodes are caught one
+layer up by the container's decoded-payload CRC.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .. import faults
+from ..core.program import GrammarProgram
+from ..parsing.derivation import DerivationError
+from .model import RuleModel
+from .rangecoder import CoderError, RangeDecoder, RangeEncoder
+
+__all__ = ["encode_module_streams", "decode_module_streams"]
+
+
+def _child_table(program: GrammarProgram) -> List[List[Tuple[int, ...]]]:
+    """Per (nonterminal index, codeword): the nonterminal indices of the
+    rule's RHS occurrences, left to right — the walk order shared by
+    encoder, decoder, and the interpreters."""
+    def build():
+        table: List[List[Tuple[int, ...]]] = [[] for _ in
+                                              program.grammar.nt_names]
+        for nt in program.grammar.nonterminals:
+            table[-nt - 1] = [
+                tuple(-rule.rhs[p] - 1 for p in rule.nt_positions)
+                for rule in program.rules_of[nt]
+            ]
+        return table
+    return program.derived("coding.children", build)
+
+
+def encode_module_streams(program: GrammarProgram, model: RuleModel,
+                          proc_codes: Sequence[bytes]) -> bytes:
+    """Entropy-code the RCX1 bodies of a module's procedures into one
+    stream (procedures in order, each closed by end-of-stream)."""
+    children = _child_table(program)
+    start = -program.start - 1
+    encode_symbol = model.coder().encode_symbol
+    enc = RangeEncoder()
+    for code in proc_codes:
+        pos = 0
+        n = len(code)
+        while pos < n:
+            stack = [start]
+            while stack:
+                ctx = stack.pop()
+                if pos >= n:
+                    raise DerivationError(
+                        f"compressed stream ends mid-derivation at "
+                        f"offset {pos}")
+                codeword = code[pos]
+                pos += 1
+                row = children[ctx]
+                if codeword >= len(row):
+                    raise DerivationError(
+                        f"codeword {codeword} out of range at offset "
+                        f"{pos - 1}")
+                encode_symbol(enc, ctx, codeword)
+                kids = row[codeword]
+                if kids:
+                    stack.extend(reversed(kids))
+        encode_symbol(enc, start, model.eos_symbol)
+    return enc.finish()
+
+
+def decode_module_streams(program: GrammarProgram, model: RuleModel,
+                          code_lens: Sequence[int], data: bytes,
+                          ) -> List[Tuple[bytes, Tuple[int, ...]]]:
+    """Invert :func:`encode_module_streams`: per procedure, the RCX1
+    body bytes and the block-start offsets observed while decoding.
+
+    ``code_lens`` (one RCX1 byte length per procedure, from the
+    container header) bounds the decode; any violation raises
+    :class:`DerivationError`.
+    """
+    if faults.ACTIVE is not None:
+        faults.ACTIVE.fire("coding.decode")
+    children = _child_table(program)
+    start = -program.start - 1
+    eos = model.eos_symbol
+    decode_symbol = model.coder().decode_symbol
+    try:
+        dec = RangeDecoder(data)
+        results = []
+        for code_len in code_lens:
+            out = bytearray()
+            starts: List[int] = []
+            while True:
+                sym = decode_symbol(dec, start)
+                if sym == eos:
+                    break
+                if len(out) >= code_len:
+                    raise DerivationError(
+                        f"coded stream overruns the declared "
+                        f"{code_len}-byte procedure body")
+                starts.append(len(out))
+                out.append(sym)
+                stack = list(reversed(children[start][sym]))
+                while stack:
+                    ctx = stack.pop()
+                    if len(out) >= code_len:
+                        raise DerivationError(
+                            f"coded stream overruns the declared "
+                            f"{code_len}-byte procedure body")
+                    codeword = decode_symbol(dec, ctx)
+                    row = children[ctx]
+                    if codeword >= len(row):
+                        # only possible where <start> appears on a RHS
+                        # and the stream decodes its EOS extra there
+                        raise DerivationError(
+                            "end-of-stream symbol inside a derivation")
+                    out.append(codeword)
+                    kids = row[codeword]
+                    if kids:
+                        stack.extend(reversed(kids))
+            if len(out) != code_len:
+                raise DerivationError(
+                    f"decoded procedure body is {len(out)} bytes, "
+                    f"header declares {code_len}")
+            results.append((bytes(out), tuple(starts)))
+        if dec.consumed != len(data):
+            raise DerivationError(
+                f"{len(data) - dec.consumed} trailing bytes in the "
+                f"coded stream")
+        return results
+    except CoderError as exc:
+        raise DerivationError(str(exc)) from None

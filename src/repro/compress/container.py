@@ -6,6 +6,28 @@ derivation bytes and its label table holds offsets *into the compressed
 stream* (the compressor rewrites the table; the indices embedded in the
 code never change, Section 3).  Globals, data and trampolines are shared
 with the original module unchanged.
+
+Two serialized container formats carry a :class:`CompressedModule`
+(both in :mod:`repro.storage`):
+
+* **RCX1** — the paper's form: one byte per derivation step, labels as
+  byte offsets into the compressed stream.  The interpreters execute
+  this form directly.
+* **RCX2** — the entropy-coded form (see docs/CODING.md): a versioned
+  header (:data:`RCX2_MAGIC`, :data:`RCX2_VERSION`), the grammar *and*
+  its :class:`~repro.coding.model.RuleModel`, per-procedure metadata
+  with labels as **block indices** (byte offsets are meaningless in an
+  entropy-coded stream), one range-coded stream for the whole module, a
+  CRC-32 of the decoded RCX1 payload, and the standard CRC-32 file
+  trailer.  Loading RCX2 reconstructs the exact RCX1 in-memory form, so
+  the engines never know which container a module arrived in.
+
+Structural violations in an RCX2 file — version skew, a model bound to
+a different grammar, label/block indices out of range, payload CRC
+mismatch — raise :class:`ContainerError`; coder-level corruption raises
+:class:`~repro.parsing.derivation.DerivationError` from the coding
+layer.  Both are ``ValueError``s, so callers that guard the RCX1 paths
+stay correct.
 """
 
 from __future__ import annotations
@@ -23,7 +45,23 @@ from ..bytecode.module import (
 )
 from ..grammar.cfg import Grammar
 
-__all__ = ["CompressedProcedure", "CompressedModule"]
+__all__ = [
+    "CompressedProcedure", "CompressedModule", "ContainerError",
+    "CONTAINER_FORMATS", "RCX2_MAGIC", "RCX2_VERSION",
+]
+
+#: the serialized container formats a CompressedModule round-trips
+#: through (``repro.storage.save_compressed(format=...)``)
+CONTAINER_FORMATS = ("rcx1", "rcx2")
+
+RCX2_MAGIC = b"RCX2"
+RCX2_VERSION = 1
+
+
+class ContainerError(ValueError):
+    """A structurally invalid RCX2 container: version skew, a model
+    bound to a different grammar, out-of-range label/block indices, or
+    a decoded-payload CRC mismatch."""
 
 
 @dataclass

@@ -18,6 +18,7 @@ from ..baselines.superop import train_superoperators
 from ..baselines.tunstall import build_code as build_tunstall
 from ..baselines.tunstall import compressed_size_blocks
 from ..bytecode.module import Module
+from ..coding.model import attach_counts
 from ..compress.compressor import Compressor
 from ..corpus import GCCLIKE_SCALE, compiled_corpus
 from ..grammar.cfg import Grammar
@@ -85,6 +86,7 @@ def trained(train_on: Tuple[str, ...], *, scale: int = GCCLIKE_SCALE,
     forest = build_forest(grammar, modules)
     report = expand_grammar(grammar, forest, min_count=min_count,
                             remove_subsumed=remove_subsumed)
+    attach_counts(grammar, forest, modules)
     return grammar, report
 
 

@@ -46,6 +46,8 @@ Sites
 ``engine.dispatch``                   compiled engine raises entering a proc
 ``engine.tables``                     compiled-table build raises TableError
 ``native.build``                      native-engine C compile/load raises
+``coding.model``                      rule-frequency model build raises
+``coding.decode``                     RCX2 stream decode raises (per module)
 ====================================  =========================================
 
 Frame modes (``service.frame.*``): ``garbage`` (clobber the JSON body so
@@ -81,6 +83,8 @@ SITES = frozenset([
     "engine.dispatch",
     "engine.tables",
     "native.build",
+    "coding.model",
+    "coding.decode",
 ])
 
 

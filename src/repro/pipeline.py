@@ -22,6 +22,7 @@ import time
 from typing import Iterable, Optional, Tuple
 
 from .bytecode.module import Module
+from .coding.model import attach_counts
 from .compress.compressor import Compressor
 from .compress.container import CompressedModule
 from .grammar.cfg import Grammar
@@ -61,9 +62,15 @@ def train_grammar(corpus: Iterable[Module], *,
     much slower; for verification and benchmarking).  ``collect_stats``
     returns a :class:`~repro.training.expander.TrainingStats` with
     parse/expand timings, per-iteration wall times, and heap behaviour.
+
+    The trained grammar also carries its rule-frequency model counts
+    (``grammar.coding_counts``, recounted from the post-training
+    forest) — the estimation side of the RCX2 entropy coder; they are
+    persisted by ``save_grammar`` and the registry.
     """
     if grammar is None:
         grammar = initial_grammar(max_rules_per_nt=max_rules_per_nt)
+    corpus = list(corpus)
     parse_start = time.perf_counter()
     forest = build_forest(grammar, corpus, workers=parser_workers)
     parse_seconds = time.perf_counter() - parse_start
@@ -75,6 +82,7 @@ def train_grammar(corpus: Iterable[Module], *,
         index_mode=index_mode,
         collect_stats=collect_stats,
     )
+    attach_counts(grammar, forest, corpus)
     report.wall_seconds = time.perf_counter() - parse_start
     if collect_stats:
         report.parse_seconds = parse_seconds

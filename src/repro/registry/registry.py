@@ -56,6 +56,7 @@ from typing import Dict, Iterable, List, Optional
 
 from .. import faults
 from ..bytecode.module import Module
+from ..coding.model import COUNTS_ATTR
 from ..core.program import GrammarProgram, program_for
 from ..faults import InjectedFault
 from ..grammar.cfg import Grammar
@@ -220,6 +221,9 @@ class GrammarRegistry:
                 "nonterminals": len(grammar.nt_names),
                 "rules": grammar.total_rules(),
                 "encoded_bytes": grammar_bytes(grammar, compact=True),
+                # Whether this grammar ships a rule-frequency model and
+                # can therefore serve rcx2 compression requests.
+                "model": getattr(grammar, COUNTS_ATTR, None) is not None,
             })
             # Provenance lands before the object: an interrupted put
             # leaves an invisible orphan meta (reaped by gc), never an
@@ -358,6 +362,7 @@ class GrammarRegistry:
             "nonterminals": len(grammar.nt_names),
             "rules": grammar.total_rules(),
             "encoded_bytes": grammar_bytes(grammar, compact=True),
+            "model": getattr(grammar, COUNTS_ATTR, None) is not None,
             "recovered": True,
         }
 

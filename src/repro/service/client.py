@@ -104,8 +104,12 @@ class _MethodMixin:
     convention differs)."""
 
     @staticmethod
-    def _compress_params(module_data: bytes, grammar_ref: str) -> dict:
-        return {"module": b64e(module_data), "grammar": grammar_ref}
+    def _compress_params(module_data: bytes, grammar_ref: str,
+                         format: str = "rcx1") -> dict:
+        params = {"module": b64e(module_data), "grammar": grammar_ref}
+        if format != "rcx1":
+            params["format"] = format
+        return params
 
     @staticmethod
     def _run_params(module_data: bytes, args: Sequence[int],
@@ -228,10 +232,11 @@ class ServiceClient(_MethodMixin):
         result = self.call("grammar.get", {"ref": ref})
         return b64d(result["data"]), result["meta"]
 
-    def compress(self, module_data: bytes, grammar_ref: str) -> bytes:
+    def compress(self, module_data: bytes, grammar_ref: str,
+                 format: str = "rcx1") -> bytes:
         result = self.call("compress",
                            self._compress_params(module_data,
-                                                 grammar_ref))
+                                                 grammar_ref, format))
         return b64d(result["data"])
 
     def decompress(self, compressed_data: bytes) -> bytes:
@@ -354,10 +359,11 @@ class AsyncServiceClient(_MethodMixin):
         result = await self.call("grammar.get", {"ref": ref})
         return b64d(result["data"]), result["meta"]
 
-    async def compress(self, module_data: bytes,
-                       grammar_ref: str) -> bytes:
+    async def compress(self, module_data: bytes, grammar_ref: str,
+                       format: str = "rcx1") -> bytes:
         result = await self.call(
-            "compress", self._compress_params(module_data, grammar_ref))
+            "compress",
+            self._compress_params(module_data, grammar_ref, format))
         return b64d(result["data"])
 
     async def decompress(self, compressed_data: bytes) -> bytes:

@@ -21,6 +21,9 @@ LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
                    0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
 # jobs per compression batch
 BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+# serialized compressed-container bytes per compress response
+CODED_BYTES_BUCKETS = (256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+                       262144.0, 1048576.0)
 
 
 class Counter:
@@ -108,7 +111,22 @@ class ServiceMetrics:
         #: faulted, reference reran the request) and ``degraded``
         #: (breaker open, compiled engine skipped entirely)
         self.engine_events = Counter()
+        #: compress requests by container format (rcx1 | rcx2)
+        self.compress_formats = Counter()
+        #: serialized container bytes per successful compress, by format
+        self._coded_bytes: Dict[str, Histogram] = {}
         self._lock = threading.Lock()
+
+    def observe_compress(self, format: str, coded_bytes: int) -> None:
+        """One successful compress response: its container format and
+        the serialized container's size."""
+        self.compress_formats.inc(format)
+        with self._lock:
+            hist = self._coded_bytes.get(format)
+            if hist is None:
+                hist = self._coded_bytes[format] = Histogram(
+                    CODED_BYTES_BUCKETS)
+        hist.observe(float(coded_bytes))
 
     def observe_request(self, method: str, outcome: str,
                         seconds: float) -> None:
@@ -130,6 +148,8 @@ class ServiceMetrics:
         with self._lock:
             latency = {m: h.snapshot()
                        for m, h in sorted(self._latency.items())}
+            coded = {f: h.snapshot()
+                     for f, h in sorted(self._coded_bytes.items())}
         return {
             "uptime_seconds": time.monotonic() - self.started,
             "counters": {
@@ -137,9 +157,11 @@ class ServiceMetrics:
                 "bytes_in_total": self.bytes_in.total(),
                 "bytes_out_total": self.bytes_out.total(),
                 "engine_events_total": self.engine_events.snapshot(),
+                "compress_format_total": self.compress_formats.snapshot(),
             },
             "histograms": {
                 "request_seconds": latency,
                 "batch_size": self.batch_size.snapshot(),
+                "coded_bytes": coded,
             },
         }

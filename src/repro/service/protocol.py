@@ -44,6 +44,7 @@ E_NOT_FOUND = "not_found"
 E_INTERNAL = "internal"
 E_SHUTTING_DOWN = "shutting_down"
 E_TRAP = "trap"
+E_MODEL_MISSING = "model_missing"
 
 
 class FrameError(ConnectionError):
@@ -51,7 +52,10 @@ class FrameError(ConnectionError):
 
 
 #: error codes where retrying after backoff is reasonable
-RETRYABLE = frozenset([E_OVERLOADED, E_TIMEOUT, E_SHUTTING_DOWN])
+#: (``model_missing`` clears once the grammar is retrained and
+#: re-registered under the same tag, so clients may back off and retry)
+RETRYABLE = frozenset([E_OVERLOADED, E_TIMEOUT, E_SHUTTING_DOWN,
+                       E_MODEL_MISSING])
 
 
 class ServiceError(Exception):

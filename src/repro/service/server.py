@@ -50,7 +50,9 @@ import hashlib
 
 from ..bytecode.module import Module
 from ..bytecode.validate import ValidationError
+from ..coding.model import ModelMissingError
 from ..compress.compressor import Compressor
+from ..compress.container import CONTAINER_FORMATS
 from ..compress.decompress import decompress_module
 from ..grammar.serialize import encode_grammar_compact
 from ..interp.compiled import CompiledEngine
@@ -77,11 +79,12 @@ __all__ = ["CompressionService", "ServiceError"]
 class _Job:
     """One queued compression request awaiting its batch."""
 
-    __slots__ = ("module_data", "future", "enqueued")
+    __slots__ = ("module_data", "format", "future", "enqueued")
 
-    def __init__(self, module_data: bytes,
+    def __init__(self, module_data: bytes, format: str,
                  future: "asyncio.Future") -> None:
         self.module_data = module_data
+        self.format = format
         self.future = future
         self.enqueued = time.monotonic()
 
@@ -117,7 +120,7 @@ class _GrammarWorker:
             async with svc._inflight:
                 results = await asyncio.get_running_loop().run_in_executor(
                     svc._executor, self._compress_batch,
-                    [job.module_data for job in batch])
+                    [(job.module_data, job.format) for job in batch])
             self.batches += 1
             self.jobs += len(batch)
             svc.metrics.observe_batch(len(batch))
@@ -129,11 +132,12 @@ class _GrammarWorker:
                 else:
                     job.future.set_exception(err)
 
-    def _compress_batch(self, modules: List[bytes]) -> List[Tuple]:
+    def _compress_batch(self, jobs: List[Tuple[bytes, str]],
+                        ) -> List[Tuple]:
         """Runs on an executor thread.  One compressor, warm cache; a bad
         module fails its own job, never the batch."""
         out: List[Tuple] = []
-        for data in modules:
+        for data, format in jobs:
             try:
                 try:
                     module = load_module(data)
@@ -142,12 +146,20 @@ class _GrammarWorker:
                         protocol.E_BAD_REQUEST,
                         f"not a valid RBC1 module: {exc}") from None
                 cmod = self.compressor.compress_module(module)
-                payload = save_compressed(cmod)
+                try:
+                    payload = save_compressed(cmod, format=format)
+                except ModelMissingError as exc:
+                    # Retryable by contract: retraining and re-tagging
+                    # the grammar fixes it without a client change.
+                    raise ServiceError(protocol.E_MODEL_MISSING,
+                                       str(exc)) from None
                 out.append((None, {
                     "data": b64e(payload),
                     "grammar": self.digest,
+                    "format": format,
                     "original_code_bytes": module.code_bytes,
                     "compressed_code_bytes": cmod.code_bytes,
+                    "coded_bytes": len(payload),
                 }))
             except ServiceError as exc:
                 out.append((exc, None))
@@ -515,12 +527,19 @@ class CompressionService:
 
     async def _m_compress(self, params: dict) -> dict:
         module_data = self._data_param(params, "module")
+        format = params.get("format", "rcx1")
+        if format not in CONTAINER_FORMATS:
+            raise ServiceError(
+                protocol.E_BAD_REQUEST,
+                f"unknown container format {format!r} "
+                f"(expected one of {list(CONTAINER_FORMATS)})")
         self.metrics.add_bytes("in", len(module_data))
         worker = await self._worker_for(self._ref_param(params))
         future = asyncio.get_running_loop().create_future()
-        worker.queue.put_nowait(_Job(module_data, future))
+        worker.queue.put_nowait(_Job(module_data, format, future))
         result = await future  # timeout applied by _dispatch's wait_for
         self.metrics.add_bytes("out", len(result["data"]))
+        self.metrics.observe_compress(format, result["coded_bytes"])
         return result
 
     async def _m_decompress(self, params: dict) -> dict:
@@ -533,7 +552,7 @@ class CompressionService:
             except Exception as exc:  # noqa: BLE001 — client bytes
                 raise ServiceError(
                     protocol.E_BAD_REQUEST,
-                    f"not a valid RCX1 module: {exc}") from None
+                    f"not a valid RCX1/RCX2 module: {exc}") from None
             return save_module(decompress_module(cmod))
 
         async with self._inflight:

@@ -1,14 +1,22 @@
 """Binary file formats for modules, compressed modules and grammars.
 
-Three self-describing formats, all little-endian:
+Four self-describing formats, all little-endian:
 
 * ``RBC1`` — an uncompressed bytecode module (the compiler's output and
   the decompressor's; what Section 3 calls the packaged bytecodes).
 * ``RCX1`` — a compressed module *with its grammar embedded* (the compact
   encoding of :mod:`repro.grammar.serialize`), so a single file is enough
   to interpret or decompress it — the shippable artifact.
+* ``RCX2`` — the entropy-coded compressed module (see docs/CODING.md):
+  grammar *and* rule-frequency model embedded, labels stored as block
+  indices, and all procedure bodies range-coded into one stream.  It
+  loads to the exact same in-memory :class:`CompressedModule` as RCX1,
+  so everything downstream of :func:`load_compressed` is format-blind.
 * ``RGR1`` — a stand-alone trained grammar, for the train-once /
-  compress-many workflow of the CLI.
+  compress-many workflow of the CLI.  Grammars trained since models
+  exist carry an optional trailing section with the raw rule-frequency
+  counts (legacy files without it still load; compressing from them to
+  RCX2 then reports the model as missing).
 
 Strings are UTF-8 with a 2-byte length; offsets/sizes are u32.  Every
 loader validates magic and trailing bytes, and the module loader runs the
@@ -18,18 +26,36 @@ misexecuting.
 Writers append a CRC-32 trailer (4 bytes, little-endian, over magic +
 body) so bit rot is detected before the structural validators run.
 Loaders accept trailer-less files — everything written before the
-trailer existed still loads.
+trailer existed still loads.  RCX2 additionally embeds a CRC-32 of the
+*decoded* RCX1 payload inside the (trailer-protected) header, so even a
+coded stream that decodes without a structural error cannot silently
+deliver wrong bytes.
 """
 
 from __future__ import annotations
 
+import hashlib
 import struct
 import zlib
 from typing import List, Union
 
 from .bytecode.module import GlobalEntry, Module, Procedure
 from .bytecode.validate import validate_module
-from .compress.container import CompressedModule, CompressedProcedure
+from .coding.model import (
+    COUNTS_ATTR,
+    RuleModel,
+    model_for,
+    parse_model,
+)
+from .coding.stream import decode_module_streams, encode_module_streams
+from .compress.container import (
+    CONTAINER_FORMATS,
+    CompressedModule,
+    CompressedProcedure,
+    ContainerError,
+    RCX2_MAGIC,
+    RCX2_VERSION,
+)
 from .core.program import non_byte_rows, original_ordinals, program_for
 from .grammar.cfg import Grammar
 from .grammar.serialize import decode_grammar, encode_grammar_compact
@@ -43,6 +69,7 @@ __all__ = [
 
 _MAGIC_MODULE = b"RBC1"
 _MAGIC_COMPRESSED = b"RCX1"
+_MAGIC_COMPRESSED2 = RCX2_MAGIC
 _MAGIC_GRAMMAR = b"RGR1"
 
 _KINDS = ["data", "proc", "lib"]
@@ -226,7 +253,22 @@ def _read_nt_names(r: _Reader) -> List[str]:
     return [r.text() for _ in range(r.u8())]
 
 
-def save_compressed(cmod: CompressedModule) -> bytes:
+def save_compressed(cmod: CompressedModule,
+                    format: str = "rcx1") -> bytes:
+    """Serialize a compressed module.
+
+    ``format="rcx1"`` is the paper's one-byte-per-step container;
+    ``"rcx2"`` entropy-codes the derivation bytes against the grammar's
+    :class:`~repro.coding.model.RuleModel` (raising
+    :class:`~repro.coding.model.ModelMissingError` when the grammar was
+    trained before models existed).  Both load back byte-identically
+    through :func:`load_compressed`.
+    """
+    if format not in CONTAINER_FORMATS:
+        raise ValueError(f"unknown container format {format!r} "
+                         f"(expected one of {CONTAINER_FORMATS})")
+    if format == "rcx2":
+        return _save_compressed2(cmod)
     w = _Writer()
     w.out.extend(_MAGIC_COMPRESSED)
     _write_nt_names(w, cmod.grammar)
@@ -241,9 +283,56 @@ def save_compressed(cmod: CompressedModule) -> bytes:
     return _seal(w)
 
 
+def _save_compressed2(cmod: CompressedModule) -> bytes:
+    """The RCX2 container: header + one range-coded stream per module.
+
+    Labels are stored as *block indices* — a label always targets a
+    block start in the RCX1 form, and byte offsets are meaningless in
+    an entropy-coded stream; the loader rebuilds the exact offsets from
+    the block starts it observes while decoding.
+    """
+    program = program_for(cmod.grammar)
+    model = model_for(program)  # ModelMissingError when untrained
+    w = _Writer()
+    w.out.extend(_MAGIC_COMPRESSED2)
+    w.u8(RCX2_VERSION)
+    _write_nt_names(w, cmod.grammar)
+    w.blob(encode_grammar_compact(cmod.grammar))
+    w.blob(model.to_bytes())
+    _write_shared(w, cmod)
+    w.u16(len(cmod.procedures))
+    payload_crc = 0
+    for proc in cmod.procedures:
+        w.text(proc.name)
+        w.u32(proc.framesize)
+        w.u32(proc.argsize)
+        w.u8(1 if proc.needs_trampoline else 0)
+        if len(proc.block_starts) > 0xFFFF:
+            raise StorageError(
+                f"procedure {proc.name!r} has too many blocks for RCX2")
+        block_index = {off: i for i, off in enumerate(proc.block_starts)}
+        w.u16(len(proc.labels))
+        for off in proc.labels:
+            if off not in block_index:
+                raise StorageError(
+                    f"label offset {off} in {proc.name!r} is not a "
+                    f"block start")
+            w.u16(block_index[off])
+        w.u16(len(proc.block_starts))
+        w.u32(len(proc.code))
+        payload_crc = zlib.crc32(proc.code, payload_crc)
+    w.u32(payload_crc)
+    w.blob(encode_module_streams(program, model,
+                                 [p.code for p in cmod.procedures]))
+    return _seal(w)
+
+
 def load_compressed(data: bytes) -> CompressedModule:
+    """Load either compressed-module container (dispatch on magic)."""
+    if data[:4] == _MAGIC_COMPRESSED2:
+        return _load_compressed2(data)
     if data[:4] != _MAGIC_COMPRESSED:
-        raise StorageError("not an RCX1 compressed-module file")
+        raise StorageError("not an RCX1/RCX2 compressed-module file")
     r = _Reader(data[4:])
     names = _read_nt_names(r)
     grammar = decode_grammar(r.blob(), nt_names=names)
@@ -255,6 +344,88 @@ def load_compressed(data: bytes) -> CompressedModule:
         procs.append(CompressedProcedure(block_starts=block_starts,
                                          **common))
     _finish(r, data)
+    return CompressedModule(grammar=grammar, procedures=procs, **shared)
+
+
+def _load_compressed2(data: bytes) -> CompressedModule:
+    # RCX2 has no legacy window: the CRC-32 trailer is mandatory, and it
+    # is verified before any field is parsed — bit rot anywhere in the
+    # file fails loudly here instead of surfacing as a deep parse error
+    # from the grammar or model decoders.
+    if len(data) < 9:
+        raise ContainerError("truncated RCX2 file")
+    (stored,) = struct.unpack("<I", data[-4:])
+    if stored != zlib.crc32(data[:-4]):
+        raise StorageError("CRC-32 mismatch (corrupt file)")
+    r = _Reader(data[4:-4])
+    version = r.u8()
+    if version != RCX2_VERSION:
+        raise ContainerError(f"unsupported RCX2 version {version}")
+    names = _read_nt_names(r)
+    gblob = r.blob()
+    grammar = decode_grammar(gblob, nt_names=names)
+    mblob = r.blob()
+    shared = _read_shared(r)
+    specs = []
+    for _ in range(r.u16()):
+        name = r.text()
+        framesize = r.u32()
+        argsize = r.u32()
+        tramp = bool(r.u8())
+        label_blocks = [r.u16() for _ in range(r.u16())]
+        nblocks = r.u16()
+        code_len = r.u32()
+        specs.append((name, framesize, argsize, tramp, label_blocks,
+                      nblocks, code_len))
+    payload_crc = r.u32()
+    stream = r.blob()
+    r.done()
+
+    try:
+        binding, eos_count, counts = parse_model(mblob)
+    except ValueError as exc:
+        raise ContainerError(f"bad embedded model: {exc}") from None
+    if binding != hashlib.sha256(gblob).digest():
+        raise ContainerError(
+            "model/grammar content-key mismatch (the embedded model "
+            "was trained for a different grammar)")
+    program = program_for(grammar)
+    try:
+        model = RuleModel(program, counts, eos_count, binding=binding)
+    except ValueError as exc:
+        raise ContainerError(f"bad embedded model: {exc}") from None
+    # Re-attach the counts (and prime the model memo) so a loaded
+    # module can be re-saved as RCX2 and its grammar drives coding
+    # stats, exactly like a freshly trained one.
+    setattr(grammar, COUNTS_ATTR,
+            {"rules": [list(row) for row in model.counts],
+             "eos": model.eos_count})
+    program.derived("coding.model", lambda: model)
+
+    decoded = decode_module_streams(program, model,
+                                    [s[6] for s in specs], stream)
+    procs = []
+    crc = 0
+    for (name, framesize, argsize, tramp, label_blocks, nblocks,
+         code_len), (code, block_starts) in zip(specs, decoded):
+        if len(block_starts) != nblocks:
+            raise ContainerError(
+                f"procedure {name!r} decoded {len(block_starts)} "
+                f"blocks, header declares {nblocks}")
+        labels = []
+        for idx in label_blocks:
+            if idx >= len(block_starts):
+                raise ContainerError(
+                    f"label block index {idx} out of range in {name!r}")
+            labels.append(block_starts[idx])
+        crc = zlib.crc32(code, crc)
+        procs.append(CompressedProcedure(
+            name=name, code=code, labels=labels, framesize=framesize,
+            needs_trampoline=tramp, argsize=argsize,
+            block_starts=list(block_starts)))
+    if crc != payload_crc:
+        raise ContainerError(
+            "decoded payload CRC-32 mismatch (corrupt coded stream)")
     return CompressedModule(grammar=grammar, procedures=procs, **shared)
 
 
@@ -320,6 +491,12 @@ def save_grammar(grammar: Grammar) -> bytes:
                 w.u8(1)
                 _write_fragment(w, rule.fragment,
                                 program.original_to_ordinal)
+    # Optional trailing section: the rule-frequency model, when training
+    # attached counts (absent -> byte-identical to the legacy format, so
+    # old readers and golden files are unaffected).
+    if getattr(grammar, COUNTS_ATTR, None) is not None:
+        w.u8(1)
+        w.blob(model_for(program).to_bytes())
     return _seal(w)
 
 
@@ -328,7 +505,8 @@ def load_grammar(data: bytes) -> Grammar:
         raise StorageError("not an RGR1 grammar file")
     r = _Reader(data[4:])
     names = _read_nt_names(r)
-    grammar = decode_grammar(r.blob(), nt_names=names)
+    gblob = r.blob()
+    grammar = decode_grammar(gblob, nt_names=names)
     # Re-attach provenance.  decode_grammar marked every rule original;
     # rebuild each rule with its true origin and fragment so the tiling
     # compressor works on loaded grammars.  This mutates rules in place
@@ -344,15 +522,31 @@ def load_grammar(data: bytes) -> Grammar:
                 from .grammar.cfg import fragment_hole_count
                 if fragment_hole_count(fragment) != rule.arity:
                     raise StorageError("fragment does not match rule arity")
+    # Optional model section (legacy files end here, with 0 or 4 bytes
+    # left for the CRC trailer; a section is at least 5).
+    if len(r.data) - r.pos not in (0, 4):
+        if r.u8() != 1:
+            raise StorageError("bad model-section flag")
+        mblob = r.blob()
+        try:
+            binding, eos_count, counts = parse_model(mblob)
+        except ValueError as exc:
+            raise StorageError(f"bad grammar model: {exc}") from None
+        if binding != hashlib.sha256(gblob).digest():
+            raise StorageError(
+                "model/grammar content-key mismatch in RGR1 file")
+        setattr(grammar, COUNTS_ATTR,
+                {"rules": [list(row) for row in counts],
+                 "eos": eos_count})
     _finish(r, data)
     grammar.check()
     return grammar
 
 
 def load_any(data: bytes) -> Union[Module, CompressedModule]:
-    """Dispatch on magic: module or compressed module."""
+    """Dispatch on magic: module or compressed module (either format)."""
     if data[:4] == _MAGIC_MODULE:
         return load_module(data)
-    if data[:4] == _MAGIC_COMPRESSED:
+    if data[:4] in (_MAGIC_COMPRESSED, _MAGIC_COMPRESSED2):
         return load_compressed(data)
     raise StorageError("unrecognized file magic")

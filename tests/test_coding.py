@@ -1,0 +1,255 @@
+"""Unit tests for the entropy-coding subsystem (repro.coding).
+
+Three layers, tested bottom-up: the carry-less range coder against
+random frequency tables, the RuleModel (quantization, determinism,
+serialization, the grammar binding), and the module stream codec
+(round-trip, block starts, the no-hang bounds).
+"""
+
+import random
+
+import pytest
+
+from repro import train_grammar
+from repro.coding.model import (
+    CONTEXT_TOTAL,
+    ModelMissingError,
+    RuleModel,
+    _quantize,
+    model_for,
+    parse_model,
+)
+from repro.coding.rangecoder import (
+    BOTTOM,
+    CoderError,
+    RangeDecoder,
+    RangeEncoder,
+    cumulative,
+)
+from repro.coding.stream import decode_module_streams, encode_module_streams
+from repro.compress.compressor import Compressor
+from repro.core.program import program_for
+from repro.corpus.synth import generate_program
+from repro.minic import compile_source
+
+
+# -- range coder ---------------------------------------------------------------
+
+def _roundtrip(freqs, symbols):
+    cums = cumulative(freqs)
+    enc = RangeEncoder()
+    for s in symbols:
+        enc.encode(cums[s], freqs[s], cums[-1])
+    data = enc.finish()
+    dec = RangeDecoder(data)
+    out = []
+    for _ in symbols:
+        target = dec.target(cums[-1])
+        s = next(i for i in range(len(freqs))
+                 if cums[i] <= target < cums[i + 1])
+        dec.consume(cums[s], freqs[s])
+        out.append(s)
+    return data, dec, out
+
+
+def test_rangecoder_roundtrip_random_tables():
+    rng = random.Random(2026)
+    for _ in range(120):
+        n = rng.randrange(2, 40)
+        freqs = [rng.randrange(1, 700) for _ in range(n)]
+        while sum(freqs) > BOTTOM:
+            freqs = [max(1, f // 2) for f in freqs]
+        symbols = [rng.randrange(n) for _ in range(rng.randrange(0, 300))]
+        data, dec, out = _roundtrip(freqs, symbols)
+        assert out == symbols
+        # a valid decode consumes exactly the encoder's output
+        assert dec.consumed == len(data)
+
+
+def test_rangecoder_skewed_table_beats_flat_cost():
+    """A heavily skewed source must code well under 8 bits/symbol."""
+    freqs = [1000] + [1] * 9
+    symbols = [0] * 500 + [3, 7] * 5
+    data, _, out = _roundtrip(freqs, symbols)
+    assert out == symbols
+    assert len(data) < len(symbols) // 4
+
+
+def test_rangecoder_rejects_bad_intervals():
+    enc = RangeEncoder()
+    with pytest.raises(CoderError):
+        enc.encode(0, 0, 10)          # zero frequency
+    with pytest.raises(CoderError):
+        enc.encode(8, 4, 10)          # interval past the total
+    with pytest.raises(CoderError):
+        enc.encode(0, 1, BOTTOM + 1)  # total over the coder budget
+
+
+def test_rangecoder_exhausted_stream_is_structured():
+    dec = RangeDecoder(b"\x00\x00\x00\x00")
+    with pytest.raises(CoderError, match="exhausted"):
+        for _ in range(10_000):
+            t = dec.target(2)
+            dec.consume(0 if t < 1 else 1, 1)
+
+
+def test_rangecoder_empty_stream_raises_on_priming():
+    with pytest.raises(CoderError):
+        RangeDecoder(b"\x00\x00")
+
+
+# -- quantization --------------------------------------------------------------
+
+def test_quantize_sums_exactly_and_floors_at_one():
+    rng = random.Random(7)
+    for _ in range(60):
+        n = rng.randrange(1, 300)
+        counts = [rng.randrange(1, 10_000) for _ in range(n)]
+        freqs = _quantize(counts, CONTEXT_TOTAL)
+        assert sum(freqs) == CONTEXT_TOTAL
+        assert min(freqs) >= 1
+        assert len(freqs) == n
+
+
+def test_quantize_preserves_order_and_is_deterministic():
+    counts = [5000, 100, 100, 1]
+    a = _quantize(counts, CONTEXT_TOTAL)
+    assert a == _quantize(list(counts), CONTEXT_TOTAL)
+    assert a[0] > a[1] >= a[3]
+
+
+def test_quantize_rejects_impossible_tables():
+    with pytest.raises(ValueError):
+        _quantize([1] * (CONTEXT_TOTAL + 1), CONTEXT_TOTAL)
+    with pytest.raises(ValueError):
+        _quantize([0, 5], CONTEXT_TOTAL)
+
+
+# -- RuleModel -----------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def trained():
+    corpus = [compile_source(generate_program(8, seed=s))
+              for s in (331, 332)]
+    grammar, _ = train_grammar(corpus)
+    return grammar, corpus
+
+
+def test_training_attaches_counts(trained):
+    grammar, corpus = trained
+    counts = grammar.coding_counts
+    assert counts["eos"] == sum(len(m.procedures) for m in corpus)
+    program = program_for(grammar)
+    for nt in grammar.nonterminals:
+        assert len(counts["rules"][-nt - 1]) == len(program.rules_of[nt])
+
+
+def test_model_for_is_memoized_and_deterministic(trained):
+    grammar, _ = trained
+    program = program_for(grammar)
+    model = model_for(program)
+    assert model_for(program) is model
+    rebuilt = RuleModel(program, model.counts, model.eos_count)
+    assert rebuilt.key == model.key
+    assert rebuilt.to_bytes() == model.to_bytes()
+
+
+def test_model_serialization_roundtrip(trained):
+    grammar, _ = trained
+    program = program_for(grammar)
+    model = model_for(program)
+    again = RuleModel.from_bytes(model.to_bytes(), program)
+    assert again.counts == model.counts
+    assert again.eos_count == model.eos_count
+    assert again.binding == model.binding
+    assert again.key == model.key
+
+
+def test_model_binding_is_the_compact_grammar_digest(trained):
+    grammar, _ = trained
+    program = program_for(grammar)
+    assert model_for(program).binding == bytes.fromhex(
+        program.compact_key)
+
+
+def test_parse_model_rejects_malformations(trained):
+    grammar, _ = trained
+    blob = model_for(program_for(grammar)).to_bytes()
+    with pytest.raises(ValueError, match="magic"):
+        parse_model(b"XXXX" + blob[4:])
+    with pytest.raises(ValueError, match="version"):
+        parse_model(blob[:4] + b"\x09" + blob[5:])
+    with pytest.raises(ValueError):
+        parse_model(blob[:-3])  # truncated counts
+    with pytest.raises(ValueError, match="trailing"):
+        parse_model(blob + b"\x00")
+
+
+def test_model_shape_mismatch_is_rejected(trained):
+    grammar, _ = trained
+    program = program_for(grammar)
+    counts = grammar.coding_counts
+    with pytest.raises(ValueError, match="contexts"):
+        RuleModel(program, counts["rules"][:-1], counts["eos"])
+    bad_rows = [list(row) for row in counts["rules"]]
+    bad_rows[0] = bad_rows[0] + [0]
+    with pytest.raises(ValueError, match="rules"):
+        RuleModel(program, bad_rows, counts["eos"])
+
+
+def test_model_missing_raises_structured_error():
+    module = compile_source(generate_program(4, seed=17))
+    grammar, _ = train_grammar([module])
+    delattr(grammar, "coding_counts")
+    with pytest.raises(ModelMissingError, match="rcx1"):
+        model_for(program_for(grammar))
+
+
+# -- module stream codec -------------------------------------------------------
+
+def test_stream_roundtrips_and_beats_flat_coding(trained):
+    grammar, _ = trained
+    program = program_for(grammar)
+    model = model_for(program)
+    module = compile_source(generate_program(6, seed=440))
+    cmod = Compressor(grammar).compress_module(module)
+    codes = [p.code for p in cmod.procedures]
+    coded = encode_module_streams(program, model, codes)
+    decoded = decode_module_streams(
+        program, model, [len(c) for c in codes], coded)
+    assert [c for c, _ in decoded] == codes
+    assert [s for _, s in decoded] == \
+        [tuple(p.block_starts) for p in cmod.procedures]
+    # the whole point: the model codes the derivation below 8 bits/step
+    assert len(coded) < sum(len(c) for c in codes)
+
+
+def test_stream_decode_respects_declared_lengths(trained):
+    grammar, _ = trained
+    program = program_for(grammar)
+    model = model_for(program)
+    module = compile_source(generate_program(5, seed=441))
+    cmod = Compressor(grammar).compress_module(module)
+    codes = [p.code for p in cmod.procedures]
+    coded = encode_module_streams(program, model, codes)
+    from repro.parsing.derivation import DerivationError
+
+    lens = [len(c) for c in codes]
+    short = list(lens)
+    short[0] = max(0, short[0] - 1)
+    with pytest.raises(DerivationError):
+        decode_module_streams(program, model, short, coded)
+    long = list(lens)
+    long[-1] += 1
+    with pytest.raises(DerivationError):
+        decode_module_streams(program, model, long, coded)
+
+
+def test_stream_encode_rejects_garbage_codes(trained):
+    grammar, _ = trained
+    program = program_for(grammar)
+    model = model_for(program)
+    from repro.parsing.derivation import DerivationError
+
+    with pytest.raises(DerivationError):
+        encode_module_streams(program, model, [b"\xff" * 4])

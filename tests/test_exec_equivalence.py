@@ -103,6 +103,26 @@ def test_three_engines_agree(seed, equiv_grammar):
         f"seed {seed}: compressed vs raw diverged"
 
 
+@pytest.mark.parametrize("seed", EQUIV_SEEDS)
+def test_rcx2_roundtrip_matches_rcx1(seed, equiv_grammar):
+    """The entropy-coded container is lossless: across the 50-seed
+    sweep, ``decompress(rcx2(m))`` is byte-identical to
+    ``decompress(rcx1(m))``, and the loaded RCX2 module executes with
+    an identical observable trace (exit code, output, instret,
+    memory)."""
+    from repro.storage import load_compressed, save_compressed, save_module
+
+    module = compile_source(generate_program(4, seed=seed))
+    cmod = compress_module(equiv_grammar, module)
+    via1 = load_compressed(save_compressed(cmod, format="rcx1"))
+    via2 = load_compressed(save_compressed(cmod, format="rcx2"))
+    assert save_module(decompress_module(via1)) == \
+        save_module(decompress_module(via2)), f"seed {seed}"
+    assert _observe(via1, CompiledEngine(via1)) == \
+        _observe(via2, CompiledEngine(via2)), \
+        f"seed {seed}: execution diverged across containers"
+
+
 @pytest.mark.parametrize("seed", PROFILE_SEEDS)
 def test_profiled_compiled_engine_agrees(seed, equiv_grammar):
     """The instrumented walk over the flattened tables executes the

@@ -229,3 +229,54 @@ def test_activate_accepts_plain_dict_manifest():
         assert plane.decide(SITE) is not None
     finally:
         faults.deactivate()
+
+
+# -- coding sites ------------------------------------------------------------
+
+def test_coding_sites_are_declared():
+    assert "coding.model" in SITES
+    assert "coding.decode" in SITES
+
+
+def test_coding_model_site_fires_during_model_build():
+    """The model build is a chaos point: a fired ``coding.model`` raises
+    out of ``model_for``, and — because a raising builder caches nothing
+    in the derived-value memo — the next call builds cleanly."""
+    from repro.coding.model import model_for
+    from repro.core.program import program_for
+    from repro.corpus.synth import generate_program
+    from repro.minic import compile_source
+    from repro.pipeline import train_grammar
+
+    grammar, _ = train_grammar(
+        [compile_source(generate_program(4, seed=61))])
+    program = program_for(grammar)
+    with faults.injected(
+            {"seed": 0, "sites": {"coding.model": {"at": 1}}}) as plane:
+        with pytest.raises(InjectedFault) as exc:
+            model_for(program)
+        assert exc.value.site == "coding.model"
+        assert plane.fired("coding.model") == 1
+        assert model_for(program) is model_for(program)
+
+
+def test_coding_decode_site_fires_per_rcx2_load():
+    """``coding.decode`` fires once per RCX2 stream decode, so a plan
+    can fault the Nth load; the fault is an InjectedFault, not a
+    (retryable-looking) storage or derivation error."""
+    from repro.corpus.synth import generate_program
+    from repro.minic import compile_source
+    from repro.pipeline import compress_module, train_grammar
+    from repro.storage import load_compressed, save_compressed
+
+    module = compile_source(generate_program(4, seed=62))
+    grammar, _ = train_grammar([module])
+    data = save_compressed(compress_module(grammar, module),
+                           format="rcx2")
+    with faults.injected(
+            {"seed": 0, "sites": {"coding.decode": {"at": 1}}}) as plane:
+        with pytest.raises(InjectedFault):
+            load_compressed(data)
+        assert plane.fired("coding.decode") == 1
+        load_compressed(data)  # second evaluation: decodes clean
+    load_compressed(data)  # and inert once deactivated

@@ -297,3 +297,76 @@ def test_protocol_frame_roundtrip():
         protocol.decode_body(b"[1, 2]")  # not an object
     with pytest.raises(protocol.FrameError):
         protocol.b64d("@@@not base64@@@")
+
+
+# -- entropy-coded containers over the wire -----------------------------------
+
+def test_rcx2_format_round_trip_and_metrics(harness, artifacts):
+    """`compress` honours the format param, decompress auto-detects the
+    container, and the stats endpoint reports per-format counters plus
+    coded-bytes histograms."""
+    with harness.client() as client:
+        client.put_grammar(artifacts["grammar_bytes"], tags=["prod"])
+        rcx1 = client.compress(artifacts["app_bytes"], "prod")
+        rcx2 = client.compress(artifacts["app_bytes"], "prod",
+                               format="rcx2")
+        assert rcx1[:4] == b"RCX1"
+        assert rcx2[:4] == b"RCX2"
+        assert client.decompress(rcx1) == artifacts["app_bytes"]
+        assert client.decompress(rcx2) == artifacts["app_bytes"]
+
+        stats = client.stats()
+        assert stats["counters"]["compress_format_total"] == \
+            {"rcx1": 1, "rcx2": 1}
+        coded = stats["histograms"]["coded_bytes"]
+        assert coded["rcx1"]["count"] == 1
+        assert coded["rcx1"]["sum"] == len(rcx1)
+        assert coded["rcx2"]["count"] == 1
+        assert coded["rcx2"]["sum"] == len(rcx2)
+
+
+def test_rcx2_unknown_format_is_bad_request(harness, artifacts):
+    with harness.client() as client:
+        client.put_grammar(artifacts["grammar_bytes"], tags=["prod"])
+        with pytest.raises(ServiceError) as err:
+            client.compress(artifacts["app_bytes"], "prod",
+                            format="rcx9")
+        assert err.value.code == protocol.E_BAD_REQUEST
+        assert not err.value.retryable
+
+
+def test_rcx2_model_missing_is_structured_and_retryable(harness,
+                                                        artifacts):
+    """A grammar stored without training counts (a legacy RGR1) still
+    serves rcx1, but rcx2 requests fail with the retryable
+    ``model_missing`` error — retraining under the same tag clears it
+    without a client change."""
+    from repro.coding.model import COUNTS_ATTR
+
+    grammar = artifacts["grammar"]
+    counts = getattr(grammar, COUNTS_ATTR)
+    delattr(grammar, COUNTS_ATTR)
+    try:
+        legacy_bytes = save_grammar(grammar)
+    finally:
+        setattr(grammar, COUNTS_ATTR, counts)
+
+    with harness.client() as client:
+        client.put_grammar(artifacts["grammar_bytes"], tags=["prod"])
+        client.put_grammar(legacy_bytes, tags=["legacy"])
+        listing = {
+            tuple(g["tags"]): g for g in client.list_grammars()["grammars"]
+        }
+        assert listing[("prod",)]["model"] is True
+        assert listing[("legacy",)]["model"] is False
+
+        assert client.compress(artifacts["app_bytes"],
+                               "legacy")[:4] == b"RCX1"
+        with pytest.raises(ServiceError) as err:
+            client.compress(artifacts["app_bytes"], "legacy",
+                            format="rcx2")
+        assert err.value.code == protocol.E_MODEL_MISSING
+        assert err.value.retryable
+        # the same request against the trained grammar succeeds
+        assert client.compress(artifacts["app_bytes"], "prod",
+                               format="rcx2")[:4] == b"RCX2"

@@ -9,7 +9,9 @@ The architecture is a strict layering (see docs/ARCHITECTURE.md):
                                                     # C engine) is "interp"
     core                                      (2)
     parsing                                   (3)
-    interp                                    (4)
+    interp, coding                            (4)   # coding may depend on
+                                                    # core/parsing, never on
+                                                    # compress or the service
     minic, compress                           (5)
     corpus, storage, opt, training            (6)
     baselines, registry, pipeline             (7)
@@ -49,7 +51,7 @@ RANKS = {
     "grammar": 1, "native": 1,
     "core": 2,
     "parsing": 3,
-    "interp": 4,
+    "interp": 4, "coding": 4,
     "minic": 5, "compress": 5,
     "corpus": 6, "storage": 6, "opt": 6, "training": 6,
     "baselines": 7, "registry": 7, "pipeline": 7,
