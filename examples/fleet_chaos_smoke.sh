@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Fleet chaos smoke: run a 2-worker fleet, SIGKILL one worker mid-run,
+# and prove a retrying client rides through while the supervisor
+# respawns the worker.  Run from the repository root (CI does); needs
+# only PYTHONPATH=src.
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-7343}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill -TERM "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cat > "$WORK/app.c" <<'EOF'
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main(void) { putint(fib(10)); putchar('\n'); return 0; }
+EOF
+
+echo "== compile + train + register =="
+python -m repro compile "$WORK/app.c" -o "$WORK/app.rbc"
+python -m repro train "$WORK/app.rbc" -o "$WORK/g.rgr"
+python -m repro registry -d "$WORK/reg" add "$WORK/g.rgr" --tag prod
+
+echo "== serve a 2-worker fleet =="
+python -m repro serve -d "$WORK/reg" --port "$PORT" --workers 2 &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+    if python -m repro client --port "$PORT" health >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+python -m repro client --port "$PORT" health
+
+echo "== baseline compress =="
+python -m repro client --port "$PORT" compress "$WORK/app.rbc" -g prod \
+    -o "$WORK/before.rcx"
+
+echo "== SIGKILL one worker mid-run =="
+VICTIM="$(python -m repro client --port "$PORT" stats | python -c '
+import json, sys
+fleet = json.load(sys.stdin)["fleet"]
+assert fleet["workers"] == 2 and fleet["alive"] == 2, fleet
+print(next(w["pid"] for w in fleet["per_worker"].values() if w["up"]))
+')"
+echo "killing worker pid $VICTIM"
+kill -KILL "$VICTIM"
+
+echo "== retrying client rides through the kill =="
+python -m repro client --port "$PORT" --retries 8 --deadline 30 \
+    compress "$WORK/app.rbc" -g prod -o "$WORK/after.rcx"
+cmp "$WORK/before.rcx" "$WORK/after.rcx"
+echo "post-kill compress is byte-identical"
+
+echo "== supervisor respawned the worker =="
+for _ in $(seq 1 50); do
+    ALIVE="$(python -m repro client --port "$PORT" health \
+        | python -c 'import json,sys; print(json.load(sys.stdin)["workers"]["alive"])')"
+    [[ "$ALIVE" == "2" ]] && break
+    sleep 0.2
+done
+[[ "$ALIVE" == "2" ]] || { echo "fleet did not heal: alive=$ALIVE" >&2; exit 1; }
+python -m repro client --port "$PORT" stats | python -c '
+import json, sys
+fleet = json.load(sys.stdin)["fleet"]
+assert fleet["alive"] == 2, fleet
+assert fleet["restarts_total"] >= 1, fleet
+print("fleet healed:", json.dumps({k: fleet[k] for k in
+      ("workers", "alive", "restarts_total", "worker_lost_total")}))
+'
+
+echo "== SIGTERM drains the whole fleet =="
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "fleet chaos smoke test passed"

@@ -2,9 +2,11 @@
 # Service smoke test: the full train-once / compress-many loop through a
 # real `repro serve` process and the `repro client` CLI.  Run from the
 # repository root (CI does); needs only PYTHONPATH=src.
+# SMOKE_WORKERS=N runs the same flow against a multi-process fleet.
 set -euo pipefail
 
 PORT="${SMOKE_PORT:-7339}"
+WORKERS="${SMOKE_WORKERS:-0}"
 WORK="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
@@ -30,8 +32,9 @@ HASH="$(python -m repro registry -d "$WORK/reg" add "$WORK/g.rgr" --tag prod)"
 echo "grammar hash: $HASH"
 python -m repro registry -d "$WORK/reg" list
 
-echo "== serve =="
-python -m repro serve -d "$WORK/reg" --port "$PORT" &
+echo "== serve (workers=$WORKERS) =="
+python -m repro serve -d "$WORK/reg" --port "$PORT" \
+    --workers "$WORKERS" &
 SERVER_PID=$!
 for _ in $(seq 1 50); do
     if python -m repro client --port "$PORT" health >/dev/null 2>&1; then

@@ -4,4 +4,8 @@ import sys
 
 from .cli import main
 
-sys.exit(main())
+# The guard matters: fleet workers are multiprocessing "spawn" children,
+# and spawn re-imports __main__ in the child — an unguarded exit here
+# would re-run the CLI instead of the worker.
+if __name__ == "__main__":
+    sys.exit(main())

@@ -357,24 +357,41 @@ def _cmd_registry(args) -> int:
 
 def _cmd_serve(args) -> int:
     from .registry import GrammarRegistry
-    from .service import CompressionService
+    from .service import CompressionService, FleetDispatcher
 
-    service = CompressionService(
-        GrammarRegistry(args.registry),
-        max_inflight=args.max_inflight,
-        high_water=args.high_water,
-        request_timeout=args.timeout,
-        batch_window=args.batch_window,
-        breaker_threshold=args.breaker_threshold,
-        breaker_cooldown=args.breaker_cooldown,
-        integrity_scan=not args.no_integrity_scan,
-    )
+    if args.serve_workers > 0:
+        service = FleetDispatcher(
+            args.registry,
+            workers=args.serve_workers,
+            request_timeout=args.timeout,
+            integrity_scan=not args.no_integrity_scan,
+            worker_config={
+                "max_inflight": args.max_inflight,
+                "high_water": args.high_water,
+                "batch_window": args.batch_window,
+                "breaker_threshold": args.breaker_threshold,
+                "breaker_cooldown": args.breaker_cooldown,
+            },
+        )
+    else:
+        service = CompressionService(
+            GrammarRegistry(args.registry),
+            max_inflight=args.max_inflight,
+            high_water=args.high_water,
+            request_timeout=args.timeout,
+            batch_window=args.batch_window,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            integrity_scan=not args.no_integrity_scan,
+        )
 
     async def _serve() -> None:
         await service.start(args.host, args.port)
+        fleet = (f", {args.serve_workers} workers"
+                 if args.serve_workers > 0 else "")
         print(f"repro service on {args.host}:{service.port} "
               f"(registry {args.registry}, "
-              f"{len(service.registry)} grammars)", flush=True)
+              f"{len(service.registry)} grammars{fleet})", flush=True)
         await service.serve_until_stopped()
 
     try:
@@ -575,6 +592,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=DEFAULT_PORT)
     p.add_argument("-d", "--registry", default=".repro-registry")
+    p.add_argument("--workers", dest="serve_workers", type=int, default=0,
+                   metavar="N",
+                   help="run a multi-process fleet: a dispatcher with N "
+                        "worker processes and grammar-affinity routing "
+                        "(default 0 = single in-process server)")
     p.add_argument("--max-inflight", type=int, default=4,
                    help="concurrent executing batches (default 4)")
     p.add_argument("--high-water", type=int, default=64,

@@ -48,6 +48,7 @@ Sites
 ``native.build``                      native-engine C compile/load raises
 ``coding.model``                      rule-frequency model build raises
 ``coding.decode``                     RCX2 stream decode raises (per module)
+``fleet.worker.kill``                 SIGKILL a fleet worker (chaos suites)
 ====================================  =========================================
 
 Frame modes (``service.frame.*``): ``garbage`` (clobber the JSON body so
@@ -85,6 +86,7 @@ SITES = frozenset([
     "native.build",
     "coding.model",
     "coding.decode",
+    "fleet.worker.kill",
 ])
 
 

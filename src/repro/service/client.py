@@ -21,6 +21,11 @@ A ``deadline`` (seconds of total budget for the call, retries included)
 bounds the loop: sleeps never exceed the remaining budget, the remaining
 budget travels to the server in each request envelope (the server clamps
 its per-request timeout to it), and an exhausted budget stops retrying.
+
+Framing: both clients speak the zero-copy **binary frames** by default
+(module bytes cross the wire raw, not base64); pass ``binary=False`` for
+the legacy JSON-only framing — the server answers each request in the
+framing it arrived in, so either mode works against any current server.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ import time
 from typing import Dict, Optional, Sequence, Tuple
 
 from . import protocol
-from .protocol import ServiceError, b64d, b64e
+from .protocol import ServiceError, b64d
 from .retry import TRANSPORT, RetryPolicy
 
 __all__ = ["ServiceClient", "AsyncServiceClient", "ServiceError",
@@ -40,6 +45,15 @@ __all__ = ["ServiceClient", "AsyncServiceClient", "ServiceError",
 
 def _check_response(msg: dict, expect_id: int) -> dict:
     if msg.get("id") != expect_id:
+        if msg.get("ok") is False and msg.get("id") is None:
+            # The server could not *parse* our frame (corruption in
+            # flight): a connection-level failure, not a response to
+            # this request.  Surface it as a retryable transport error;
+            # the caller drops the desynced connection.
+            error = msg.get("error") or {}
+            raise ServiceError(
+                TRANSPORT, "server rejected the request frame: "
+                + error.get("message", "unreadable frame"))
         raise ServiceError("protocol", f"response id {msg.get('id')!r} "
                                        f"does not match request {expect_id}")
     if msg.get("ok"):
@@ -48,6 +62,17 @@ def _check_response(msg: dict, expect_id: int) -> dict:
     error = msg.get("error") or {}
     raise ServiceError(error.get("code", "unknown"),
                        error.get("message", "unspecified error"))
+
+
+def _bytes_field(result: dict, key: str) -> bytes:
+    """A binary result field: raw bytes off a binary frame, or base64
+    off a JSON frame."""
+    value = result.get(key)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return bytes(value)
+    if isinstance(value, str):
+        return b64d(value)
+    raise ServiceError("protocol", f"response missing binary field {key!r}")
 
 
 def _deadline_at(deadline: Optional[float]) -> Optional[float]:
@@ -106,7 +131,9 @@ class _MethodMixin:
     @staticmethod
     def _compress_params(module_data: bytes, grammar_ref: str,
                          format: str = "rcx1") -> dict:
-        params = {"module": b64e(module_data), "grammar": grammar_ref}
+        # raw bytes: the framing codec carries them as the binary
+        # payload (or base64s them in legacy JSON mode)
+        params = {"module": bytes(module_data), "grammar": grammar_ref}
         if format != "rcx1":
             params["format"] = format
         return params
@@ -114,15 +141,15 @@ class _MethodMixin:
     @staticmethod
     def _run_params(module_data: bytes, args: Sequence[int],
                     input_data: bytes) -> dict:
-        params: Dict = {"module": b64e(module_data), "args": list(args)}
+        params: Dict = {"module": bytes(module_data), "args": list(args)}
         if input_data:
-            params["input"] = b64e(input_data)
+            params["input"] = bytes(input_data)
         return params
 
     @staticmethod
     def _put_params(grammar_data: bytes, tags: Sequence[str],
                     meta: Optional[dict]) -> dict:
-        params: Dict = {"data": b64e(grammar_data), "tags": list(tags)}
+        params: Dict = {"data": bytes(grammar_data), "tags": list(tags)}
         if meta is not None:
             params["meta"] = meta
         return params
@@ -140,12 +167,14 @@ class ServiceClient(_MethodMixin):
                  port: int = protocol.DEFAULT_PORT, *,
                  timeout: Optional[float] = 60.0,
                  retry: Optional[RetryPolicy] = None,
-                 deadline: Optional[float] = None) -> None:
+                 deadline: Optional[float] = None,
+                 binary: bool = True) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retry = retry
         self.default_deadline = deadline
+        self.binary = binary
         self._next_id = 0
         self._sock: Optional[socket.socket] = socket.create_connection(
             (host, port), timeout=timeout)
@@ -177,17 +206,18 @@ class ServiceClient(_MethodMixin):
         self._next_id += 1
         req_id = self._next_id
         try:
-            protocol.send_frame_sync(
-                self._sock, _envelope(req_id, method, params, deadline_at))
-            msg = protocol.recv_frame_sync(self._sock)
+            protocol.send_message_sync(
+                self._sock, _envelope(req_id, method, params, deadline_at),
+                binary=self.binary)
+            msg, _ = protocol.recv_message_sync(self._sock)
         except (OSError, protocol.FrameError) as exc:
             self.close()  # the stream may be desynced: start fresh
             raise ServiceError(TRANSPORT, str(exc)) from exc
         try:
             return _check_response(msg, req_id)
         except ServiceError as exc:
-            if exc.code == "protocol":
-                self.close()  # id mismatch: never trust this stream again
+            if exc.code in ("protocol", TRANSPORT):
+                self.close()  # never trust a desynced stream again
             raise
 
     def call(self, method: str, params: Optional[dict] = None, *,
@@ -230,19 +260,19 @@ class ServiceClient(_MethodMixin):
 
     def get_grammar(self, ref: str) -> Tuple[bytes, dict]:
         result = self.call("grammar.get", {"ref": ref})
-        return b64d(result["data"]), result["meta"]
+        return _bytes_field(result, "data"), result["meta"]
 
     def compress(self, module_data: bytes, grammar_ref: str,
                  format: str = "rcx1") -> bytes:
         result = self.call("compress",
                            self._compress_params(module_data,
                                                  grammar_ref, format))
-        return b64d(result["data"])
+        return _bytes_field(result, "data")
 
     def decompress(self, compressed_data: bytes) -> bytes:
         result = self.call("decompress",
-                           {"module": b64e(compressed_data)})
-        return b64d(result["data"])
+                           {"module": bytes(compressed_data)})
+        return _bytes_field(result, "data")
 
     def run_compressed(self, compressed_data: bytes,
                        args: Sequence[int] = (),
@@ -250,7 +280,7 @@ class ServiceClient(_MethodMixin):
         result = self.call("run_compressed",
                            self._run_params(compressed_data, args,
                                             input_data))
-        return result["code"], b64d(result["output"])
+        return result["code"], _bytes_field(result, "output")
 
 
 class AsyncServiceClient(_MethodMixin):
@@ -259,11 +289,13 @@ class AsyncServiceClient(_MethodMixin):
     def __init__(self, host: str = "127.0.0.1",
                  port: int = protocol.DEFAULT_PORT, *,
                  retry: Optional[RetryPolicy] = None,
-                 deadline: Optional[float] = None) -> None:
+                 deadline: Optional[float] = None,
+                 binary: bool = True) -> None:
         self.host = host
         self.port = port
         self.retry = retry
         self.default_deadline = deadline
+        self.binary = binary
         self._next_id = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -300,20 +332,21 @@ class AsyncServiceClient(_MethodMixin):
         self._next_id += 1
         req_id = self._next_id
         try:
-            await protocol.write_frame(
+            await protocol.write_message(
                 self._writer,
-                _envelope(req_id, method, params, deadline_at))
-            msg = await protocol.read_frame(self._reader)
+                _envelope(req_id, method, params, deadline_at),
+                binary=self.binary)
+            item = await protocol.read_message(self._reader)
         except (OSError, protocol.FrameError) as exc:
             await self.close()
             raise ServiceError(TRANSPORT, str(exc)) from exc
-        if msg is None:
+        if item is None:
             await self.close()
             raise ServiceError(TRANSPORT, "server closed the connection")
         try:
-            return _check_response(msg, req_id)
+            return _check_response(item[0], req_id)
         except ServiceError as exc:
-            if exc.code == "protocol":
+            if exc.code in ("protocol", TRANSPORT):
                 await self.close()
             raise
 
@@ -357,19 +390,19 @@ class AsyncServiceClient(_MethodMixin):
 
     async def get_grammar(self, ref: str) -> Tuple[bytes, dict]:
         result = await self.call("grammar.get", {"ref": ref})
-        return b64d(result["data"]), result["meta"]
+        return _bytes_field(result, "data"), result["meta"]
 
     async def compress(self, module_data: bytes, grammar_ref: str,
                        format: str = "rcx1") -> bytes:
         result = await self.call(
             "compress",
             self._compress_params(module_data, grammar_ref, format))
-        return b64d(result["data"])
+        return _bytes_field(result, "data")
 
     async def decompress(self, compressed_data: bytes) -> bytes:
         result = await self.call("decompress",
-                                 {"module": b64e(compressed_data)})
-        return b64d(result["data"])
+                                 {"module": bytes(compressed_data)})
+        return _bytes_field(result, "data")
 
     async def run_compressed(self, compressed_data: bytes,
                              args: Sequence[int] = (),
@@ -377,4 +410,4 @@ class AsyncServiceClient(_MethodMixin):
         result = await self.call(
             "run_compressed",
             self._run_params(compressed_data, args, input_data))
-        return result["code"], b64d(result["output"])
+        return result["code"], _bytes_field(result, "output")

@@ -10,11 +10,12 @@ the work being measured.
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["Counter", "Histogram", "ServiceMetrics"]
+__all__ = ["Counter", "Histogram", "ServiceMetrics", "merge_stats"]
 
 # request latency, seconds: sub-ms to tens of seconds
 LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
@@ -165,3 +166,58 @@ class ServiceMetrics:
                 "coded_bytes": coded,
             },
         }
+
+
+# -- fleet aggregation -------------------------------------------------------
+#
+# The dispatcher sums its workers' ``stats`` snapshots into one fleet
+# view.  Counters and histogram buckets add; a handful of keys are
+# structural rather than additive: uptimes and capacities take the max
+# (the fleet is as old as its oldest worker, and capacity is per
+# worker, not summed admission), booleans like a registry's ``clean``
+# AND together (one dirty worker means a dirty fleet), and ``mean`` is
+# recomputed from the merged sum/count rather than averaged.
+
+_MAX_KEYS = frozenset(["uptime_seconds", "capacity", "high_water"])
+_AND_KEYS = frozenset(["clean", "enabled"])
+
+
+def _merge_into(acc: Dict, other: Dict) -> None:
+    for key, value in other.items():
+        if key not in acc:
+            # deep-copy on adoption: the accumulator must never alias
+            # (and later mutate) a worker's own snapshot structures
+            acc[key] = copy.deepcopy(value)
+            continue
+        mine = acc[key]
+        if isinstance(mine, dict) and isinstance(value, dict):
+            _merge_into(mine, value)
+        elif isinstance(mine, bool) or isinstance(value, bool):
+            acc[key] = (mine and value) if key in _AND_KEYS \
+                else (mine or value)
+        elif isinstance(mine, (int, float)) and \
+                isinstance(value, (int, float)):
+            acc[key] = max(mine, value) if key in _MAX_KEYS \
+                else mine + value
+        elif isinstance(mine, list) and isinstance(value, list):
+            acc[key] = mine + [v for v in value if v not in mine]
+        # strings and mixed types: first worker wins
+
+
+def _fix_means(node) -> None:
+    if not isinstance(node, dict):
+        return
+    for value in node.values():
+        _fix_means(value)
+    if "mean" in node and "sum" in node and "count" in node:
+        count = node["count"]
+        node["mean"] = node["sum"] / count if count else 0.0
+
+
+def merge_stats(snapshots: Sequence[Dict]) -> Dict:
+    """Aggregate worker ``stats`` snapshots into one fleet snapshot."""
+    merged: Dict = {}
+    for snap in snapshots:
+        _merge_into(merged, snap)
+    _fix_means(merged)
+    return merged

@@ -1,0 +1,314 @@
+"""The fleet's worker pool: N :class:`CompressionService` processes.
+
+Each worker is a ``multiprocessing`` *spawn* child (fork would clone the
+dispatcher's event loop and executor threads mid-flight) running a full
+:class:`~repro.service.server.CompressionService` against the shared
+on-disk registry.  Workers bind Unix domain sockets where the platform
+has them (one syscall cheaper than TCP and invisible to the network),
+falling back to loopback TCP on port 0; either way the child publishes
+its address through an *addr file* written atomically next to the
+socket, which doubles as the readiness handshake — the dispatcher polls
+for the file instead of guessing how long startup takes.
+
+Supervision rides the event loop: each child's ``Process.sentinel`` is
+registered with ``loop.add_reader``, so a worker death wakes the
+dispatcher immediately — no polling thread, no reaping latency.  A dead
+worker is respawned in place with a bumped *generation* counter; the
+dispatcher uses generations to invalidate pooled connections to the old
+incarnation.  ``stop()`` propagates the fleet drain: SIGTERM each child
+(its own ``serve_until_stopped`` handler drains in-flight work), wait,
+then SIGKILL stragglers.  ``kill()`` is the chaos suite's hook: an
+instant SIGKILL, exactly what a crashed or OOM-killed worker looks like.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import shutil
+import socket
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..registry import GrammarRegistry
+
+__all__ = ["WorkerPool", "WorkerHandle", "worker_main"]
+
+#: sockaddr_un paths are capped around 104-108 bytes; longer tmpdirs
+#: (deep CI workspaces) silently push us onto TCP instead.
+_UNIX_PATH_MAX = 100
+
+
+def worker_main(registry_path: str, addr_file: str, config: dict) -> None:
+    """Child-process entry point: serve one worker until SIGTERM.
+
+    Runs a plain :class:`CompressionService` with ``integrity_scan``
+    off — the dispatcher already healed the registry once; N workers
+    racing the same quarantine/repair pass would fight over renames.
+    """
+    # imported here so the spawn child pays the import cost, not the
+    # dispatcher's hot path
+    from .server import CompressionService
+
+    registry = GrammarRegistry(registry_path)
+    service = CompressionService(registry, integrity_scan=False, **config)
+
+    async def _serve() -> None:
+        unix_path = None
+        if hasattr(socket, "AF_UNIX"):
+            candidate = addr_file[:-len(".addr")] + ".sock"
+            if len(candidate) < _UNIX_PATH_MAX:
+                unix_path = candidate
+        await service.start(unix_path=unix_path, port=0)
+        if unix_path is not None:
+            addr = "unix:" + unix_path
+        else:
+            addr = "tcp:127.0.0.1:%d" % service.port
+        # atomic publish = readiness signal: the dispatcher never sees
+        # a half-written address
+        tmp = addr_file + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(addr)
+        os.replace(tmp, addr_file)
+        await service.serve_until_stopped()
+
+    asyncio.run(_serve())
+
+
+class WorkerHandle:
+    """One supervised worker process and how to reach it."""
+
+    __slots__ = ("index", "proc", "addr", "addr_file", "generation",
+                 "restarts", "up", "started")
+
+    def __init__(self, index: int, proc, addr: str, addr_file: str,
+                 generation: int, restarts: int) -> None:
+        self.index = index
+        self.proc = proc
+        self.addr = addr
+        self.addr_file = addr_file
+        self.generation = generation
+        self.restarts = restarts
+        self.up = True
+        self.started = time.monotonic()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid
+
+    def connect(self, timeout: float = 5.0) -> socket.socket:
+        """A fresh blocking connection to this worker (dispatcher uses
+        its own async path; this is for tests and tooling)."""
+        if self.addr.startswith("unix:"):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(self.addr[len("unix:"):])
+            return sock
+        _, host, port = self.addr.split(":")
+        return socket.create_connection((host, int(port)),
+                                        timeout=timeout)
+
+
+class WorkerPool:
+    """Spawns, supervises, and drains ``size`` worker processes.
+
+    ``on_worker_change(handle)`` fires from the event loop whenever a
+    worker goes down or comes back up — the dispatcher uses it to drop
+    pooled connections to dead incarnations.
+    """
+
+    def __init__(self, registry_path: str, size: int, *,
+                 worker_config: Optional[dict] = None,
+                 spawn_timeout: float = 30.0,
+                 on_worker_change: Optional[Callable] = None) -> None:
+        if size < 1:
+            raise ValueError("worker pool needs at least one worker")
+        self.registry_path = str(registry_path)
+        self.size = size
+        self.worker_config = dict(worker_config or {})
+        self.spawn_timeout = spawn_timeout
+        self.on_worker_change = on_worker_change
+        self.workers: List[Optional[WorkerHandle]] = [None] * size
+        self.restarts_total = 0
+        self._ctx = multiprocessing.get_context("spawn")
+        self._ipc_dir = tempfile.mkdtemp(prefix="repro-fleet-")
+        self._stopping = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._watched: Dict[int, int] = {}  # sentinel fd -> index
+        self._respawn_tasks: set = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await asyncio.gather(*(self._spawn(i) for i in range(self.size)))
+
+    async def stop(self, grace: float = 30.0) -> None:
+        """Fleet drain: SIGTERM every worker, wait, SIGKILL stragglers."""
+        self._stopping = True
+        # cancel in-flight respawns first (each kills its half-started
+        # child on the way out), so the worker snapshot below is final
+        for task in list(self._respawn_tasks):
+            task.cancel()
+        if self._respawn_tasks:
+            await asyncio.gather(*self._respawn_tasks,
+                                 return_exceptions=True)
+        procs = []
+        for handle in self.workers:
+            if handle is None:
+                continue
+            self._unwatch(handle)
+            handle.up = False
+            if handle.proc.is_alive():
+                handle.proc.terminate()  # SIGTERM -> worker drains
+            procs.append(handle.proc)
+        loop = asyncio.get_running_loop()
+
+        def _join_all() -> None:
+            deadline = time.monotonic() + grace
+            for proc in procs:
+                proc.join(max(0.1, deadline - time.monotonic()))
+            for proc in procs:
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(5.0)
+
+        await loop.run_in_executor(None, _join_all)
+        shutil.rmtree(self._ipc_dir, ignore_errors=True)
+
+    # -- spawning -----------------------------------------------------------
+
+    async def _spawn(self, index: int, generation: int = 0,
+                     restarts: int = 0) -> WorkerHandle:
+        addr_file = os.path.join(self._ipc_dir,
+                                 "w%d.g%d.addr" % (index, generation))
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(self.registry_path, addr_file, self.worker_config),
+            name="repro-worker-%d" % index,
+            daemon=True)
+        proc.start()
+        try:
+            addr = await self._wait_ready(proc, addr_file)
+        except BaseException:  # incl. CancelledError: reap the child
+            if proc.is_alive():
+                proc.kill()
+            proc.join(1.0)
+            raise
+        handle = WorkerHandle(index, proc, addr, addr_file,
+                              generation, restarts)
+        self.workers[index] = handle
+        self._watch(handle)
+        if self.on_worker_change is not None:
+            self.on_worker_change(handle)
+        return handle
+
+    async def _wait_ready(self, proc, addr_file: str) -> str:
+        deadline = time.monotonic() + self.spawn_timeout
+        while time.monotonic() < deadline:
+            if os.path.exists(addr_file):
+                with open(addr_file, "r", encoding="utf-8") as fh:
+                    return fh.read().strip()
+            if not proc.is_alive():
+                raise RuntimeError(
+                    "fleet worker died during startup "
+                    f"(exitcode {proc.exitcode})")
+            await asyncio.sleep(0.02)
+        proc.kill()
+        raise RuntimeError("fleet worker failed to become ready within "
+                           f"{self.spawn_timeout:g}s")
+
+    # -- supervision --------------------------------------------------------
+
+    def _watch(self, handle: WorkerHandle) -> None:
+        sentinel = handle.proc.sentinel
+        self._watched[sentinel] = handle.index
+        self._loop.add_reader(
+            sentinel, self._exited, handle.index, handle.generation)
+
+    def _unwatch(self, handle: WorkerHandle) -> None:
+        sentinel = handle.proc.sentinel
+        if sentinel in self._watched:
+            del self._watched[sentinel]
+            try:
+                self._loop.remove_reader(sentinel)
+            except (OSError, ValueError):
+                pass
+
+    def _exited(self, index: int, generation: int) -> None:
+        """Sentinel became readable: the worker process is gone."""
+        handle = self.workers[index]
+        if handle is None or handle.generation != generation:
+            return  # stale wakeup for an already-replaced incarnation
+        self._unwatch(handle)
+        handle.up = False
+        if self.on_worker_change is not None:
+            self.on_worker_change(handle)
+        if not self._stopping:
+            task = self._loop.create_task(
+                self._respawn(index, generation))
+            self._respawn_tasks.add(task)
+            task.add_done_callback(self._respawn_tasks.discard)
+
+    async def _respawn(self, index: int, generation: int) -> None:
+        handle = self.workers[index]
+        if self._stopping or handle is None \
+                or handle.generation != generation:
+            return
+        handle.proc.join(0.5)  # reap the corpse
+        self.restarts_total += 1
+        try:
+            await self._spawn(index, generation + 1, handle.restarts + 1)
+        except RuntimeError:
+            if not self._stopping:
+                # keep trying: a worker slot never stays empty
+                await asyncio.sleep(0.5)
+                task = self._loop.create_task(
+                    self._respawn(index, generation))
+                self._respawn_tasks.add(task)
+                task.add_done_callback(self._respawn_tasks.discard)
+
+    # -- operations ---------------------------------------------------------
+
+    async def restart(self, index: int, grace: float = 10.0) -> None:
+        """Graceful rolling restart of one worker: drain, then respawn."""
+        handle = self.workers[index]
+        if handle is None:
+            return
+        self._unwatch(handle)
+        handle.up = False
+        if self.on_worker_change is not None:
+            self.on_worker_change(handle)
+        if handle.proc.is_alive():
+            handle.proc.terminate()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, handle.proc.join, grace)
+        if handle.proc.is_alive():
+            handle.proc.kill()
+            await loop.run_in_executor(None, handle.proc.join, 5.0)
+        if not self._stopping:
+            self.restarts_total += 1
+            await self._spawn(index, handle.generation + 1,
+                              handle.restarts + 1)
+
+    def kill(self, index: int) -> Optional[int]:
+        """SIGKILL one worker (chaos hook); supervision respawns it.
+        Returns the killed pid, or ``None`` if the slot was down."""
+        handle = self.workers[index]
+        if handle is None or not handle.up:
+            return None
+        pid = handle.proc.pid
+        try:
+            handle.proc.kill()
+        except (OSError, ValueError):
+            return None
+        return pid
+
+    def alive(self) -> int:
+        return sum(1 for h in self.workers if h is not None and h.up)
+
+    def up_indices(self) -> List[int]:
+        return [i for i, h in enumerate(self.workers)
+                if h is not None and h.up]

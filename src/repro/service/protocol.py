@@ -1,12 +1,33 @@
-"""Wire protocol: length-prefixed JSON frames.
+"""Wire protocol: length-prefixed JSON frames, plus binary payload frames.
 
-A frame is a 4-byte big-endian unsigned length followed by that many
-bytes of UTF-8 JSON.  Requests carry ``{"id", "method", "params"}``;
-responses echo the id with either ``{"ok": true, "result": ...}`` or
-``{"ok": false, "error": {"code", "message"}}``.  Binary payloads
-(module and grammar files) travel base64-encoded under ``data`` keys —
-JSON framing keeps the protocol introspectable and language-neutral;
-the base64 overhead is irrelevant next to compression CPU time.
+Two frame kinds share one 4-byte big-endian length word:
+
+* **JSON frame** (legacy, high bit clear): the word is the byte length of
+  a UTF-8 JSON body.  Requests carry ``{"id", "method", "params"}``;
+  responses echo the id with either ``{"ok": true, "result": ...}`` or
+  ``{"ok": false, "error": {"code", "message"}}``.  Binary payloads
+  (module and grammar files) travel base64-encoded under ``data`` keys.
+* **Binary frame** (high bit set): the low 31 bits are the body length;
+  the body is a second 4-byte big-endian *header length*, that many bytes
+  of UTF-8 JSON header, then raw payload bytes.  The header is the same
+  envelope, minus one bulk field: ``"bin"`` names the ``params`` /
+  ``result`` key the payload binds to, so module bytes cross the wire
+  exactly once, with no base64 inflation and no JSON string copy.
+
+::
+
+    JSON:    [u32 len          ][ UTF-8 JSON body ...................]
+    binary:  [u32 0x8000_0000|n][u32 hlen][ header JSON ][ payload ...]
+                                 \\------------- n bytes -------------/
+
+Readers accept both kinds on any connection and report which one arrived
+(:func:`read_message`, :func:`recv_message_sync`), so a server answers
+each request in the framing the client chose — new binary clients and
+legacy JSON-only clients coexist on the same port.  Writers take the
+mode explicitly (:func:`write_message`, :func:`send_message_sync`); in
+either mode, ``params``/``result`` values of type :class:`bytes` are
+normalised by the codec — the largest becomes the binary payload, any
+others (and everything in JSON mode) are base64-encoded.
 
 Frames are capped at 64 MiB: a bad length prefix must not make either
 side allocate gigabytes.
@@ -19,22 +40,25 @@ import base64
 import json
 import socket
 import struct
-from typing import Optional
+from typing import Optional, Tuple
 
 from .. import faults
 
 __all__ = [
-    "DEFAULT_PORT", "MAX_FRAME", "FrameError", "ServiceError",
+    "DEFAULT_PORT", "MAX_FRAME", "BINARY_BIT", "FrameError", "ServiceError",
     "RETRYABLE",
-    "encode_frame", "decode_body",
-    "read_frame", "write_frame",
+    "encode_frame", "encode_message", "decode_body", "decode_binary_body",
+    "read_frame", "write_frame", "read_message", "write_message",
     "recv_frame_sync", "send_frame_sync",
+    "recv_message_sync", "send_message_sync",
     "b64e", "b64d",
     "error_body", "result_body",
 ]
 
 DEFAULT_PORT = 7327
 MAX_FRAME = 64 << 20
+#: high bit of the length word: the frame is binary (header + payload)
+BINARY_BIT = 0x80000000
 
 # error codes, used across server and clients
 E_OVERLOADED = "overloaded"
@@ -45,6 +69,10 @@ E_INTERNAL = "internal"
 E_SHUTTING_DOWN = "shutting_down"
 E_TRAP = "trap"
 E_MODEL_MISSING = "model_missing"
+#: a fleet worker died (or was restarted) while holding the request; the
+#: work methods are idempotent, so the dispatcher tells the client to
+#: just send it again — the supervisor is already respawning the worker.
+E_WORKER_LOST = "worker_lost"
 
 
 class FrameError(ConnectionError):
@@ -53,9 +81,10 @@ class FrameError(ConnectionError):
 
 #: error codes where retrying after backoff is reasonable
 #: (``model_missing`` clears once the grammar is retrained and
-#: re-registered under the same tag, so clients may back off and retry)
+#: re-registered under the same tag; ``worker_lost`` clears as soon as
+#: the fleet supervisor restarts the dead worker)
 RETRYABLE = frozenset([E_OVERLOADED, E_TIMEOUT, E_SHUTTING_DOWN,
-                       E_MODEL_MISSING])
+                       E_MODEL_MISSING, E_WORKER_LOST])
 
 
 class ServiceError(Exception):
@@ -88,10 +117,55 @@ def b64d(text: str) -> bytes:
 
 
 def encode_frame(obj: dict) -> bytes:
+    """A legacy JSON frame; ``obj`` must already be pure JSON."""
     body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME:
         raise FrameError(f"frame too large ({len(body)} bytes)")
     return struct.pack(">I", len(body)) + body
+
+
+#: envelope sections whose values may be raw bytes
+_SECTIONS = ("params", "result")
+_BYTES = (bytes, bytearray, memoryview)
+
+
+def encode_message(obj: dict, binary: bool = False) -> bytes:
+    """Encode an envelope whose ``params``/``result`` may hold raw bytes.
+
+    JSON mode base64-encodes every bytes value (producing exactly the
+    legacy wire format).  Binary mode moves the *largest* bytes value
+    out of the header as the frame's raw payload (recorded under
+    ``"bin"``) and base64-encodes any others — per envelope there is at
+    most one bulk field, so the hot path never base64s at all.
+    """
+    out = dict(obj)
+    payload = b""
+    bin_key = None
+    for section in _SECTIONS:
+        inner = out.get(section)
+        if not isinstance(inner, dict):
+            continue
+        keys = [k for k, v in inner.items() if isinstance(v, _BYTES)]
+        if not keys:
+            continue
+        inner = dict(inner)
+        if binary and bin_key is None:
+            bin_key = max(keys, key=lambda k: len(inner[k]))
+            payload = bytes(inner.pop(bin_key))
+            keys.remove(bin_key)
+        for key in keys:
+            inner[key] = b64e(bytes(inner[key]))
+        out[section] = inner
+    if not binary:
+        return encode_frame(out)
+    if bin_key is not None:
+        out["bin"] = bin_key
+    header = json.dumps(out, separators=(",", ":")).encode("utf-8")
+    body_len = 4 + len(header) + len(payload)
+    if body_len > MAX_FRAME:
+        raise FrameError(f"frame too large ({body_len} bytes)")
+    return struct.pack(">II", BINARY_BIT | body_len, len(header)) \
+        + header + payload
 
 
 def decode_body(body: bytes) -> dict:
@@ -102,6 +176,42 @@ def decode_body(body: bytes) -> dict:
     if not isinstance(obj, dict):
         raise FrameError("frame must be a JSON object")
     return obj
+
+
+def decode_binary_body(body: bytes) -> dict:
+    """Parse a binary frame body: header-length word, header, payload.
+
+    The payload binds to the header field named by ``"bin"`` (in
+    ``result`` for responses, ``params`` for requests); a length
+    mismatch or an unbound payload is a :class:`FrameError` — the
+    server answers those with a structured ``bad_request`` frame.
+    """
+    if len(body) < 4:
+        raise FrameError("binary frame too short for its header length")
+    (header_len,) = struct.unpack(">I", body[:4])
+    if 4 + header_len > len(body):
+        raise FrameError(
+            f"binary header length {header_len} exceeds the "
+            f"{len(body) - 4} bytes present")
+    msg = decode_body(body[4:4 + header_len])
+    payload = body[4 + header_len:]
+    key = msg.pop("bin", None)
+    if key is None:
+        if payload:
+            raise FrameError(
+                f"{len(payload)} payload bytes with no 'bin' binding")
+        return msg
+    if not isinstance(key, str):
+        raise FrameError("'bin' must name a payload field")
+    result = msg.get("result")
+    if isinstance(result, dict):
+        result[key] = payload
+    else:
+        params = msg.get("params")
+        if not isinstance(params, dict):
+            params = msg["params"] = {}
+        params[key] = payload
+    return msg
 
 
 def result_body(req_id, result: dict) -> dict:
@@ -149,8 +259,8 @@ async def _write_fault(rule, writer: asyncio.StreamWriter,
         raise FrameError("injected fault: frame truncated mid-write")
     if rule.mode == "disconnect":
         raise FrameError("injected fault: connection torn down mid-write")
-    # default / "garbage": clobber the start of the JSON body, so the
-    # peer is guaranteed a structural parse failure rather than silently
+    # default / "garbage": clobber the start of the body, so the peer is
+    # guaranteed a structural parse failure rather than silently
     # corrupted payload bytes (payload integrity is the CRC trailer's
     # job, framing integrity is this site's).
     if faults.ACTIVE is not None and len(frame) > 4:
@@ -161,8 +271,10 @@ async def _write_fault(rule, writer: asyncio.StreamWriter,
     return frame
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
-    """Next frame, or ``None`` on clean EOF at a frame boundary."""
+async def read_message(reader: asyncio.StreamReader
+                       ) -> Optional[Tuple[dict, bool]]:
+    """Next frame as ``(message, was_binary)``, or ``None`` on clean EOF
+    at a frame boundary."""
     if faults.ACTIVE is not None:
         rule = faults.ACTIVE.decide("service.frame.read")
         if rule is not None:
@@ -173,18 +285,29 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
         if not exc.partial:
             return None
         raise FrameError("connection closed mid-frame") from exc
-    (length,) = struct.unpack(">I", header)
+    (word,) = struct.unpack(">I", header)
+    binary = bool(word & BINARY_BIT)
+    length = word & ~BINARY_BIT
     if length > MAX_FRAME:
         raise FrameError(f"frame too large ({length} bytes)")
     try:
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise FrameError("connection closed mid-frame") from exc
-    return decode_body(body)
+    if binary:
+        return decode_binary_body(body), True
+    return decode_body(body), False
 
 
-async def write_frame(writer: asyncio.StreamWriter, obj: dict) -> None:
-    frame = encode_frame(obj)
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """:func:`read_message` without the framing-mode flag."""
+    item = await read_message(reader)
+    return None if item is None else item[0]
+
+
+async def write_message(writer: asyncio.StreamWriter, obj: dict,
+                        binary: bool = False) -> None:
+    frame = encode_message(obj, binary)
     if faults.ACTIVE is not None:
         rule = faults.ACTIVE.decide("service.frame.write")
         if rule is not None:
@@ -193,6 +316,10 @@ async def write_frame(writer: asyncio.StreamWriter, obj: dict) -> None:
                 return
     writer.write(frame)
     await writer.drain()
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj: dict) -> None:
+    await write_message(writer, obj, binary=False)
 
 
 # -- blocking side (sync client, no asyncio dependency) ---------------------
@@ -207,12 +334,26 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return bytes(chunks)
 
 
-def recv_frame_sync(sock: socket.socket) -> dict:
-    (length,) = struct.unpack(">I", _recv_exact(sock, 4))
+def recv_message_sync(sock: socket.socket) -> Tuple[dict, bool]:
+    (word,) = struct.unpack(">I", _recv_exact(sock, 4))
+    binary = bool(word & BINARY_BIT)
+    length = word & ~BINARY_BIT
     if length > MAX_FRAME:
         raise FrameError(f"frame too large ({length} bytes)")
-    return decode_body(_recv_exact(sock, length))
+    body = _recv_exact(sock, length)
+    if binary:
+        return decode_binary_body(body), True
+    return decode_body(body), False
+
+
+def recv_frame_sync(sock: socket.socket) -> dict:
+    return recv_message_sync(sock)[0]
+
+
+def send_message_sync(sock: socket.socket, obj: dict,
+                      binary: bool = False) -> None:
+    sock.sendall(encode_message(obj, binary))
 
 
 def send_frame_sync(sock: socket.socket, obj: dict) -> None:
-    sock.sendall(encode_frame(obj))
+    send_message_sync(sock, obj)

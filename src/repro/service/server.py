@@ -71,7 +71,7 @@ from ..storage import (
 from . import protocol
 from .breaker import CircuitBreaker
 from .metrics import ServiceMetrics
-from .protocol import FrameError, ServiceError, b64d, b64e
+from .protocol import FrameError, ServiceError, b64d
 
 __all__ = ["CompressionService", "ServiceError"]
 
@@ -154,7 +154,7 @@ class _GrammarWorker:
                     raise ServiceError(protocol.E_MODEL_MISSING,
                                        str(exc)) from None
                 out.append((None, {
-                    "data": b64e(payload),
+                    "data": payload,
                     "grammar": self.digest,
                     "format": format,
                     "original_code_bytes": module.code_bytes,
@@ -223,7 +223,10 @@ class CompressionService:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self, host: str = "127.0.0.1",
-                    port: int = protocol.DEFAULT_PORT) -> None:
+                    port: int = protocol.DEFAULT_PORT, *,
+                    unix_path: Optional[str] = None) -> None:
+        """Bind and start serving; ``unix_path`` binds a Unix domain
+        socket instead of TCP (the fleet's dispatcher-to-worker hop)."""
         if self.integrity_scan:
             # Self-heal before serving: quarantine corrupt objects,
             # regenerate metadata, drop dangling tags, reap crash debris.
@@ -236,8 +239,12 @@ class CompressionService:
         self._executor = ThreadPoolExecutor(
             max_workers=self.max_inflight,
             thread_name_prefix="repro-service")
-        self._server = await asyncio.start_server(
-            self._handle_conn, host, port)
+        if unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_conn, path=unix_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_conn, host, port)
 
     async def serve_forever(self, host: str = "127.0.0.1",
                             port: int = protocol.DEFAULT_PORT) -> None:
@@ -302,16 +309,32 @@ class CompressionService:
         try:
             while True:
                 try:
-                    msg = await protocol.read_frame(reader)
-                except FrameError:
-                    break  # protocol violation: drop the connection
-                if msg is None:
+                    item = await protocol.read_message(reader)
+                except FrameError as exc:
+                    # Protocol violation: tell the peer what went wrong
+                    # with one structured error frame (it cannot carry a
+                    # request id — the request never parsed), then drop
+                    # the possibly-desynced connection.
+                    try:
+                        await protocol.write_message(
+                            writer, protocol.error_body(
+                                None, protocol.E_BAD_REQUEST,
+                                f"unreadable frame: {exc}"))
+                    except (ConnectionError, OSError):
+                        pass
                     break
+                if item is None:
+                    break
+                msg, binary = item
                 response = await self._handle_request(msg)
                 try:
-                    await protocol.write_frame(writer, response)
+                    # answer in the framing the request arrived in
+                    await protocol.write_message(writer, response,
+                                                 binary=binary)
                 except (ConnectionError, FrameError):
                     break
+        except asyncio.CancelledError:
+            pass  # loop teardown cancelling idle readers: end quietly
         finally:
             self._writers.discard(writer)
             writer.close()
@@ -401,9 +424,11 @@ class CompressionService:
     @staticmethod
     def _data_param(params: dict, key: str = "data") -> bytes:
         value = params.get(key)
+        if isinstance(value, (bytes, bytearray, memoryview)):
+            return bytes(value)  # binary frame: the payload arrived raw
         if not isinstance(value, str):
             raise ServiceError(protocol.E_BAD_REQUEST,
-                               f"missing base64 param {key!r}")
+                               f"missing binary param {key!r}")
         try:
             return b64d(value)
         except FrameError as exc:
@@ -501,7 +526,7 @@ class CompressionService:
         except RegistryError as exc:
             raise ServiceError(protocol.E_NOT_FOUND, str(exc)) from None
         self.metrics.add_bytes("out", len(data))
-        return {"data": b64e(data), "meta": meta}
+        return {"data": data, "meta": meta}
 
     async def _m_grammar_put(self, params: dict) -> dict:
         data = self._data_param(params)
@@ -562,7 +587,7 @@ class CompressionService:
                 raise ServiceError(protocol.E_BAD_REQUEST,
                                    str(exc)) from None
         self.metrics.add_bytes("out", len(payload))
-        return {"data": b64e(payload)}
+        return {"data": payload}
 
     async def _m_run_compressed(self, params: dict) -> dict:
         data = self._data_param(params, "module")
@@ -673,4 +698,4 @@ class CompressionService:
             except RuntimeError as exc:  # Trap / machine fault
                 raise ServiceError(protocol.E_TRAP, str(exc)) from None
         self.metrics.add_bytes("out", len(output))
-        return {"code": code, "output": b64e(output), "engine": used}
+        return {"code": code, "output": output, "engine": used}

@@ -18,7 +18,7 @@ from repro.corpus.synth import generate_program
 from repro.interp.interp2 import Interpreter2
 from repro.minic import compile_source
 from repro.service import ServiceError
-from repro.service.protocol import b64d, b64e
+from repro.service.protocol import b64d
 from repro.storage import save_compressed, save_grammar
 
 from tests.test_exec_equivalence import DIV_BY_ZERO, _observe
@@ -56,9 +56,12 @@ def _run_raw(client, cmod, engine="compiled"):
     """run_compressed via the raw call surface, so the response's
     ``engine`` discriminator is visible."""
     result = client.call("run_compressed",
-                         {"module": b64e(save_compressed(cmod)),
+                         {"module": save_compressed(cmod),
                           "args": [], "engine": engine})
-    return result["engine"], result["code"], b64d(result["output"])
+    output = result["output"]  # raw under binary framing, b64 legacy
+    if isinstance(output, str):
+        output = b64d(output)
+    return result["engine"], result["code"], output
 
 
 # -- drain hardening ---------------------------------------------------------
