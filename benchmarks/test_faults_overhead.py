@@ -68,3 +68,34 @@ def test_active_plane_off_site_cost(scale):
     print(f"\nR1b: plane active, engine sites unarmed: "
           f"{inert:.3f}s -> {armed_elsewhere:.3f}s (ratio {ratio:.3f})")
     assert ratio < 1.35  # site checks exist but stay off the hot loop
+
+
+def _best_of_budget(cmod, budget, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        machine = Machine(cmod, CompiledEngine(cmod), budget=budget)
+        t0 = time.perf_counter()
+        code = machine.run()
+        best = min(best, time.perf_counter() - t0)
+        assert code == 0
+    return best
+
+
+def test_budget_watchdog_inert_cost(scale):
+    """R1c — the dispatch-budget guard must be as free as the fault
+    plane: an armed-but-unreachable budget runs the identical dispatch
+    loop with one extra integer compare per rule dispatch, and that may
+    not show above run-to-run jitter against ``budget=0``."""
+    module = corpus(scale)["8q"]
+    grammar, _ = trained(("gcc",), scale=scale)
+    cmod = Compressor(grammar).compress_module(module)
+
+    # interleave the pairs so thermal/load drift hits both sides alike
+    unlimited = min(_best_of_budget(cmod, 0), _best_of_budget(cmod, 0))
+    capped = min(_best_of_budget(cmod, 10 ** 15),
+                 _best_of_budget(cmod, 10 ** 15))
+
+    ratio = capped / unlimited
+    print(f"\nR1c: budget watchdog armed-but-idle: {unlimited:.3f}s -> "
+          f"{capped:.3f}s (ratio {ratio:.3f})")
+    assert ratio < 1.35

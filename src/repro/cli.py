@@ -190,7 +190,8 @@ def _cmd_run(args) -> int:
             from .interp.nativebuild import NativeBuildError
             try:
                 result = NativeEngine(program).run(*args.args,
-                                                   input_data=input_data)
+                                                   input_data=input_data,
+                                                   budget=args.budget)
             except NativeBuildError as exc:
                 print(f"native engine unavailable ({exc}); "
                       f"falling back to the compiled engine",
@@ -203,7 +204,8 @@ def _cmd_run(args) -> int:
             executor = Interpreter2(program)
         else:
             executor = CompiledEngine(program)
-    machine = Machine(program, executor, input_data=input_data)
+    machine = Machine(program, executor, input_data=input_data,
+                      budget=args.budget)
     code = machine.run(*args.args)
     sys.stdout.write(machine.output_text())
     return code & 0xFF
@@ -371,6 +373,9 @@ def _cmd_serve(args) -> int:
                 "batch_window": args.batch_window,
                 "breaker_threshold": args.breaker_threshold,
                 "breaker_cooldown": args.breaker_cooldown,
+                "native_isolation": args.native_isolation,
+                "exec_budget": args.exec_budget,
+                "native_watchdog": args.native_watchdog,
             },
         )
     else:
@@ -383,6 +388,9 @@ def _cmd_serve(args) -> int:
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown=args.breaker_cooldown,
             integrity_scan=not args.no_integrity_scan,
+            native_isolation=args.native_isolation,
+            exec_budget=args.exec_budget,
+            native_watchdog=args.native_watchdog,
         )
 
     async def _serve() -> None:
@@ -525,6 +533,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print an execution profile (operators, rule "
                         "dispatches, dispatch-depth histogram) to stderr")
+    p.add_argument("--budget", type=int, default=0, metavar="N",
+                   help="abort with a budget-exceeded trap after N rule "
+                        "dispatches (default 0 = unlimited)")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("disasm", help="disassemble .rbc or .rcx")
@@ -611,6 +622,22 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--breaker-cooldown", type=float, default=30.0,
                    help="seconds before an open breaker allows a probe "
                         "(default 30)")
+    p.add_argument("--native-isolation",
+                   choices=("auto", "sandbox", "inproc"), default="auto",
+                   help="where native-engine runs execute: 'sandbox' "
+                        "(a supervised helper process; crashes surface "
+                        "as structured errors), 'inproc' (in the server "
+                        "process, guarded by an intent journal), or "
+                        "'auto' (default: sandbox)")
+    p.add_argument("--exec-budget", type=int, default=0, metavar="N",
+                   help="max rule dispatches per run_compressed request "
+                        "(default 0 = unlimited); exceeding it traps "
+                        "with a budget_exceeded error on every engine")
+    p.add_argument("--native-watchdog", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="wall-clock limit on a sandboxed native run "
+                        "before the helper is killed and the request "
+                        "quarantined (default 10)")
     p.add_argument("--no-integrity-scan", action="store_true",
                    help="skip the registry verify+gc pass at startup")
     p.set_defaults(fn=_cmd_serve)

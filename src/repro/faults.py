@@ -46,6 +46,11 @@ Sites
 ``engine.dispatch``                   compiled engine raises entering a proc
 ``engine.tables``                     compiled-table build raises TableError
 ``native.build``                      native-engine C compile/load raises
+``native.crash``                      native run dies on a signal (mode:
+                                      ``segv`` | ``bus`` | ``abort``)
+``native.hang``                       native run never returns (sleeps
+                                      ``arg`` seconds, default past any
+                                      watchdog)
 ``coding.model``                      rule-frequency model build raises
 ``coding.decode``                     RCX2 stream decode raises (per module)
 ``fleet.worker.kill``                 SIGKILL a fleet worker (chaos suites)
@@ -84,6 +89,8 @@ SITES = frozenset([
     "engine.dispatch",
     "engine.tables",
     "native.build",
+    "native.crash",
+    "native.hang",
     "coding.model",
     "coding.decode",
     "fleet.worker.kill",

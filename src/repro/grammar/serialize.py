@@ -130,6 +130,8 @@ def decode_grammar(data: bytes, nt_names=None) -> Grammar:
         raise ValueError("bad grammar magic")
     n_ops = len(OPS)
     pos = 0
+    if not payload:
+        raise ValueError("truncated grammar encoding")
     n_nts = payload[pos]
     pos += 1
 
@@ -147,37 +149,44 @@ def decode_grammar(data: bytes, nt_names=None) -> Grammar:
     grammar.start = -1
     byte_nt = grammar.nonterminal("byte")
 
-    for i in range(n_nts - 1):
-        nt = -(i + 1)
-        (count,) = struct.unpack_from("<H", payload, pos)
-        pos += 2
-        for _ in range(count):
-            length = payload[pos]
-            pos += 1
-            rhs: List[int] = []
-            if compact:
-                end = pos + length
-                while pos < end:
-                    b = payload[pos]
-                    pos += 1
-                    if b == _ESCAPE:
-                        rhs.append(byte_terminal(payload[pos]))
+    # The payload may be attacker-controllable (a corrupt or hostile
+    # container): a short read anywhere below must surface as the same
+    # structured ValueError as any other malformation, never as a bare
+    # IndexError/struct.error escaping the decode.
+    try:
+        for i in range(n_nts - 1):
+            nt = -(i + 1)
+            (count,) = struct.unpack_from("<H", payload, pos)
+            pos += 2
+            for _ in range(count):
+                length = payload[pos]
+                pos += 1
+                rhs: List[int] = []
+                if compact:
+                    end = pos + length
+                    while pos < end:
+                        b = payload[pos]
                         pos += 1
-                    elif b >= n_ops:
-                        rhs.append(-(b - n_ops) - 1)
-                    else:
-                        rhs.append(b)
-            else:
-                for _ in range(length):
-                    tag, value = payload[pos], payload[pos + 1]
-                    pos += 2
-                    if tag == 0:
-                        rhs.append(-value - 1)
-                    elif tag == 1:
-                        rhs.append(byte_terminal(value))
-                    else:
-                        rhs.append(value)
-            grammar.add_rule(nt, rhs)
+                        if b == _ESCAPE:
+                            rhs.append(byte_terminal(payload[pos]))
+                            pos += 1
+                        elif b >= n_ops:
+                            rhs.append(-(b - n_ops) - 1)
+                        else:
+                            rhs.append(b)
+                else:
+                    for _ in range(length):
+                        tag, value = payload[pos], payload[pos + 1]
+                        pos += 2
+                        if tag == 0:
+                            rhs.append(-value - 1)
+                        elif tag == 1:
+                            rhs.append(byte_terminal(value))
+                        else:
+                            rhs.append(value)
+                grammar.add_rule(nt, rhs)
+    except (IndexError, struct.error):
+        raise ValueError("truncated grammar encoding") from None
     for value in range(256):
         grammar.add_rule(byte_nt, [byte_terminal(value)])
     if pos != len(payload):

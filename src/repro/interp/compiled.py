@@ -46,7 +46,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from .. import faults
-from .state import IState, Jump, Return, Trap
+from .state import BudgetExceeded, IState, Jump, Return, Trap
 from .tables import CompiledTables, TableError, compiled_tables
 
 __all__ = ["CompiledEngine"]
@@ -90,7 +90,10 @@ class CompiledEngine:
 
         pc = 0
         instret = 0        # flushed to machine.instret in the finally
-        dispatches = 0     # flushed to machine.dispatches likewise
+        # Dispatches count on the machine directly (not a local): nested
+        # activations share one exact total, so the execution budget
+        # traps at the identical dispatch on every engine.
+        budget = machine.budget
         stack = []         # explicit return stack: (steps, resume, len)
         push = stack.append
         pop = stack.pop
@@ -102,7 +105,10 @@ class CompiledEngine:
                         # One complete block derivation (interpNT).
                         steps = start_programs[code[pc]]
                         pc += 1
-                        dispatches += 1
+                        machine.dispatches += 1
+                        if budget and machine.dispatches > budget:
+                            raise BudgetExceeded(
+                                BudgetExceeded.message(budget))
                         i = 0
                         n = len(steps)
                         while True:
@@ -122,7 +128,11 @@ class CompiledEngine:
                                     push((steps, i, n))
                                 steps = step[1][code[pc]]
                                 pc += 1
-                                dispatches += 1
+                                machine.dispatches += 1
+                                if budget and \
+                                        machine.dispatches > budget:
+                                    raise BudgetExceeded(
+                                        BudgetExceeded.message(budget))
                                 i = 0
                                 n = len(steps)
                             elif tag == 0:  # fused operator run
@@ -164,5 +174,4 @@ class CompiledEngine:
             # so the machine's counters stay exact and the faulting
             # stream position is observable after unwinding.
             machine.instret += instret
-            machine.dispatches += dispatches
             istate.pc = pc

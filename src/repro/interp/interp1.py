@@ -16,7 +16,7 @@ from typing import Any, Dict, Tuple
 
 from ..bytecode.instructions import iter_decode
 from .base import HANDLERS
-from .state import IState, Jump, Return, Trap
+from .state import BudgetExceeded, IState, Jump, Return, Trap
 
 __all__ = ["Interpreter1"]
 
@@ -57,12 +57,21 @@ class Interpreter1:
         table = self._decoded[index]
         labels = proc.labels
         end = len(proc.code)
+        # The uncompressed form has no rule dispatches; the budget
+        # counts instruction fetches instead (still deterministic —
+        # the same program always traps at the same fetch).
+        budget = machine.budget
         pc = 0
         while True:
             try:
                 while pc < end:
                     handler, operands, pc = table[pc]
                     machine.instret += 1
+                    if budget:
+                        machine.dispatches += 1
+                        if machine.dispatches > budget:
+                            raise BudgetExceeded(
+                                BudgetExceeded.message(budget))
                     handler(istate, machine, operands)
                 raise Trap(f"{proc.name}: fell off the end of the code")
             except Jump as jump:

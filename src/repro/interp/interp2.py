@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, List, Tuple
 
 from .base import HANDLERS
-from .state import IState, Jump, Return, Trap
+from .state import BudgetExceeded, IState, Jump, Return, Trap
 from .tables import interp_tables
 
 __all__ = ["Interpreter2"]
@@ -50,7 +50,11 @@ class Interpreter2:
         """interpNT(istate, NT_start): run one complete block derivation."""
         tables = self.tables
         read = self._read_byte
+        budget = machine.budget
         program = tables.program(tables.start, read(istate, code))
+        machine.dispatches += 1
+        if budget and machine.dispatches > budget:
+            raise BudgetExceeded(BudgetExceeded.message(budget))
         stack: List[Tuple[tuple, int]] = [(program.steps, 0)]
         while stack:
             steps, i = stack[-1]
@@ -72,6 +76,9 @@ class Interpreter2:
                 HANDLERS[opcode_](istate, machine, operands)
             else:
                 sub = tables.program(step[1], read(istate, code))
+                machine.dispatches += 1
+                if budget and machine.dispatches > budget:
+                    raise BudgetExceeded(BudgetExceeded.message(budget))
                 stack.append((sub.steps, 0))
 
     def run_procedure(self, machine, index: int, istate: IState) -> Any:

@@ -28,7 +28,7 @@ from .cgen import NATIVE_PROC_WORDS, NATIVE_TRAP_CODES
 from .memory import MemoryError_
 from .nativebuild import NativeBuildCache, default_cache, find_compiler
 from .runtime import DATA_BASE, MemoryLayout, resolve_globals
-from .state import Trap
+from .state import BudgetExceeded, Trap
 from .tables import TableError, interp_tables
 
 __all__ = [
@@ -86,6 +86,7 @@ class _RxnRequest(ctypes.Structure):
         ("frame_base", ctypes.c_uint32),
         ("output", ctypes.POINTER(ctypes.c_ubyte)),
         ("output_cap", ctypes.c_uint32),
+        ("budget", ctypes.c_uint64),
     ]
 
 
@@ -128,6 +129,7 @@ class NativeEngine:
         self.module = cmodule
         self.grammar = cmodule.grammar
         self._heap_size = heap_size
+        self._budget = 0
         self._engine = (cache or default_cache()).load(self.grammar)
         lib = self._engine.lib
         lib.rxn_run.argtypes = [ctypes.POINTER(_RxnRequest),
@@ -158,15 +160,20 @@ class NativeEngine:
         self._nglobals = len(globals_)
 
     # -- running -----------------------------------------------------------
-    def run(self, *int_args: int, input_data: bytes = b"") -> NativeRun:
+    def run(self, *int_args: int, input_data: bytes = b"",
+            budget: int = 0) -> NativeRun:
         """Run the entry procedure to completion.
 
         Raises the same exceptions a Python ``Machine`` would: ``Trap``
         and its subclasses for program faults, reconstructed from the
-        engine's trap code.
+        engine's trap code.  ``budget`` bounds the run to that many rule
+        dispatches (0 = unlimited); exceeding it raises
+        :class:`~repro.interp.state.BudgetExceeded` at the identical
+        dispatch the Python engines would.
         """
         if self.module.entry is None:
             raise Trap("program has no entry procedure")
+        self._budget = int(budget or 0)
         layout = MemoryLayout.for_program(self.module,
                                           heap_size=self._heap_size)
         args = (ctypes.c_uint32 * max(len(int_args), 1))(
@@ -201,6 +208,7 @@ class NativeEngine:
                 frame_base=layout.frame_base,
                 output=output,
                 output_cap=out_cap,
+                budget=self._budget,
             )
             res = _RxnResult()
             retry = self._engine.lib.rxn_run(ctypes.byref(req),
@@ -273,14 +281,16 @@ class NativeEngine:
             return UnsupportedOpcode(
                 "block operators (ASGNB/ARGB) are not emitted by"
                 " this front end")
+        if code == T["BUDGET"]:
+            return BudgetExceeded(BudgetExceeded.message(self._budget))
         return NativeExecutionError(
             f"native engine invariant violated (trap code {code})")
 
 
 def run_native(cmodule, *int_args: int, input_data: bytes = b"",
-               cache: Optional[NativeBuildCache] = None
-               ) -> Tuple[int, bytes]:
+               cache: Optional[NativeBuildCache] = None,
+               budget: int = 0) -> Tuple[int, bytes]:
     """Convenience mirroring :func:`repro.interp.runtime.run_program`."""
     run = NativeEngine(cmodule, cache=cache).run(
-        *int_args, input_data=input_data)
+        *int_args, input_data=input_data, budget=budget)
     return run.code, run.output

@@ -28,6 +28,7 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import shlex
 import shutil
 import subprocess
 import tempfile
@@ -81,6 +82,17 @@ def find_compiler() -> Optional[str]:
         if path:
             return path
     return None
+
+
+def _extra_cflags() -> List[str]:
+    """Extra compiler flags from ``REPRO_NATIVE_CFLAGS`` (shlex rules).
+
+    The hook the sanitizer CI job uses to build the generated C with
+    ``-fsanitize=address,undefined``.  The flags are folded into the
+    cache key, so a sanitized build and a plain build of the same
+    grammar occupy different slots and can never shadow each other.
+    """
+    return shlex.split(os.environ.get("REPRO_NATIVE_CFLAGS", ""))
 
 
 _compiler_ids: Dict[str, str] = {}
@@ -168,6 +180,7 @@ class NativeBuildCache:
             str(NATIVE_ABI_VERSION),
             str(NATIVE_CGEN_VERSION),
             _compiler_id(cc),
+            " ".join(_extra_cflags()),
             program_for(grammar).content_key,
         ])
         return hashlib.sha256(ident.encode()).hexdigest()[:40]
@@ -191,6 +204,7 @@ class NativeBuildCache:
             with os.fdopen(fd, "w") as fh:
                 fh.write(source)
             cmd: List[str] = [cc, "-O2", "-shared", "-fPIC",
+                              *_extra_cflags(),
                               "-o", tmp_so, tmp_c, "-lm"]
             proc = subprocess.run(cmd, capture_output=True, text=True,
                                   timeout=300)

@@ -224,12 +224,20 @@ class Machine:
     """One loaded program plus its execution resources."""
 
     def __init__(self, program, executor, *, heap_size: int = _DEFAULT_HEAP,
-                 input_data: bytes = b"") -> None:
+                 input_data: bytes = b"", budget: int = 0) -> None:
         """``program`` is a Module or CompressedModule (same duck type:
         procedures / globals / data / bss_size / entry); ``executor``
-        supplies ``run_procedure(machine, index, istate)``."""
+        supplies ``run_procedure(machine, index, istate)``.
+
+        ``budget`` bounds the run: at most that many dispatches (one per
+        codeword fetch on the compressed engines, one per instruction
+        fetch on the uncompressed interpreter) before the machine traps
+        with :class:`~repro.interp.state.BudgetExceeded`.  0 disables
+        the check — the engines' hot loops stay one falsy test away
+        from today's behaviour."""
         self.program = program
         self.executor = executor
+        self.budget = int(budget or 0)
         self.output = bytearray()
         self.input = input_data
         self.input_pos = 0
@@ -244,9 +252,10 @@ class Machine:
         if sys.getrecursionlimit() < needed:
             sys.setrecursionlimit(needed)
         self.instret = 0  # executed operator count (for the speed bench)
-        # Rule dispatches performed by the direct-threaded engine (one
-        # per codeword byte consumed); stays 0 under the reference
-        # executors, which predate the counter.
+        # Dispatches: one per codeword byte consumed on the compressed
+        # engines (compiled, reference interp2, native — identical by
+        # construction), one per instruction fetch on interp1.  The
+        # execution budget is enforced against this counter.
         self.dispatches = 0
 
         layout = MemoryLayout.for_program(program, heap_size=heap_size)
@@ -373,8 +382,10 @@ def _align(value: int, alignment: int) -> int:
 
 
 def run_program(program, executor, *int_args: int,
-                input_data: bytes = b"") -> Tuple[int, bytes]:
+                input_data: bytes = b"",
+                budget: int = 0) -> Tuple[int, bytes]:
     """Convenience: run to completion, returning (exit code, output)."""
-    machine = Machine(program, executor, input_data=input_data)
+    machine = Machine(program, executor, input_data=input_data,
+                      budget=budget)
     code = machine.run(*int_args)
     return code, bytes(machine.output)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, List
 
-__all__ = ["IState", "Jump", "Return", "Exit", "Trap"]
+__all__ = ["IState", "Jump", "Return", "Exit", "Trap", "BudgetExceeded"]
 
 
 class IState:
@@ -57,3 +57,15 @@ class Exit(Exception):
 
 class Trap(RuntimeError):
     """A machine fault: bad call target, unsupported operator, ..."""
+
+
+class BudgetExceeded(Trap):
+    """The execution budget ran out: the program dispatched more rules
+    than the request allowed.  Deterministic — every engine counts the
+    same dispatch stream, so the trap fires at the same dispatch on all
+    of them — and a :class:`Trap`, so the service maps it to the same
+    structured ``trap`` error a program fault gets."""
+
+    @staticmethod
+    def message(budget: int) -> str:
+        return f"execution budget exceeded: {budget} dispatches"

@@ -69,7 +69,12 @@ from ..storage import (
 )
 from ..training.expander import TrainingReport
 
-__all__ = ["GrammarRegistry", "RegistryError", "corpus_fingerprint"]
+__all__ = [
+    "GrammarRegistry",
+    "RegistryError",
+    "corpus_fingerprint",
+    "poison_key",
+]
 
 _HASH_RE = re.compile(r"^[0-9a-f]{64}$")
 _PREFIX_RE = re.compile(r"^[0-9a-f]{4,64}$")
@@ -97,6 +102,30 @@ def corpus_fingerprint(corpus: Iterable[Module]) -> str:
     for d in digests:
         acc.update(bytes.fromhex(d))
     return acc.hexdigest()
+
+
+def poison_key(content_key: str, request_digest: str) -> str:
+    """The quarantine key for one (grammar, request) pair.
+
+    Both inputs are hex digests: the grammar's content key and the
+    SHA-256 over the request's payload, arguments, and input.  The key
+    is stable across workers and restarts, so a request that crashed
+    the native engine once is recognized forever after.
+    """
+    return hashlib.sha256(
+        f"{content_key}:{request_digest}".encode()
+    ).hexdigest()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0; EPERM counts as alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
 
 
 def _fsync_dir(path: Path) -> None:
@@ -496,6 +525,12 @@ class GrammarRegistry:
                 if repair:
                     with contextlib.suppress(OSError):
                         tmp.unlink()
+        # Poison verdicts and pending native-run intents are deliberate
+        # state, surfaced for the operator but never "dirt".
+        report["poison"] = sum(
+            1 for _ in self.quarantine_dir.glob("*.poison.json"))
+        report["poison_intents"] = sum(
+            1 for _ in self.quarantine_dir.glob("*.intent.json"))
         report["clean"] = not (report["corrupt"]
                                or report["missing_meta"]
                                or report["orphan_meta"]
@@ -533,10 +568,136 @@ class GrammarRegistry:
     def startup_scan(self) -> Dict:
         """The self-healing pass a long-lived service runs before
         serving: quarantine corruption, regenerate metadata, drop
-        dangling tags, reap crash debris."""
+        dangling tags, reap crash debris, and convert native-run
+        intents orphaned by a crashed worker into poison verdicts."""
+        converted = self.scan_native_intents()
         report = self.verify(repair=True)
         report["gc"] = self.gc()
+        report["poison_converted"] = len(converted)
         return report
+
+    # -- poison quarantine --------------------------------------------------
+    #
+    # Requests that crashed or hung the native engine.  A verdict is a
+    # small JSON sidecar under objects/quarantine/ keyed by
+    # :func:`poison_key`; once recorded, the service fails the same
+    # request fast with a non-retryable ``poison_input`` error instead
+    # of feeding it to the engine again.  Verdicts are deliberate
+    # records, not corruption: ``verify`` counts them but they never
+    # make the registry un-clean.
+    #
+    # For *in-process* native runs (no sandbox to absorb the signal) an
+    # intent sidecar is written before the run and removed after it.  A
+    # worker that dies mid-run leaves its intent behind; the next
+    # startup converts intents whose pid is gone into poison verdicts,
+    # so even an un-sandboxed crash is quarantined after one respawn.
+
+    def _poison_path(self, key: str) -> Path:
+        if not _HASH_RE.match(key):
+            raise RegistryError(f"malformed poison key {key!r}")
+        return self.quarantine_dir / f"{key}.poison.json"
+
+    def _intent_path(self, key: str) -> Path:
+        if not _HASH_RE.match(key):
+            raise RegistryError(f"malformed poison key {key!r}")
+        return self.quarantine_dir / f"{key}.intent.json"
+
+    def record_poison(self, key: str, verdict: str, *,
+                      content_key: str = "",
+                      request_digest: str = "",
+                      detail: str = "") -> Dict:
+        """Record (idempotently) that a request is poisonous.
+
+        ``verdict`` names what happened (``"crash"``, ``"hang"``);
+        ``detail`` is the human-readable specifics (signal name,
+        timeout).  Returns the stored record.
+        """
+        existing = self.check_poison(key)
+        if existing is not None:
+            return existing
+        record = {
+            "key": key,
+            "verdict": verdict,
+            "content_key": content_key,
+            "request_digest": request_digest,
+            "detail": detail,
+            "recorded": time.time(),
+            "pid": os.getpid(),
+        }
+        self.quarantine_dir.mkdir(exist_ok=True)
+        _atomic_write(self._poison_path(key),
+                      json.dumps(record, indent=1).encode())
+        return record
+
+    def check_poison(self, key: str) -> Optional[Dict]:
+        """The poison verdict for ``key``, or ``None`` if it is clean."""
+        try:
+            return json.loads(self._poison_path(key).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def poison_list(self) -> List[Dict]:
+        """All poison verdicts, oldest first."""
+        records = []
+        for path in sorted(self.quarantine_dir.glob("*.poison.json")):
+            with contextlib.suppress(OSError, ValueError):
+                records.append(json.loads(path.read_text()))
+        records.sort(key=lambda r: r.get("recorded") or 0)
+        return records
+
+    def record_native_intent(self, key: str, *,
+                             content_key: str = "",
+                             request_digest: str = "") -> None:
+        """Journal an imminent in-process native run.
+
+        Must be durable *before* the run starts: if the process dies
+        with the intent on disk, :meth:`scan_native_intents` converts
+        it into a poison verdict at the next startup.
+        """
+        record = {
+            "key": key,
+            "content_key": content_key,
+            "request_digest": request_digest,
+            "pid": os.getpid(),
+            "created": time.time(),
+        }
+        self.quarantine_dir.mkdir(exist_ok=True)
+        _atomic_write(self._intent_path(key),
+                      json.dumps(record).encode())
+
+    def clear_native_intent(self, key: str) -> None:
+        """The run survived (completed or raised in Python): retract."""
+        with contextlib.suppress(OSError, RegistryError):
+            self._intent_path(key).unlink()
+
+    def scan_native_intents(self) -> List[Dict]:
+        """Convert dead-owner intents into poison verdicts.
+
+        An intent whose recording pid is still alive belongs to a run in
+        progress somewhere in the fleet and is left alone.  Returns the
+        verdicts recorded by this scan.
+        """
+        converted = []
+        for path in sorted(self.quarantine_dir.glob("*.intent.json")):
+            try:
+                record = json.loads(path.read_text())
+                pid = int(record["pid"])
+                key = str(record["key"])
+            except (OSError, ValueError, KeyError, TypeError):
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                continue
+            if pid > 0 and _pid_alive(pid):
+                continue
+            converted.append(self.record_poison(
+                key, "crash",
+                content_key=str(record.get("content_key", "")),
+                request_digest=str(record.get("request_digest", "")),
+                detail=f"in-process native run by pid {pid} never "
+                       f"returned (process died mid-run)"))
+            with contextlib.suppress(OSError):
+                path.unlink()
+        return converted
 
     # -- LRU ----------------------------------------------------------------
 

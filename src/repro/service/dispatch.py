@@ -405,5 +405,8 @@ class FleetDispatcher:
                     len(self.startup_report.get("quarantined", [])),
                 "dangling_tags":
                     len(self.startup_report.get("dangling_tags", [])),
+                "poison": self.startup_report.get("poison", 0),
+                "poison_converted":
+                    self.startup_report.get("poison_converted", 0),
             }
         return merged

@@ -178,8 +178,16 @@ class ServiceMetrics:
 # AND together (one dirty worker means a dirty fleet), and ``mean`` is
 # recomputed from the merged sum/count rather than averaged.
 
-_MAX_KEYS = frozenset(["uptime_seconds", "capacity", "high_water"])
+_MAX_KEYS = frozenset(["uptime_seconds", "capacity", "high_water",
+                       "exec_budget"])
 _AND_KEYS = frozenset(["clean", "enabled"])
+
+# Circuit-breaker states are a *severity*, not a flow: a fleet whose
+# quietest worker reports ``closed`` while another reports ``open`` has
+# an open breaker.  Merge by worst-state-wins; "first worker wins" here
+# used to let a zero-request worker polled first mask a tripped breaker
+# elsewhere in the fleet.
+_BREAKER_SEVERITY = {"closed": 0, "half_open": 1, "open": 2}
 
 
 def _merge_into(acc: Dict, other: Dict) -> None:
@@ -201,7 +209,12 @@ def _merge_into(acc: Dict, other: Dict) -> None:
                 else mine + value
         elif isinstance(mine, list) and isinstance(value, list):
             acc[key] = mine + [v for v in value if v not in mine]
-        # strings and mixed types: first worker wins
+        elif isinstance(mine, str) and isinstance(value, str) \
+                and mine in _BREAKER_SEVERITY \
+                and value in _BREAKER_SEVERITY:
+            if _BREAKER_SEVERITY[value] > _BREAKER_SEVERITY[mine]:
+                acc[key] = value
+        # other strings and mixed types: first worker wins
 
 
 def _fix_means(node) -> None:

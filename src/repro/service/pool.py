@@ -41,26 +41,61 @@ __all__ = ["WorkerPool", "WorkerHandle", "worker_main"]
 _UNIX_PATH_MAX = 100
 
 
+def _sock_path(addr_file: str) -> Optional[str]:
+    """The Unix socket path derived from an addr file, when usable."""
+    if not hasattr(socket, "AF_UNIX"):
+        return None
+    candidate = addr_file[:-len(".addr")] + ".sock"
+    return candidate if len(candidate) < _UNIX_PATH_MAX else None
+
+
+def _clear_artifacts(addr_file: str) -> None:
+    """Remove a (possibly stale) addr file and its derived socket.
+
+    Run before every spawn attempt and after every worker death: a
+    child that died *after* atomically publishing its address leaves
+    both behind, and a retried spawn under the same generation would
+    otherwise read the dead address from the leftover addr file — or
+    fail its bind against the leftover socket — forever.
+    """
+    for path in (addr_file, addr_file + ".tmp", _sock_path(addr_file)):
+        if path is None:
+            continue
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass
+
+
 def worker_main(registry_path: str, addr_file: str, config: dict) -> None:
     """Child-process entry point: serve one worker until SIGTERM.
 
     Runs a plain :class:`CompressionService` with ``integrity_scan``
     off — the dispatcher already healed the registry once; N workers
     racing the same quarantine/repair pass would fight over renames.
+
+    ``config`` may carry a ``fault_plan`` (a :class:`~repro.faults.
+    FaultPlan` dict): the chaos suites use it to arm injection sites
+    *inside* the worker — e.g. ``native.crash`` — deterministically
+    per schedule.
     """
     # imported here so the spawn child pays the import cost, not the
     # dispatcher's hot path
     from .server import CompressionService
 
+    config = dict(config)
+    fault_plan = config.pop("fault_plan", None)
+    if fault_plan is not None:
+        from .. import faults
+        faults.activate(fault_plan)
+
     registry = GrammarRegistry(registry_path)
     service = CompressionService(registry, integrity_scan=False, **config)
 
     async def _serve() -> None:
-        unix_path = None
-        if hasattr(socket, "AF_UNIX"):
-            candidate = addr_file[:-len(".addr")] + ".sock"
-            if len(candidate) < _UNIX_PATH_MAX:
-                unix_path = candidate
+        unix_path = _sock_path(addr_file)
         await service.start(unix_path=unix_path, port=0)
         if unix_path is not None:
             addr = "unix:" + unix_path
@@ -184,6 +219,11 @@ class WorkerPool:
                      restarts: int = 0) -> WorkerHandle:
         addr_file = os.path.join(self._ipc_dir,
                                  "w%d.g%d.addr" % (index, generation))
+        # Never trust leftovers under this name: a previous attempt at
+        # this generation may have published and then died, and its
+        # stale addr file would satisfy _wait_ready with a dead address
+        # (its stale socket would fail the child's bind).
+        _clear_artifacts(addr_file)
         proc = self._ctx.Process(
             target=worker_main,
             args=(self.registry_path, addr_file, self.worker_config),
@@ -196,6 +236,7 @@ class WorkerPool:
             if proc.is_alive():
                 proc.kill()
             proc.join(1.0)
+            _clear_artifacts(addr_file)
             raise
         handle = WorkerHandle(index, proc, addr, addr_file,
                               generation, restarts)
@@ -258,6 +299,7 @@ class WorkerPool:
                 or handle.generation != generation:
             return
         handle.proc.join(0.5)  # reap the corpse
+        _clear_artifacts(handle.addr_file)  # dead incarnation's debris
         self.restarts_total += 1
         try:
             await self._spawn(index, generation + 1, handle.restarts + 1)
@@ -288,6 +330,7 @@ class WorkerPool:
         if handle.proc.is_alive():
             handle.proc.kill()
             await loop.run_in_executor(None, handle.proc.join, 5.0)
+        _clear_artifacts(handle.addr_file)
         if not self._stopping:
             self.restarts_total += 1
             await self._spawn(index, handle.generation + 1,

@@ -73,6 +73,10 @@ E_MODEL_MISSING = "model_missing"
 #: work methods are idempotent, so the dispatcher tells the client to
 #: just send it again — the supervisor is already respawning the worker.
 E_WORKER_LOST = "worker_lost"
+#: the request previously crashed or hung the native engine and is
+#: quarantined; deliberately NOT retryable — the verdict is durable, so
+#: resending the identical request can only fail the same way.
+E_POISON_INPUT = "poison_input"
 
 
 class FrameError(ConnectionError):

@@ -41,13 +41,16 @@ are surfaced by the ``stats`` method.
 from __future__ import annotations
 
 import asyncio
+import os
 import signal
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
 import hashlib
 
+from .. import faults
 from ..bytecode.module import Module
 from ..bytecode.validate import ValidationError
 from ..coding.model import ModelMissingError
@@ -59,7 +62,15 @@ from ..interp.compiled import CompiledEngine
 from ..interp.interp2 import Interpreter2
 from ..interp.native import run_native
 from ..interp.runtime import run_program
+from ..interp.sandbox import (
+    CRASH_SIGNALS,
+    NativeCrashError,
+    NativeHangError,
+    NativeSandbox,
+    request_digest,
+)
 from ..registry import GrammarRegistry, RegistryError
+from ..registry.registry import poison_key
 from ..storage import (
     StorageError,
     load_any,
@@ -191,7 +202,14 @@ class CompressionService:
                  cache_size: int = 4096,
                  breaker_threshold: int = 3,
                  breaker_cooldown: float = 30.0,
-                 integrity_scan: bool = True) -> None:
+                 integrity_scan: bool = True,
+                 native_isolation: str = "auto",
+                 exec_budget: int = 0,
+                 native_watchdog: float = 10.0) -> None:
+        if native_isolation not in ("auto", "sandbox", "inproc"):
+            raise ValueError(
+                f"native_isolation must be 'auto', 'sandbox' or 'inproc',"
+                f" not {native_isolation!r}")
         self.registry = registry
         self.max_inflight = max_inflight
         self.high_water = high_water
@@ -200,6 +218,15 @@ class CompressionService:
         self.max_batch = max_batch
         self.cache_size = cache_size
         self.integrity_scan = integrity_scan
+        # "auto" resolves to the sandbox: containment by default, and
+        # the pooled helper keeps the happy-path cost to one pipe
+        # round-trip (gated by benchmarks/test_interp_speed.py).
+        self.native_isolation = ("sandbox" if native_isolation == "auto"
+                                 else native_isolation)
+        self.exec_budget = int(exec_budget or 0)
+        self.native_watchdog = float(native_watchdog)
+        self._sandbox: Optional[NativeSandbox] = None
+        self._sandbox_lock = threading.Lock()
         self.startup_report: Optional[Dict] = None
         self.engine_breaker = CircuitBreaker(threshold=breaker_threshold,
                                              cooldown=breaker_cooldown)
@@ -231,6 +258,13 @@ class CompressionService:
             # Self-heal before serving: quarantine corrupt objects,
             # regenerate metadata, drop dangling tags, reap crash debris.
             self.startup_report = self.registry.startup_scan()
+        else:
+            # Even without the full scan, convert native-run intents
+            # orphaned by a crashed predecessor into poison verdicts —
+            # this is what quarantines an in-process crash after one
+            # respawn (fleet workers skip the full scan; the glob over
+            # the quarantine dir is cheap).
+            self.registry.scan_native_intents()
         self._inflight = asyncio.Semaphore(self.max_inflight)
         self._worker_lock = asyncio.Lock()
         self._stop_requested = asyncio.Event()
@@ -300,6 +334,9 @@ class CompressionService:
         self._workers.clear()
         if self._executor is not None:
             self._executor.shutdown(wait=False)
+        if self._sandbox is not None:
+            self._sandbox.close()
+            self._sandbox = None
 
     # -- connection handling ------------------------------------------------
 
@@ -446,6 +483,14 @@ class CompressionService:
         return await asyncio.get_running_loop().run_in_executor(
             self._executor, fn, *args)
 
+    def _native_sandbox(self) -> NativeSandbox:
+        """The lazily-spawned, pooled helper (shared by all requests;
+        NativeSandbox serializes its own pipe traffic)."""
+        with self._sandbox_lock:
+            if self._sandbox is None:
+                self._sandbox = NativeSandbox(timeout=self.native_watchdog)
+            return self._sandbox
+
     async def _worker_for(self, ref: str) -> _GrammarWorker:
         try:
             digest = self.registry.resolve(ref)
@@ -503,15 +548,30 @@ class CompressionService:
                     len(self.startup_report.get("quarantined", [])),
                 "dangling_tags":
                     len(self.startup_report.get("dangling_tags", [])),
+                "poison": self.startup_report.get("poison", 0),
+                "poison_converted":
+                    self.startup_report.get("poison_converted", 0),
             }
         snap["engine"] = {
             "fallback": self.metrics.engine_events.value("fallback"),
             "degraded": self.metrics.engine_events.value("degraded"),
+            "native_crash":
+                self.metrics.engine_events.value("native_crash"),
+            "native_hang":
+                self.metrics.engine_events.value("native_hang"),
+            "poison_fastfail":
+                self.metrics.engine_events.value("poison_fastfail"),
+            "isolation": self.native_isolation,
+            "exec_budget": self.exec_budget,
             "breakers": {key[:12]: state for key, state
                          in self.engine_breaker.snapshot().items()},
             "quarantined": [key[:12] for key
                             in self.engine_breaker.open_keys()],
+            "poisoned": [rec.get("key", "")[:12]
+                         for rec in self.registry.poison_list()],
         }
+        if self._sandbox is not None:
+            snap["engine"]["sandbox"] = dict(self._sandbox.stats)
         return snap
 
     async def _m_grammar_list(self, params: dict) -> dict:
@@ -604,6 +664,16 @@ class CompressionService:
             raise ServiceError(
                 protocol.E_BAD_REQUEST,
                 "'engine' must be 'compiled', 'reference' or 'native'")
+        # The effective dispatch budget: the server-wide cap, tightened
+        # (never loosened) by a per-request 'budget' param.
+        budget = self.exec_budget
+        req_budget = params.get("budget", 0)
+        if not isinstance(req_budget, int) or isinstance(req_budget, bool) \
+                or req_budget < 0:
+            raise ServiceError(protocol.E_BAD_REQUEST,
+                               "'budget' must be a non-negative integer")
+        if req_budget:
+            budget = min(budget, req_budget) if budget else req_budget
 
         def _run_compiled(program) -> Tuple[str, int, bytes]:
             """Compiled engine behind the per-grammar circuit breaker;
@@ -615,12 +685,14 @@ class CompressionService:
                 # quarantined: skip the doomed attempt entirely
                 self.metrics.engine_events.inc("degraded")
                 code, output = run_program(program, Interpreter2(program),
-                                           *args, input_data=input_data)
+                                           *args, input_data=input_data,
+                                           budget=budget)
                 return "reference_degraded", code, output
             try:
                 code, output = run_program(program,
                                            CompiledEngine(program),
-                                           *args, input_data=input_data)
+                                           *args, input_data=input_data,
+                                           budget=budget)
             except RuntimeError:
                 # Trap / machine fault: the *program's* fault, identical
                 # on both engines by the equivalence suite — not an
@@ -633,35 +705,96 @@ class CompressionService:
                 self.engine_breaker.record_failure(key)
                 self.metrics.engine_events.inc("fallback")
                 code, output = run_program(program, Interpreter2(program),
-                                           *args, input_data=input_data)
+                                           *args, input_data=input_data,
+                                           budget=budget)
                 return "reference_fallback", code, output
             self.engine_breaker.record_success(key)
             return "compiled", code, output
 
-        def _run_native(program) -> Tuple[str, int, bytes]:
-            """Native engine behind its own per-grammar breaker slot.
+        def _native_inproc(program, pkey: str, gkey: str,
+                           rdigest: str) -> Tuple[int, bytes]:
+            """In-process native run, journaled: the intent sidecar is
+            on disk before the engine gets the request, so a crash that
+            kills this worker converts to a poison verdict at the next
+            startup (``scan_native_intents``) — quarantine within one
+            respawn even without the sandbox."""
+            self.registry.record_native_intent(
+                pkey, content_key=gkey, request_digest=rdigest)
+            try:
+                plane = faults.ACTIVE
+                if plane is not None:
+                    rule = plane.decide("native.crash")
+                    if rule is not None:
+                        # The real failure, end to end: this worker dies
+                        # on the signal with the intent journaled.
+                        os.kill(os.getpid(), CRASH_SIGNALS.get(
+                            rule.mode or "segv", signal.SIGSEGV))
+                return run_native(program, *args, input_data=input_data,
+                                  budget=budget)
+            finally:
+                # Reached on every *Python-visible* exit, including
+                # traps; a fatal signal skips it and leaves the intent.
+                self.registry.clear_native_intent(pkey)
 
-            A missing compiler or a failed build/load is an environment
-            fault (``NativeBuildError``, deliberately not a
-            ``RuntimeError``): fall back to the compiled Python path and
-            surface the switch in ``stats.engine``.  Program traps
-            propagate — they are identical on every engine by the
-            four-engine equivalence suite."""
-            key = "native:" + hashlib.sha256(
+        def _run_native(program) -> Tuple[str, int, bytes]:
+            """Native engine: quarantine check, then the sandboxed (or
+            journaled in-process) run, behind its own per-grammar
+            breaker slot.
+
+            Outcomes: a poison hit or a fresh crash/hang raises a
+            non-retryable ``poison_input`` (and feeds the breaker, so
+            a grammar whose requests keep breaking the engine degrades
+            to the compiled path for *healthy* traffic too); a missing
+            compiler or failed build/load falls back to the compiled
+            Python path; program traps propagate — identical on every
+            engine by the four-engine equivalence suite."""
+            gkey = hashlib.sha256(
                 encode_grammar_compact(program.grammar)).hexdigest()
+            key = "native:" + gkey
+            rdigest = request_digest(data, args, input_data)
+            pkey = poison_key(gkey, rdigest)
+            verdict = self.registry.check_poison(pkey)
+            if verdict is not None:
+                # Known poison: fail fast, before the engine (or even
+                # the breaker) sees the request again.
+                self.metrics.engine_events.inc("poison_fastfail")
+                raise ServiceError(
+                    protocol.E_POISON_INPUT,
+                    f"request {rdigest[:12]} is quarantined after a "
+                    f"native-engine {verdict.get('verdict', 'crash')}: "
+                    f"{verdict.get('detail', '')}".rstrip(": "))
             if not self.engine_breaker.allow(key):
                 self.metrics.engine_events.inc("degraded")
                 _, code, output = _run_compiled(program)
                 return "compiled_degraded", code, output
             try:
-                code, output = run_native(program, *args,
-                                          input_data=input_data)
+                if self.native_isolation == "sandbox":
+                    run = self._native_sandbox().run(
+                        data, args, input_data, budget=budget,
+                        content_key=gkey)
+                    code, output = run.code, run.output
+                else:
+                    code, output = _native_inproc(program, pkey, gkey,
+                                                  rdigest)
             except RuntimeError:
                 # Trap / machine fault: the program's own fault.
                 self.engine_breaker.record_success(key)
                 raise
             except ServiceError:
                 raise
+            except (NativeCrashError, NativeHangError) as exc:
+                # The request broke the engine: record the verdict
+                # (durable, fleet-wide), count it, feed the breaker,
+                # and fail the client non-retryably.
+                what = ("hang" if isinstance(exc, NativeHangError)
+                        else "crash")
+                self.registry.record_poison(
+                    pkey, what, content_key=gkey,
+                    request_digest=rdigest, detail=str(exc))
+                self.engine_breaker.record_failure(key)
+                self.metrics.engine_events.inc(f"native_{what}")
+                raise ServiceError(protocol.E_POISON_INPUT,
+                                   str(exc)) from None
             except Exception:  # noqa: BLE001 — build or engine fault
                 self.engine_breaker.record_failure(key)
                 self.metrics.engine_events.inc("fallback")
@@ -683,7 +816,8 @@ class CompressionService:
                     "run_compressed needs an RCX1 compressed module")
             if engine == "reference":
                 code, output = run_program(program, Interpreter2(program),
-                                           *args, input_data=input_data)
+                                           *args, input_data=input_data,
+                                           budget=budget)
                 return "reference", code, output
             if engine == "native":
                 return _run_native(program)

@@ -280,3 +280,174 @@ def test_fleet_chaos_actually_killed(fleet_world):
     assert _KILL_STATS["kills"] >= 10, _KILL_STATS
     # and the fleet is still at full strength afterwards
     assert fleet_world["h"].pool.alive() == 3
+
+
+# -- native-engine chaos: sandboxed crashes against a live fleet --------------
+#
+# Twenty-five seeded schedules drive ``engine=native`` traffic at a
+# fleet whose *workers* carry an armed fault plan (shipped through
+# ``worker_config`` and activated inside each worker process before the
+# service starts).  When ``native.crash`` fires, the sandbox helper
+# really dies on SIGSEGV; when ``native.hang`` fires, it really sleeps
+# past the watchdog.  The containment invariants:
+#
+# * **zero worker respawns** — the blast radius is the helper, never
+#   the worker (the sandbox is the whole point);
+# * every response is either an exact success or a structured,
+#   non-retryable ``poison_input`` — and a poisoned request repeated
+#   verbatim fails fast from the durable verdict;
+# * healthy requests keep answering byte-identically to the
+#   compiled-path oracle throughout;
+# * the shared registry stays verified-clean, poison sidecars and all.
+#
+# Deliberately not gated on a C compiler: the chaos directives fire in
+# the helper *before* any engine builds, so containment is exercised
+# end to end even where the success path falls back to compiled.
+
+NATIVE_SCHEDULES = list(range(25))
+_NATIVE_STATS = {"poisoned": 0, "succeeded": 0}
+
+_NATIVE_PLAN = faults.FaultPlan(seed=424242, sites={
+    "native.crash": {"p": 0.25, "mode": "segv"},
+    "native.hang": {"p": 0.12, "arg": 30.0},
+})
+
+
+@pytest.fixture(scope="module")
+def native_fleet(tmp_path_factory, world):
+    h = FleetHarness(
+        tmp_path_factory.mktemp("native-chaos"), workers=2,
+        worker_config={
+            "batch_window": 0.005,
+            "native_isolation": "sandbox",
+            "native_watchdog": 2.0,
+            "fault_plan": _NATIVE_PLAN.to_dict(),
+        })
+    try:
+        with h.client() as client:
+            client.put_grammar(world["grammar_bytes"], tags=["prod"])
+    except BaseException:
+        h.close()
+        raise
+    yield {
+        "h": h,
+        "rcx": world["rcx"],
+        "expected_run": world["expected_run"],
+    }
+    h.close()
+
+
+def _native_params(fw, args):
+    return {"module": fw["rcx"], "args": list(args), "engine": "native"}
+
+
+@pytest.mark.parametrize("seed", NATIVE_SCHEDULES)
+def test_native_chaos_schedule(native_fleet, seed):
+    fw = native_fleet
+    pool = fw["h"].pool
+    base_restarts = pool.restarts_total
+    rng = random.Random(7000 + seed)
+    with fw["h"].client(timeout=30.0) as client:
+        for i in range(4):
+            # per-schedule unique args: a fresh request digest, so one
+            # schedule's quarantine never shadows another's traffic
+            args = [seed, rng.randrange(1 << 16)]
+            try:
+                result = client.call("run_compressed",
+                                     _native_params(fw, args))
+            except ServiceError as exc:
+                # the plane fired on this request: a structured,
+                # non-retryable verdict — never a reset or a timeout
+                assert exc.code == "poison_input", exc.code
+                assert not exc.retryable
+                _NATIVE_STATS["poisoned"] += 1
+                # the verdict is durable: the identical request fails
+                # fast (and consumes no further chaos evaluations)
+                with pytest.raises(ServiceError) as again:
+                    client.call("run_compressed",
+                                _native_params(fw, args))
+                assert again.value.code == "poison_input"
+            else:
+                # success must be exact: same answer as the compiled
+                # path (which no native site can touch)
+                oracle = client.call(
+                    "run_compressed",
+                    {"module": fw["rcx"], "args": args})
+                assert result["code"] == oracle["code"]
+                assert result.get("output") == oracle.get("output")
+                _NATIVE_STATS["succeeded"] += 1
+        # healthy traffic rides through it all, byte-identical
+        code, output = client.run_compressed(fw["rcx"])
+        assert (code, output) == fw["expected_run"]
+    # containment: not one worker death across the schedule — every
+    # crash and hang stayed inside a disposable helper
+    assert pool.restarts_total == base_restarts, seed
+    assert pool.alive() == pool.size
+
+
+def test_native_chaos_actually_fired(native_fleet):
+    """Inert-plane guard: across 25 schedules x 4 requests at a ~35%
+    combined fire rate, a quarantine-free run means the worker-side
+    plan never activated."""
+    assert _NATIVE_STATS["poisoned"] >= 8, _NATIVE_STATS
+    assert _NATIVE_STATS["succeeded"] >= 8, _NATIVE_STATS
+    # the shared registry holds the verdicts and still verifies clean
+    registry = native_fleet["h"].dispatcher.registry
+    report = registry.verify()
+    assert report["clean"], report
+    assert report["poison"] == _NATIVE_STATS["poisoned"]
+    assert len(registry.poison_list()) == _NATIVE_STATS["poisoned"]
+    # and the fleet never lost a worker to a native fault
+    assert native_fleet["h"].pool.restarts_total == 0
+
+
+# -- in-process isolation: the intent journal under a real worker death ------
+
+def test_inproc_crash_converts_to_poison_within_two_respawns(
+        tmp_path_factory, world):
+    """Without the sandbox, a native crash *does* kill the worker — the
+    containment story is the intent journal: the respawned worker's
+    startup scan converts the orphaned intent to a poison verdict, so
+    a retrying client gets ``poison_input`` after at most one
+    worker_lost per worker, and the poisonous request can never
+    crash-loop the fleet."""
+    h = FleetHarness(
+        tmp_path_factory.mktemp("inproc-chaos"), workers=2,
+        worker_config={
+            "batch_window": 0.005,
+            "native_isolation": "inproc",
+            # every worker's first native run dies; repeats are guarded
+            # by the quarantine, not by the plan running dry
+            "fault_plan": {"seed": 11,
+                           "sites": {"native.crash": {"p": 1.0}}},
+        })
+    try:
+        with h.client() as client:
+            client.put_grammar(world["grammar_bytes"], tags=["prod"])
+        base_restarts = h.pool.restarts_total
+        with h.client(timeout=15.0,
+                      retry=RetryPolicy(15, base=0.2, cap=1.0),
+                      deadline=90.0) as client:
+            with pytest.raises(ServiceError) as exc:
+                client.call("run_compressed",
+                            {"module": world["rcx"], "args": [3, 14],
+                             "engine": "native"})
+        # the retry storm ended on the non-retryable verdict
+        assert exc.value.code == "poison_input"
+        # quarantined within <= 2 respawns (one crash per worker at
+        # most: after that the verdict fails everything fast)
+        h.wait_restarted(h.pool.restarts_total, timeout=30.0)
+        respawns = h.pool.restarts_total - base_restarts
+        assert 1 <= respawns <= 2, respawns
+        # the verdict is durable and names a dead-worker conversion
+        verdicts = h.dispatcher.registry.poison_list()
+        assert len(verdicts) == 1
+        assert verdicts[0]["verdict"] == "crash"
+        # healthy traffic still answers exactly on the healed fleet
+        with h.client(timeout=15.0,
+                      retry=RetryPolicy(10, base=0.1, cap=0.5),
+                      deadline=60.0) as client:
+            assert client.run_compressed(
+                world["rcx"]) == world["expected_run"]
+    finally:
+        h.close()

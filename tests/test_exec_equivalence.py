@@ -417,3 +417,88 @@ int main() {
     reference = _observe(cmod, Interpreter2(cmod), input_data=payload)
     assert native == reference
     assert native["output"] == payload
+
+
+# -- execution budgets ---------------------------------------------------------
+#
+# The dispatch budget is part of the observable contract: the compiled
+# engine, the reference interpreter, and the native engine all count
+# *rule dispatches* and must trap at the identical dispatch with the
+# identical message.  interp1 runs decompressed bytecode — it has no
+# rule dispatches — so its budget counts instruction fetches instead;
+# it still raises the same exception class, just not at a comparable
+# point, which is why it sits outside the parity assertions below.
+
+from repro.interp.state import BudgetExceeded  # noqa: E402
+
+
+def _budget_total(cmod):
+    """Total rule dispatches of a clean run on the compiled engine."""
+    machine = Machine(cmod, CompiledEngine(cmod))
+    machine.run()
+    return machine.dispatches
+
+
+def test_budget_trap_parity_compressed_engines(equiv_grammar):
+    cmod = compress_module(equiv_grammar, compile_source(
+        generate_program(4, seed=EQUIV_SEEDS[1])))
+    total = _budget_total(cmod)
+    assert total > 1
+    budget = total - 1
+    messages = []
+    for executor in (CompiledEngine(cmod), Interpreter2(cmod)):
+        machine = Machine(cmod, executor, budget=budget)
+        with pytest.raises(BudgetExceeded) as trap:
+            machine.run()
+        messages.append(str(trap.value))
+        # the trap fires on the first dispatch past the budget, exactly
+        assert machine.dispatches == budget + 1
+    assert len(set(messages)) == 1, messages
+    assert messages[0] == BudgetExceeded.message(budget)
+
+
+def test_budget_exact_boundary_is_not_a_trap(equiv_grammar):
+    """A run whose dispatch count equals the budget completes: the
+    budget bounds work, it does not shave the last dispatch."""
+    cmod = compress_module(equiv_grammar, compile_source(
+        generate_program(4, seed=EQUIV_SEEDS[2])))
+    total = _budget_total(cmod)
+    unlimited = _observe(cmod, CompiledEngine(cmod))
+    machine = Machine(cmod, CompiledEngine(cmod), budget=total)
+    code = machine.run()
+    assert code == unlimited["code"]
+    assert bytes(machine.output) == unlimited["output"]
+
+
+def test_budget_zero_means_unlimited(equiv_grammar):
+    cmod = compress_module(equiv_grammar, compile_source(GOOD_AFTER))
+    assert Machine(cmod, CompiledEngine(cmod), budget=0).run() == 42
+
+
+def test_budget_on_decompressed_bytecode(equiv_grammar):
+    """interp1 honours the budget too (counting instruction fetches):
+    a tiny budget traps, a generous one does not."""
+    module = compile_source(GOOD_AFTER)
+    with pytest.raises(BudgetExceeded):
+        Machine(module, Interpreter1(module), budget=1).run()
+    assert Machine(module, Interpreter1(module),
+                   budget=10_000_000).run() == 42
+
+
+@needs_cc
+def test_native_budget_trap_parity(equiv_grammar, native_cache):
+    """The C engine's compiled-in budget check trips at the identical
+    dispatch with the identical message as the Python engines."""
+    cmod = compress_module(equiv_grammar, compile_source(
+        generate_program(4, seed=EQUIV_SEEDS[3])))
+    total = _budget_total(cmod)
+    budget = total - 1
+    machine = Machine(cmod, CompiledEngine(cmod), budget=budget)
+    with pytest.raises(BudgetExceeded) as py_trap:
+        machine.run()
+    engine = NativeEngine(cmod, cache=native_cache)
+    with pytest.raises(BudgetExceeded) as c_trap:
+        engine.run(budget=budget)
+    assert str(c_trap.value) == str(py_trap.value)
+    # exact boundary completes natively, byte-identical to unlimited
+    assert engine.run(budget=total) == engine.run()

@@ -310,3 +310,45 @@ def test_merge_stats_sums_counters_and_recomputes_means():
     # one dirty worker dirties the fleet
     assert merged["registry"]["startup_scan"]["clean"] is False
     assert merge_stats([]) == {}
+
+
+def test_merge_stats_breaker_state_is_worst_wins():
+    """Regression: a zero-request worker polled *first* reports every
+    breaker ``closed``; merging by first-worker-wins used to let it mask
+    a tripped breaker elsewhere in the fleet."""
+    idle = {"engine": {"breakers": {"abc123": "closed"},
+                       "fallback": 0}}
+    tripped = {"engine": {"breakers": {"abc123": "open"},
+                          "fallback": 4}}
+    merged = merge_stats([idle, tripped])
+    assert merged["engine"]["breakers"]["abc123"] == "open"
+    # and order-independent: the severity merge is symmetric
+    flipped = merge_stats([tripped, idle])
+    assert flipped["engine"]["breakers"]["abc123"] == "open"
+    # half_open outranks closed but not open
+    probing = {"engine": {"breakers": {"abc123": "half_open"}}}
+    assert merge_stats([idle, probing])[
+        "engine"]["breakers"]["abc123"] == "half_open"
+    assert merge_stats([probing, tripped])[
+        "engine"]["breakers"]["abc123"] == "open"
+
+
+def test_merge_stats_single_worker_is_identity():
+    """A one-worker fleet's merged stats equal that worker's snapshot
+    (means recomputed to the same values)."""
+    snap = {
+        "uptime_seconds": 5.0,
+        "engine": {"breakers": {"abc123": "half_open"},
+                   "isolation": "sandbox", "exec_budget": 100},
+        "histograms": {"batch_size": {
+            "buckets": {"le_1": 2, "le_inf": 3},
+            "sum": 4.0, "count": 3, "mean": 4.0 / 3}},
+    }
+    assert merge_stats([snap]) == snap
+
+
+def test_merge_stats_config_values_are_not_summed():
+    """Per-worker config mirrors (``exec_budget``) merge by max — a
+    3-worker fleet with budget 100 reports 100, not 300."""
+    workers = [{"engine": {"exec_budget": 100}} for _ in range(3)]
+    assert merge_stats(workers)["engine"]["exec_budget"] == 100

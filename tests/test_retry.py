@@ -292,3 +292,103 @@ def test_async_deadline_cuts_retries_short():
         assert exc.value.code == "overloaded"
         assert time.monotonic() - start < 2.0
         assert len(server.requests) < 50
+
+
+# -- worker_lost reconnect storms and poison verdicts -------------------------
+#
+# A fleet losing workers answers ``worker_lost`` repeatedly while the
+# pool respawns; clients must ride the storm (each attempt re-sent, the
+# deadline envelope shrinking monotonically) without retrying forever.
+# A ``poison_input`` verdict is the opposite contract: the server has
+# durably quarantined the request, so retrying it is pure waste — the
+# client must surface it on the first answer, storm or no storm.
+
+def test_worker_lost_storm_is_retried_to_success():
+    with _ScriptServer(["worker_lost"] * 4 + ["ok"]) as server:
+        with ServiceClient("127.0.0.1", server.port,
+                           retry=RetryPolicy(6, **FAST)) as client:
+            assert client.call("ping") == {"pong": True}
+        assert len(server.requests) == 5
+
+
+def test_worker_lost_storm_deadline_clamps_monotonically():
+    """Every re-sent attempt carries a strictly smaller budget: the
+    respawn storm cannot reset or stretch the caller's deadline."""
+    with _ScriptServer(["worker_lost"] * 3 + ["ok"]) as server:
+        with ServiceClient("127.0.0.1", server.port,
+                           retry=RetryPolicy(6, base=0.01, cap=0.02)
+                           ) as client:
+            client.call("ping", deadline=30.0)
+        budgets = [req["deadline"] for req in server.requests]
+        assert len(budgets) == 4
+        assert all(0 < b <= 30.0 for b in budgets)
+        assert budgets == sorted(budgets, reverse=True)
+        assert len(set(budgets)) == len(budgets)  # strictly shrinking
+
+
+def test_worker_lost_storm_exhausts_within_deadline():
+    with _ScriptServer(["worker_lost"] * 50) as server:
+        policy = RetryPolicy(50, base=0.1, multiplier=2.0, cap=0.5)
+        with ServiceClient("127.0.0.1", server.port,
+                           retry=policy) as client:
+            start = time.monotonic()
+            with pytest.raises(ServiceError) as exc:
+                client.call("ping", deadline=0.3)
+            elapsed = time.monotonic() - start
+        assert exc.value.code == "worker_lost"
+        assert elapsed < 2.0
+        assert 1 <= len(server.requests) < 50
+
+
+def test_poison_input_is_not_retryable_by_contract():
+    assert protocol.E_POISON_INPUT not in protocol.RETRYABLE
+    assert not ServiceError(protocol.E_POISON_INPUT, "").retryable
+    assert not RetryPolicy().retries(protocol.E_POISON_INPUT)
+
+
+def test_poison_input_exhausts_immediately_sync():
+    with _ScriptServer(["poison_input", "ok"]) as server:
+        with ServiceClient("127.0.0.1", server.port,
+                           retry=RetryPolicy(8, **FAST)) as client:
+            with pytest.raises(ServiceError) as exc:
+                client.call("ping")
+        assert exc.value.code == "poison_input"
+        assert len(server.requests) == 1  # no second attempt
+
+
+def test_poison_after_worker_lost_storm_stops_retrying():
+    """The storm is absorbed, but the first poison verdict ends the
+    call: retryable and non-retryable answers compose correctly."""
+    with _ScriptServer(["worker_lost", "worker_lost",
+                        "poison_input", "ok"]) as server:
+        with ServiceClient("127.0.0.1", server.port,
+                           retry=RetryPolicy(8, **FAST)) as client:
+            with pytest.raises(ServiceError) as exc:
+                client.call("ping")
+        assert exc.value.code == "poison_input"
+        assert len(server.requests) == 3
+        assert server.script == ["ok"]
+
+
+def test_async_worker_lost_storm_retried_to_success():
+    async def scenario(port):
+        async with AsyncServiceClient(
+                "127.0.0.1", port, retry=RetryPolicy(6, **FAST)) as c:
+            return await c.call("ping")
+
+    with _ScriptServer(["worker_lost"] * 3 + ["ok"]) as server:
+        assert _async(scenario(server.port)) == {"pong": True}
+        assert len(server.requests) == 4
+
+
+def test_async_poison_input_exhausts_immediately():
+    async def scenario(port):
+        async with AsyncServiceClient(
+                "127.0.0.1", port, retry=RetryPolicy(8, **FAST)) as c:
+            await c.call("ping")
+
+    with _ScriptServer(["poison_input", "ok"]) as server:
+        with pytest.raises(ServiceError) as exc:
+            _async(scenario(server.port))
+        assert exc.value.code == "poison_input"
+        assert len(server.requests) == 1
