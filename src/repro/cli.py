@@ -104,16 +104,26 @@ def _cmd_train(args) -> int:
         parser_workers=args.workers,
         index_mode="naive" if args.naive_index else "incremental",
         collect_stats=args.stats,
+        strategy=args.trainer,
     )
     Path(args.output).write_bytes(save_grammar(grammar))
+    seeded = (f"{report.seed_rules} seeded rules + "
+              if report.seed_rules else "")
     print(f"{args.output}: {grammar.total_rules()} rules "
-          f"({report.iterations} inlines; training derivations "
+          f"[{report.strategy}] ({seeded}{report.iterations} inlines; "
+          f"training derivations "
           f"{report.initial_size} -> {report.final_size}, "
           f"{report.size_ratio:.0%}); "
           f"{grammar_bytes(grammar, compact=True)} encoded bytes")
     if args.stats:
         for line in report.summary_lines():
             print(f"  {line}")
+    if args.registry:
+        from .registry import GrammarRegistry
+        registry = GrammarRegistry(args.registry)
+        digest = registry.put(grammar, report=report, corpus=corpus,
+                              tags=args.tag)
+        print(digest)
     return 0
 
 
@@ -251,6 +261,7 @@ def _cmd_grammar(args) -> int:
     registry = _open_registry(args)
     try:
         program = registry.program(args.ref)
+        meta = registry.meta(args.ref)
     except RegistryError as exc:
         raise CliError(str(exc)) from None
     stats = program.stats()
@@ -258,6 +269,16 @@ def _cmd_grammar(args) -> int:
           f"{stats['rules']} rules, {stats['nonterminals']} nonterminals "
           f"({stats['original_rules']} original), "
           f"{stats['terminals']} terminals")
+    training = meta.get("training")
+    if training:
+        params = training.get("trainer_params") or {}
+        knobs = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+        print(f"  trainer {training.get('trainer', 'greedy')}"
+              + (f" ({knobs})" if knobs else "") +
+              f": {training.get('seed_rules', 0)} seeded + "
+              f"{training.get('iterations', 0)} inlined rules; "
+              f"seed {training.get('seed_seconds', 0.0):.3f}s / "
+              f"refine {training.get('refine_seconds', 0.0):.3f}s")
     print(f"  prediction-set density {stats['prediction_set_density']:.3f}"
           f"  reachable {stats['reachable_nonterminals']}"
           f"  productive {stats['productive_nonterminals']}")
@@ -488,12 +509,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("-j", "--workers", type=int, default=None,
                    help="parse the corpus on N parallel workers "
                         "(deterministic: same grammar for any N)")
+    p.add_argument("--trainer", choices=("greedy", "repair", "hybrid"),
+                   default="greedy",
+                   help="trainer strategy: the paper's greedy "
+                        "edge-contraction loop (default), MR-RePair "
+                        "maximal-repeat seeding only, or seeding "
+                        "followed by greedy refinement")
     p.add_argument("--stats", action="store_true",
-                   help="print parse/expand timings and edge-index "
-                        "behaviour")
+                   help="print per-phase (parse/seed/refine) timings "
+                        "and edge-index behaviour")
     p.add_argument("--naive-index", action="store_true",
                    help="use the full-recount edge index (the slow "
                         "oracle; same grammar, for verification)")
+    p.add_argument("--registry", default=None, metavar="DIR",
+                   help="also store the grammar (with trainer "
+                        "provenance) in this registry and print its "
+                        "hash")
+    p.add_argument("-t", "--tag", action="append", default=[],
+                   help="tag for the registered grammar (repeatable; "
+                        "needs --registry)")
     p.set_defaults(fn=_cmd_train)
 
     p = sub.add_parser("compress", help=".rbc + .rgr -> .rcx")

@@ -5,6 +5,7 @@ from .harness import (
     PAPER_INTERP_SIZES,
     PAPER_TABLE1,
     PAPER_TABLE2,
+    TrainerCompareRow,
     ablation_cap_rows,
     ablation_grammar_rows,
     baseline_rows,
@@ -16,6 +17,7 @@ from .harness import (
     table1_rows,
     table2_rows,
     trained,
+    trainer_compare_rows,
     training_speed_rows,
     training_stats,
 )
@@ -23,9 +25,11 @@ from .report import pct, render_table
 
 __all__ = [
     "INPUT_ORDER", "PAPER_INTERP_SIZES", "PAPER_TABLE1", "PAPER_TABLE2",
+    "TrainerCompareRow",
     "ablation_cap_rows", "ablation_grammar_rows", "baseline_rows",
     "compressed_code_bytes", "corpus", "gzip_rows",
     "interpreter_size_row", "overhead_rows", "table1_rows", "table2_rows",
-    "trained", "training_speed_rows", "training_stats",
+    "trained", "trainer_compare_rows", "training_speed_rows",
+    "training_stats",
     "pct", "render_table",
 ]

@@ -39,6 +39,7 @@ __all__ = [
     "gzip_rows", "baseline_rows", "overhead_rows",
     "ablation_cap_rows", "ablation_grammar_rows",
     "training_stats", "training_speed_rows",
+    "TrainerCompareRow", "trainer_compare_rows",
     "PAPER_TABLE1", "PAPER_TABLE2", "PAPER_INTERP_SIZES",
 ]
 
@@ -334,6 +335,54 @@ def training_speed_rows(sizes: Tuple[int, ...] = (18, 54, 120),
             heap_peak=inc_report.heap_peak,
             heap_hit_rate=inc_report.heap_hit_rate,
             identical=naive_sig == inc_sig,
+        ))
+    return rows
+
+
+# -- S4: trainer-strategy comparison (greedy vs repair vs hybrid) -------------
+
+@dataclass
+class TrainerCompareRow:
+    strategy: str
+    rules: int
+    seed_rules: int
+    grammar_bytes: int
+    train_seconds: float
+    seed_seconds: float
+    refine_seconds: float
+    ratios: Dict[str, float]  # input name -> compressed/original
+
+
+def trainer_compare_rows(train_on: Tuple[str, ...] = ("gcc",), *,
+                         scale: int = GCCLIKE_SCALE,
+                         strategies: Tuple[str, ...] = (
+                             "greedy", "repair", "hybrid"),
+                         ) -> List[TrainerCompareRow]:
+    """Train each strategy on the same corpus and compress every input.
+
+    Uncached on purpose: the wall-time columns gate the hybrid
+    strategy's <= 1.5x-of-greedy budget, and timings should be fresh.
+    """
+    from ..pipeline import train_grammar
+
+    modules = [corpus(scale)[name] for name in train_on]
+    rows = []
+    for strategy in strategies:
+        grammar, report = train_grammar(modules, strategy=strategy)
+        ratios = {}
+        for name in INPUT_ORDER:
+            module = corpus(scale)[name]
+            size = Compressor(grammar).compress_module(module).code_bytes
+            ratios[name] = size / module.code_bytes
+        rows.append(TrainerCompareRow(
+            strategy=strategy,
+            rules=grammar.total_rules(),
+            seed_rules=report.seed_rules,
+            grammar_bytes=grammar_bytes(grammar, compact=True),
+            train_seconds=report.wall_seconds,
+            seed_seconds=report.seed_seconds,
+            refine_seconds=report.refine_seconds,
+            ratios=ratios,
         ))
     return rows
 

@@ -209,6 +209,8 @@ class GrammarRegistry:
         meta: Dict = {}
         if report is not None:
             meta["training"] = {
+                "trainer": report.strategy,
+                "trainer_params": dict(report.strategy_params),
                 "iterations": report.iterations,
                 "rules_added": report.rules_added,
                 "rules_removed": report.rules_removed,
@@ -216,6 +218,11 @@ class GrammarRegistry:
                 "final_size": report.final_size,
                 "size_ratio": report.size_ratio,
                 "wall_seconds": report.wall_seconds,
+                "seed_rules": report.seed_rules,
+                "seed_rounds": report.seed_rounds,
+                "seed_contractions": report.seed_contractions,
+                "seed_seconds": report.seed_seconds,
+                "refine_seconds": report.refine_seconds,
             }
         if corpus is not None:
             modules = list(corpus)

@@ -1,4 +1,6 @@
-"""Grammar training: edge counting, inlining, greedy expansion."""
+"""Grammar training: edge counting, inlining, pluggable trainer
+strategies (greedy edge contraction, MR-RePair maximal-repeat seeding,
+and the hybrid of the two)."""
 
 from .edges import (
     EdgeIndex,
@@ -9,10 +11,22 @@ from .edges import (
 )
 from .inline import contract_occurrence, inline_rule
 from .expander import TrainingReport, TrainingStats, expand_grammar
+from .strategy import (
+    STRATEGIES,
+    SeedReport,
+    TrainerStrategy,
+    register_strategy,
+    resolve_strategy,
+)
+from .greedy import GreedyStrategy
+from .repair import HybridStrategy, RepairStrategy, repair_seed
 
 __all__ = [
     "EdgeIndex", "EdgeKey", "NaiveEdgeIndex",
     "count_edges", "count_edges_naive",
     "contract_occurrence", "inline_rule",
     "TrainingReport", "TrainingStats", "expand_grammar",
+    "STRATEGIES", "SeedReport", "TrainerStrategy",
+    "register_strategy", "resolve_strategy",
+    "GreedyStrategy", "RepairStrategy", "HybridStrategy", "repair_seed",
 ]

@@ -38,7 +38,13 @@ __all__ = ["TrainingReport", "TrainingStats", "expand_grammar"]
 
 @dataclass
 class TrainingReport:
-    """What one training run did."""
+    """What one training run did.
+
+    ``rules_added``/``contractions`` cover *both* phases of a strategy
+    run (maximal-repeat seeding plus greedy refinement); the ``seed_*``
+    fields break the seed phase's share out, and ``iterations`` counts
+    refine-phase inlining steps only.
+    """
 
     iterations: int = 0
     rules_added: int = 0
@@ -50,6 +56,18 @@ class TrainingReport:
     wall_seconds: float = 0.0
     #: per-iteration (edge count, new rule id) — compact trace for analysis
     history: List[Tuple[int, int]] = field(default_factory=list)
+    #: which :class:`~repro.training.strategy.TrainerStrategy` trained
+    #: this grammar ("greedy" when ``expand_grammar`` was driven directly)
+    strategy: str = "greedy"
+    #: the strategy's non-default knobs, JSON-serializable (provenance)
+    strategy_params: Dict[str, object] = field(default_factory=dict)
+    #: rules added / rounds run / forest nodes removed by the seed phase
+    seed_rules: int = 0
+    seed_rounds: int = 0
+    seed_contractions: int = 0
+    #: wall seconds per phase (seed is 0.0 for seedless strategies)
+    seed_seconds: float = 0.0
+    refine_seconds: float = 0.0
 
     @property
     def size_ratio(self) -> float:
@@ -88,6 +106,8 @@ class TrainingStats(TrainingReport):
     parser_workers: int = 1
     #: total expander wall time
     expand_seconds: float = 0.0
+    #: wall seconds per maximal-repeat seed round (seeding strategies)
+    seed_round_seconds: List[float] = field(default_factory=list)
 
     @property
     def heap_hit_rate(self) -> float:
@@ -108,17 +128,31 @@ class TrainingStats(TrainingReport):
         return 1000.0 * sum(self.iter_seconds) / len(self.iter_seconds)
 
     def summary_lines(self) -> List[str]:
-        """Human-readable digest (the CLI's ``--stats`` output)."""
+        """Human-readable digest (the CLI's ``--stats`` output): one line
+        per phase — parse, seed (when the strategy has one), refine —
+        each with its own wall time, then the index/heap behaviour."""
         lines = [
-            f"index: {self.index_mode}; {self.iterations} iterations in "
-            f"{self.expand_seconds:.3f}s (mean {self.mean_iter_ms:.2f} ms), "
-            f"parse {self.parse_seconds:.3f}s "
+            f"trainer: {self.strategy}; parse {self.parse_seconds:.3f}s "
             f"({self.parser_workers} worker(s))",
+        ]
+        if self.seed_rounds:
+            per_round = ""
+            if self.seed_round_seconds:
+                per_round = " [" + " ".join(
+                    f"{s:.3f}s" for s in self.seed_round_seconds) + "]"
+            lines.append(
+                f"seed: {self.seed_seconds:.3f}s, {self.seed_rounds} "
+                f"round(s){per_round}; {self.seed_rules} rules, "
+                f"{self.seed_contractions} contractions")
+        lines.append(
+            f"refine: {self.refine_seconds:.3f}s, {self.iterations} "
+            f"inlines (mean {self.mean_iter_ms:.2f} ms), "
+            f"index {self.index_mode}")
+        lines.append(
             f"heap: peak {self.heap_peak} entries, "
             f"{self.heap_pushes} pushes, hit rate "
             f"{self.heap_hit_rate:.1%} "
-            f"({self.heap_stale_pops}/{self.heap_peeks} stale)",
-        ]
+            f"({self.heap_stale_pops}/{self.heap_peeks} stale)")
         if self.recounts:
             lines.append(f"naive recounts: {self.recounts}")
         return lines
@@ -231,8 +265,9 @@ def expand_grammar(grammar: Grammar, forest: Forest, *,
             index.verify_against(forest)
 
     report.final_size = size
+    report.refine_seconds = time.perf_counter() - expand_start
     if collect_stats:
-        report.expand_seconds = time.perf_counter() - expand_start
+        report.expand_seconds = report.refine_seconds
         report.heap_pushes = index.stats.pushes
         report.heap_peeks = index.stats.peeks
         report.heap_stale_pops = index.stats.stale_pops

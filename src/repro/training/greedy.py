@@ -1,0 +1,42 @@
+"""The greedy profiled edge-contraction trainer as a strategy.
+
+This is the paper's original training loop (Section 4.1) ported onto the
+:class:`~repro.training.strategy.TrainerStrategy` seam: no seed phase,
+refine = :func:`~repro.training.expander.expand_grammar` with untouched
+arguments.  The port is *bit-identical* — the frozen pre-refactor loop
+(:mod:`repro.training.oracle`) and a 50-seed golden sweep in
+``tests/test_trainer_strategies.py`` pin that claim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..grammar.cfg import Grammar
+from ..parsing.forest import Forest
+from .expander import TrainingReport
+from .strategy import TrainerStrategy, _greedy_refine, register_strategy
+
+__all__ = ["GreedyStrategy"]
+
+
+@register_strategy
+class GreedyStrategy(TrainerStrategy):
+    """Pure greedy: one most-frequent edge inlined per iteration."""
+
+    id = "greedy"
+
+    def refine(self, grammar: Grammar, forest: Forest, *,
+               min_count: int = 2,
+               remove_subsumed: bool = True,
+               max_iterations: Optional[int] = None,
+               index_mode: str = "incremental",
+               collect_stats: bool = False) -> TrainingReport:
+        return _greedy_refine(
+            grammar, forest,
+            min_count=min_count,
+            remove_subsumed=remove_subsumed,
+            max_iterations=max_iterations,
+            index_mode=index_mode,
+            collect_stats=collect_stats,
+        )

@@ -1,0 +1,121 @@
+"""Frozen pre-refactor greedy expander (the golden oracle).
+
+When training moved onto the pluggable :class:`TrainerStrategy` pipeline,
+the claim was *bit-identical behaviour* for the greedy strategy: the same
+grammar — same rules, same order, same fragments — and the same report
+numbers as the monolithic ``expand_grammar`` loop produced before the
+seam existed.  This module freezes that loop verbatim (modulo the report
+class gaining defaulted provenance fields) so the claim stays checkable
+forever:
+
+* ``tests/test_trainer_strategies.py`` sweeps 50 fuzz seeds asserting
+  rule-for-rule equality of ``train_grammar(strategy="greedy")`` against
+  :func:`oracle_expand_grammar` on a freshly parsed forest.
+
+Nothing here is reachable from production code; do not "optimize" it —
+its value is that it never changes.  (Same pattern as
+:mod:`repro.compress.oracle`, the GrammarProgram-refactor oracle.)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from ..grammar.cfg import Grammar
+from ..parsing.forest import Forest
+from .edges import EdgeIndex, EdgeKey, NaiveEdgeIndex
+from .expander import TrainingReport, TrainingStats
+from .inline import contract_occurrence, inline_rule
+
+__all__ = ["oracle_expand_grammar"]
+
+
+def oracle_expand_grammar(grammar: Grammar, forest: Forest, *,
+                          min_count: int = 2,
+                          max_iterations: Optional[int] = None,
+                          remove_subsumed: bool = True,
+                          keep_history: bool = False,
+                          verify_every: int = 0,
+                          edge_filter: Optional[
+                              Callable[[EdgeKey], bool]] = None,
+                          index_mode: str = "incremental",
+                          collect_stats: bool = False,
+                          ) -> TrainingReport:
+    """The greedy expander exactly as it stood before the strategy seam."""
+    if index_mode == "incremental":
+        index = EdgeIndex(grammar, forest)
+    elif index_mode == "naive":
+        index = NaiveEdgeIndex(grammar, forest)
+    else:
+        raise ValueError(f"unknown index_mode {index_mode!r}")
+
+    use_count: Dict[int, int] = {}
+    size = 0
+    for node in forest.nodes():
+        use_count[node.rule_id] = use_count.get(node.rule_id, 0) + 1
+        size += 1
+
+    if collect_stats:
+        report = TrainingStats(initial_size=size, index_mode=index_mode)
+    else:
+        report = TrainingReport(initial_size=size)
+    rules = grammar.rules
+
+    def selectable(key: EdgeKey) -> bool:
+        if edge_filter is not None and not edge_filter(key):
+            return False
+        return grammar.can_grow(rules[key[0]].lhs)
+
+    expand_start = time.perf_counter()
+    while max_iterations is None or report.iterations < max_iterations:
+        iter_start = time.perf_counter() if collect_stats else 0.0
+        found = index.best(selectable, min_count=min_count)
+        if found is None:
+            break
+        key, count = found
+        parent_id, slot, child_id = key
+        new_rule = inline_rule(grammar, rules[parent_id], slot,
+                               rules[child_id])
+        report.rules_added += 1
+        report.iterations += 1
+        if keep_history:
+            report.history.append((count, new_rule.id))
+
+        occ = index.occurrences(key)
+        while occ:
+            node = next(iter(occ))
+            contract_occurrence(node, slot, new_rule.id, index)
+            use_count[parent_id] -= 1
+            use_count[child_id] -= 1
+            use_count[new_rule.id] = use_count.get(new_rule.id, 0) + 1
+            size -= 1
+            report.contractions += 1
+            occ = index.occurrences(key)
+
+        if remove_subsumed:
+            for rid in (parent_id, child_id):
+                if use_count.get(rid) == 0 and rules[rid].origin == "inlined":
+                    lhs = rules[rid].lhs
+                    was_full = not grammar.can_grow(lhs)
+                    grammar.remove_rule(rid)
+                    del use_count[rid]
+                    report.rules_removed += 1
+                    if was_full:
+                        index.repush_lhs(lhs)
+
+        if collect_stats:
+            report.iter_seconds.append(time.perf_counter() - iter_start)
+            report.heap_sizes.append(index.heap_size())
+
+        if verify_every and report.iterations % verify_every == 0:
+            index.verify_against(forest)
+
+    report.final_size = size
+    if collect_stats:
+        report.expand_seconds = time.perf_counter() - expand_start
+        report.heap_pushes = index.stats.pushes
+        report.heap_peeks = index.stats.peeks
+        report.heap_stale_pops = index.stats.stale_pops
+        report.recounts = index.stats.recounts
+    return report

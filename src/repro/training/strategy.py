@@ -1,0 +1,189 @@
+"""The pluggable trainer-strategy seam (ROADMAP: RePair-family seeding).
+
+A *trainer strategy* decides how the forest of parse trees becomes an
+expanded grammar.  Every strategy runs the same two-phase shape:
+
+1. **seed** — optionally add rules wholesale (e.g. MR-RePair maximal
+   repeats) and contract their occurrences in the forest;
+2. **refine** — optionally run the greedy profiled edge-contraction loop
+   (:func:`~repro.training.expander.expand_grammar`) over whatever the
+   seed phase left.
+
+``train`` drives both phases, times each, and folds the seed phase's
+work into the returned :class:`TrainingReport` so every consumer —
+pipeline, registry provenance, CLI ``--stats``, experiment harness —
+sees one uniform record with the strategy's identity attached.
+
+Strategies register themselves by name (``@register_strategy``);
+:func:`resolve_strategy` turns a name, class, or instance into a ready
+instance, so ``train_grammar(strategy="hybrid")`` and
+``repro train --trainer hybrid`` share one lookup path.  The concrete
+strategies live one layer up — :mod:`repro.training.greedy` and
+:mod:`repro.training.repair` — and this module never imports them at
+module level (the adaptive-retraining ROADMAP item will plug new ones
+into the same registry).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type, Union
+
+from ..grammar.cfg import Grammar
+from ..parsing.forest import Forest
+from .expander import TrainingReport, TrainingStats, expand_grammar
+
+__all__ = [
+    "SeedReport",
+    "TrainerStrategy",
+    "STRATEGIES",
+    "register_strategy",
+    "resolve_strategy",
+]
+
+
+@dataclass
+class SeedReport:
+    """What one seed phase did (folded into the TrainingReport)."""
+
+    rules_added: int = 0
+    rules_reused: int = 0
+    rounds: int = 0
+    contractions: int = 0
+    round_seconds: List[float] = field(default_factory=list)
+
+
+class TrainerStrategy:
+    """Base strategy: no seeding, no refinement.
+
+    Subclasses override :meth:`seed` and/or :meth:`refine`; constructor
+    keyword arguments are the strategy's own knobs and are recorded
+    verbatim as provenance (:attr:`TrainingReport.strategy_params`), so
+    they must be JSON-serializable.  Pipeline-level knobs (``min_count``,
+    ``index_mode``, ...) arrive as :meth:`train` arguments instead —
+    they mean the same thing for every strategy.
+    """
+
+    id: str = "none"
+
+    def params(self) -> Dict[str, object]:
+        """The strategy's own knobs, for provenance (default: none)."""
+        return {}
+
+    def seed(self, grammar: Grammar, forest: Forest, *,
+             min_count: int = 2) -> Optional[SeedReport]:
+        """Phase 1: bulk rule creation.  Mutates grammar and forest in
+        place; returns ``None`` when the strategy does not seed."""
+        return None
+
+    def refine(self, grammar: Grammar, forest: Forest, *,
+               min_count: int = 2,
+               remove_subsumed: bool = True,
+               max_iterations: Optional[int] = None,
+               index_mode: str = "incremental",
+               collect_stats: bool = False) -> TrainingReport:
+        """Phase 2: greedy expansion.  The default is a no-op that just
+        measures the (post-seed) forest so the report sizes are honest."""
+        size = sum(1 for _ in forest.nodes())
+        if collect_stats:
+            report = TrainingStats(initial_size=size, index_mode="none")
+        else:
+            report = TrainingReport(initial_size=size)
+        report.final_size = size
+        return report
+
+    def train(self, grammar: Grammar, forest: Forest, *,
+              min_count: int = 2,
+              remove_subsumed: bool = True,
+              max_iterations: Optional[int] = None,
+              index_mode: str = "incremental",
+              collect_stats: bool = False) -> TrainingReport:
+        """Run seed then refine; return one merged report.
+
+        ``initial_size`` is always the *pre-seed* derivation length and
+        ``rules_added``/``contractions`` include both phases, so
+        ``size_ratio`` means the same thing for every strategy.
+        """
+        pre_size = sum(1 for _ in forest.nodes())
+        seed_start = time.perf_counter()
+        seeded = self.seed(grammar, forest, min_count=min_count)
+        seed_seconds = time.perf_counter() - seed_start
+        report = self.refine(
+            grammar, forest,
+            min_count=min_count,
+            remove_subsumed=remove_subsumed,
+            max_iterations=max_iterations,
+            index_mode=index_mode,
+            collect_stats=collect_stats,
+        )
+        report.strategy = self.id
+        report.strategy_params = self.params()
+        if seeded is not None:
+            report.seed_rules = seeded.rules_added
+            report.seed_rounds = seeded.rounds
+            report.seed_contractions = seeded.contractions
+            report.seed_seconds = seed_seconds
+            report.rules_added += seeded.rules_added
+            report.contractions += seeded.contractions
+            report.initial_size = pre_size
+            if isinstance(report, TrainingStats):
+                report.seed_round_seconds = list(seeded.round_seconds)
+        return report
+
+
+def _greedy_refine(grammar: Grammar, forest: Forest, *,
+                   min_count: int = 2,
+                   remove_subsumed: bool = True,
+                   max_iterations: Optional[int] = None,
+                   index_mode: str = "incremental",
+                   collect_stats: bool = False) -> TrainingReport:
+    """The shared refine phase: the paper's greedy profiled expander,
+    with exactly the argument surface :meth:`TrainerStrategy.refine`
+    promises (used by the greedy and hybrid strategies)."""
+    return expand_grammar(
+        grammar, forest,
+        min_count=min_count,
+        remove_subsumed=remove_subsumed,
+        max_iterations=max_iterations,
+        index_mode=index_mode,
+        collect_stats=collect_stats,
+    )
+
+
+#: name -> strategy class; populated by :func:`register_strategy`
+STRATEGIES: Dict[str, Type[TrainerStrategy]] = {}
+
+
+def register_strategy(cls: Type[TrainerStrategy]) -> Type[TrainerStrategy]:
+    """Class decorator: make ``cls`` resolvable by its ``id``."""
+    if not cls.id or cls.id in STRATEGIES:
+        raise ValueError(f"bad or duplicate strategy id {cls.id!r}")
+    STRATEGIES[cls.id] = cls
+    return cls
+
+
+def resolve_strategy(spec: Union[str, TrainerStrategy,
+                                 Type[TrainerStrategy]],
+                     **params) -> TrainerStrategy:
+    """Name | class | instance -> ready instance.
+
+    Extra keyword arguments are the strategy's constructor knobs; passing
+    them with an already-constructed instance is an error (ambiguous).
+    """
+    # Importing the concrete strategies registers them; lazy so this
+    # module stays importable below them in the layer order.
+    from . import greedy, repair  # noqa: F401
+    if isinstance(spec, TrainerStrategy):
+        if params:
+            raise ValueError(
+                "cannot apply params to an already-built strategy")
+        return spec
+    if isinstance(spec, type) and issubclass(spec, TrainerStrategy):
+        return spec(**params)
+    cls = STRATEGIES.get(spec)
+    if cls is None:
+        known = ", ".join(sorted(STRATEGIES))
+        raise ValueError(f"unknown trainer strategy {spec!r} "
+                         f"(known: {known})")
+    return cls(**params)

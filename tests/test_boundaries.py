@@ -17,6 +17,7 @@ from repro.parsing.derivation import derivation_of_tree, encode_tree
 from repro.parsing.forest import Forest, Node
 from repro.parsing.stackparser import build_forest
 from repro.pipeline import train_grammar
+from repro.training import resolve_strategy
 from repro.training.edges import EdgeIndex, NaiveEdgeIndex
 from repro.training.expander import expand_grammar
 
@@ -147,6 +148,68 @@ def test_training_deterministic_across_worker_counts(workers):
            [(r.lhs, r.rhs, r.origin) for r in g_par]
     assert (r_serial.iterations, r_serial.final_size) == \
            (r_par.iterations, r_par.final_size)
+
+
+# -- seeding strategies at the boundaries (ISSUE 10) --------------------------
+
+@pytest.mark.parametrize("strategy", ["repair", "hybrid"])
+@pytest.mark.parametrize("cap", [12, 16])
+def test_seeding_never_exceeds_the_cap(strategy, cap):
+    """MR-RePair seeding plus greedy refinement must respect the same
+    per-nonterminal budget as the pure greedy loop."""
+    g = initial_grammar(max_rules_per_nt=cap)
+    initial_counts = {nt: g.num_rules(nt) for nt in g.nonterminals}
+    forest = build_forest(g, [_module(size=10, seed=7)])
+    resolve_strategy(strategy).train(g, forest)
+    g.check()
+    for nt in g.nonterminals:
+        assert g.num_rules(nt) <= max(cap, initial_counts[nt]), \
+            f"{strategy}: cap {cap} exceeded for nt {nt}"
+    for rule in g:
+        assert g.rule_index(rule.id) < max(256, cap)
+
+
+def test_seed_budget_frac_bounds_seeded_rules_per_nt():
+    """budget_frac reserves headroom: a seed-only run may claim at most
+    floor(frac * remaining-capacity) new rules per nonterminal."""
+    frac, cap = 0.5, 16
+    g = initial_grammar(max_rules_per_nt=cap)
+    initial_counts = {nt: g.num_rules(nt) for nt in g.nonterminals}
+    forest = build_forest(g, [_module(size=10, seed=7)])
+    resolve_strategy("repair", budget_frac=frac).train(g, forest)
+    for nt in g.nonterminals:
+        grown = g.num_rules(nt) - initial_counts[nt]
+        budget = int(max(0, cap - initial_counts[nt]) * frac)
+        assert grown <= budget, \
+            f"nt {nt}: seeded {grown} rules over budget {budget}"
+
+
+@pytest.mark.parametrize("strategy", ["repair", "hybrid"])
+def test_seeding_deterministic_across_runs(strategy):
+    runs = []
+    for _ in range(2):
+        g, report = train_grammar([_module()], strategy=strategy)
+        runs.append(([(r.lhs, r.rhs, r.origin, r.fragment) for r in g],
+                     report.seed_rules, report.contractions))
+    assert runs[0] == runs[1]
+
+
+@pytest.mark.parametrize("strategy", ["repair", "hybrid"])
+@pytest.mark.parametrize("workers", [2, 3, 4])
+def test_seeding_deterministic_across_worker_counts(strategy, workers):
+    """Shape-key ids are assigned in forest preorder, which the parallel
+    parser reproduces exactly — so seeding (and everything downstream)
+    is invariant under parser_workers."""
+    corpus = [_module(size=6, seed=13), _module(size=4, seed=17)]
+    g_serial, r_serial = train_grammar(corpus, strategy=strategy)
+    g_par, r_par = train_grammar(corpus, strategy=strategy,
+                                 parser_workers=workers)
+    assert [(r.lhs, r.rhs, r.origin, r.fragment) for r in g_serial] == \
+           [(r.lhs, r.rhs, r.origin, r.fragment) for r in g_par]
+    assert (r_serial.seed_rules, r_serial.seed_rounds,
+            r_serial.contractions, r_serial.final_size) == \
+           (r_par.seed_rules, r_par.seed_rounds,
+            r_par.contractions, r_par.final_size)
 
 
 def test_parallel_forest_merges_in_corpus_order():

@@ -64,6 +64,32 @@ def test_metadata_provenance(registry, trained):
     assert meta["tags"] == ["prod"]
 
 
+def test_metadata_records_trainer_identity(registry, trained):
+    """The trainer's id and knobs travel with the grammar (ISSUE 10):
+    a stored artifact can always answer *which* strategy produced it."""
+    app, corpus, grammar, report = trained
+    digest = registry.put(grammar, report=report, corpus=[corpus, app])
+    training = registry.meta(digest)["training"]
+    assert training["trainer"] == "greedy"
+    assert training["trainer_params"] == {}
+    assert training["seed_rules"] == 0
+    assert training["refine_seconds"] >= 0.0
+
+
+def test_metadata_records_seeding_trainer(registry):
+    corpus = [compile_source(CORPUS)]
+    grammar, report = repro.train_grammar(
+        corpus, strategy="hybrid", strategy_params={"max_rounds": 4})
+    digest = registry.put(grammar, report=report, corpus=corpus)
+    training = registry.meta(digest)["training"]
+    assert training["trainer"] == "hybrid"
+    assert training["trainer_params"]["max_rounds"] == 4
+    assert training["trainer_params"]["budget_frac"] == 0.1
+    assert training["seed_rules"] == report.seed_rules > 0
+    assert training["seed_rounds"] == report.seed_rounds
+    assert training["seed_seconds"] >= 0.0
+
+
 def test_resolve_tag_prefix_and_errors(registry, trained):
     _, _, grammar, _ = trained
     digest = registry.put(grammar, tags=["prod", "v1"])

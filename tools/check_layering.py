@@ -29,6 +29,11 @@ Rules enforced, by AST walk (no imports executed):
 2. Nothing, at any level, imports ``cli`` or ``__main__`` — the command
    line is the top of the stack, not a library.  (``__main__`` itself is
    the entry point and may import ``cli``.)
+3. Within packages that declare SUB_RANKS (currently ``training``:
+   edges < inline < expander < oracle/strategy < greedy/repair), a
+   module-level import of a ranked sibling must also point strictly
+   down — the trainer-strategy seam can't grow upward imports into the
+   primitives it is built from.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 Run from the repository root::
@@ -63,6 +68,22 @@ RANKS = {
 #: modules no one may import, even lazily
 FORBIDDEN = {"cli", "__main__"}
 
+#: fine-grained ranks *inside* a package: module-level imports between
+#: ranked siblings must also point strictly down.  The training package
+#: is layered so the strategy seam (strategy -> greedy/repair) can never
+#: grow upward imports into the primitives it is built from, and the
+#: frozen oracle stays parallel to (never entangled with) the live
+#: expander.  Unlisted modules (e.g. __init__) may import any sibling.
+SUB_RANKS = {
+    "training": {
+        "edges": 0,
+        "inline": 1,
+        "expander": 2,
+        "oracle": 3, "strategy": 3,
+        "greedy": 4, "repair": 4,
+    },
+}
+
 
 def _top_component(path: Path, src: Path) -> str:
     """The layer a source file belongs to (its top-level subpackage, or
@@ -74,14 +95,8 @@ def _top_component(path: Path, src: Path) -> str:
     return rel.parts[0]
 
 
-def _imported_components(tree: ast.AST, path: Path, src: Path):
-    """Yield (component, lineno, is_module_level) for every intra-package
-    import in the file."""
-    rel_parts = path.relative_to(src).parts
-    # Module-level = not nested inside a function/class body.
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.Import, ast.ImportFrom)):
-            node._targets = []
+def _module_level_fn(tree: ast.AST):
+    """A predicate: is this node outside any function/lambda body?"""
     parents = {}
     for node in ast.walk(tree):
         for child in ast.iter_child_nodes(node):
@@ -96,6 +111,14 @@ def _imported_components(tree: ast.AST, path: Path, src: Path):
             cur = parents.get(cur)
         return True
 
+    return module_level
+
+
+def _imported_components(tree: ast.AST, path: Path, src: Path):
+    """Yield (component, lineno, is_module_level) for every intra-package
+    import in the file."""
+    rel_parts = path.relative_to(src).parts
+    module_level = _module_level_fn(tree)
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
@@ -129,6 +152,42 @@ def _imported_components(tree: ast.AST, path: Path, src: Path):
                                    module_level(node))
 
 
+def _sibling_imports(tree: ast.AST, path: Path, src: Path):
+    """Yield (submodule, lineno, is_module_level) for every import that
+    targets a module of the same subpackage as ``path`` (for the
+    fine-grained SUB_RANKS rule)."""
+    rel_parts = path.relative_to(src).parts
+    if len(rel_parts) < 2:
+        return
+    pkg = rel_parts[0]
+    module_level = _module_level_fn(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[:2] == [PACKAGE, pkg] and len(parts) > 2:
+                    yield parts[2], node.lineno, module_level(node)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = list(rel_parts[:-1])
+                up = node.level - 1
+                base = base[:len(base) - up] if up else base
+                parts = base + (node.module.split(".")
+                                if node.module else [])
+            elif node.module and node.module.split(".")[0] == PACKAGE:
+                parts = node.module.split(".")[1:]
+            else:
+                continue
+            if not parts or parts[0] != pkg:
+                continue
+            if len(parts) > 1:
+                yield parts[1], node.lineno, module_level(node)
+            else:
+                # `from . import x`: the names may be sibling modules.
+                for alias in node.names:
+                    yield alias.name, node.lineno, module_level(node)
+
+
 def check(src: Path = SRC):
     """All layering violations in the tree, as printable strings."""
     violations = []
@@ -136,6 +195,21 @@ def check(src: Path = SRC):
         component = _top_component(path, src)
         rank = RANKS.get(component)
         tree = ast.parse(path.read_text(), filename=str(path))
+        sub = SUB_RANKS.get(component)
+        mod_rank = sub.get(path.stem) if sub else None
+        if mod_rank is not None:
+            for target, lineno, at_module_level in \
+                    _sibling_imports(tree, path, src):
+                target_rank = sub.get(target)
+                if target_rank is None or target == path.stem \
+                        or not at_module_level:
+                    continue
+                if target_rank >= mod_rank:
+                    violations.append(
+                        f"{path.relative_to(src.parent)}:{lineno}: "
+                        f"{component}.{path.stem} (sub-layer {mod_rank}) "
+                        f"imports {component}.{target} "
+                        f"(sub-layer {target_rank}) at module level")
         for target, lineno, at_module_level in \
                 _imported_components(tree, path, src):
             where = f"{path.relative_to(src.parent)}:{lineno}"
